@@ -1,0 +1,121 @@
+// Command divbench regenerates the repository's experiment suite
+// E1–E19 (DESIGN.md §3): every theorem, lemma, closed-form probability
+// and worked example in the paper gets a table (and, where meaningful,
+// an ASCII figure), together with pass/fail checks comparing the
+// measurement to the paper's claim.
+//
+// Usage:
+//
+//	divbench                 # run every experiment, quick sizes
+//	divbench -full           # publication sizes (minutes)
+//	divbench -exp E1,E9      # a subset
+//	divbench -csv out/       # also write each table as CSV
+//	divbench -seed 7         # change the master seed
+//
+// The exit status is nonzero if any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"div/internal/exp"
+	"div/internal/sim"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "publication sizes (slower)")
+		expList = flag.String("exp", "all", "comma-separated experiment IDs (E1..E19) or 'all'")
+		seed    = flag.Uint64("seed", 0, "master seed (0 = package default)")
+		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
+		par     = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	defs, err := selectExperiments(*expList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par}
+	failures := 0
+	for _, d := range defs {
+		start := time.Now()
+		rep, err := d.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, err)
+			failures++
+			continue
+		}
+		fmt.Printf("\n######## %s — %s (%v)\n\n", rep.ID, rep.Name, time.Since(start).Round(time.Millisecond))
+		for ti, tbl := range rep.Tables {
+			if err := tbl.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_table%d.csv", rep.ID, ti+1))
+				if err := writeCSV(path, tbl); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				}
+			}
+		}
+		for _, fig := range rep.Figures {
+			fmt.Println(fig)
+		}
+		for _, c := range rep.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+				failures++
+			}
+			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+		}
+		for _, n := range rep.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d failure(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+func selectExperiments(list string) ([]exp.Def, error) {
+	if strings.EqualFold(list, "all") || list == "" {
+		return exp.All, nil
+	}
+	var defs []exp.Def
+	for _, id := range strings.Split(list, ",") {
+		d, err := exp.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+	}
+	return defs, nil
+}
+
+func writeCSV(path string, tbl *sim.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,136 @@
+// Command divsim runs a single voting process (or a small batch) and
+// reports the outcome: the interactive explorer for the library.
+//
+// Examples:
+//
+//	divsim -graph complete:200 -k 5
+//	divsim -graph regular:500,16 -k 9 -process edge -trials 100
+//	divsim -graph path:30 -k 3 -trace
+//	divsim -graph complete:150 -rule median -k 9
+//	divsim -graph complete:120 -rule loadbalance -process edge -k 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"div/internal/cli"
+	"div/internal/core"
+	"div/internal/rng"
+	"div/internal/stats"
+	"div/internal/textplot"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "complete:100", "graph spec (complete:N, regular:N,D, gnp:N,P, ws:N,D,B, ba:N,M, path:N, cycle:N, star:N, torus:R,C, hypercube:D, …)")
+		k         = flag.Int("k", 5, "opinions are drawn uniformly from {1..k}")
+		procName  = flag.String("process", "vertex", "scheduler: vertex or edge")
+		ruleName  = flag.String("rule", "div", "update rule: div, pull, median, bestofK, loadbalance")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 1, "number of independent runs")
+		trace     = flag.Bool("trace", false, "print the opinion-support stage trace (first run only)")
+		series    = flag.Bool("series", false, "print range/weight trajectory sparklines (first run only)")
+		maxSteps  = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
+	)
+	flag.Parse()
+
+	if err := run(*graphSpec, *k, *procName, *ruleName, *seed, *trials, *trace, *series, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "divsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphSpec string, k int, procName, ruleName string, seed uint64, trials int, trace, series bool, maxSteps int64) error {
+	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
+	if err != nil {
+		return err
+	}
+	proc, err := cli.ParseProcess(procName)
+	if err != nil {
+		return err
+	}
+	rule, err := cli.ParseRule(ruleName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %v  process: %v  rule: %s  k: %d  seed: %d\n", g, proc, rule.Name(), k, seed)
+
+	winners := stats.NewIntHistogram()
+	var stepsAll, reduceAll []float64
+	for t := 0; t < trials; t++ {
+		trialSeed := rng.DeriveSeed(seed, uint64(t))
+		r := rng.New(trialSeed)
+		init := core.UniformOpinions(g.N(), k, r)
+		var rec *core.Recorder
+		cfg := core.Config{
+			Graph:        g,
+			Initial:      init,
+			Process:      proc,
+			Rule:         rule,
+			Seed:         rng.SplitMix64(trialSeed),
+			MaxSteps:     maxSteps,
+			TraceSupport: trace && t == 0,
+		}
+		if series && t == 0 {
+			rec = &core.Recorder{}
+			cfg.Observer = rec.Observe
+			cfg.ObserveEvery = int64(g.N())
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		if rec != nil && rec.Len() > 1 {
+			width := 72
+			fmt.Printf("range trajectory (one sample per %d steps):\n  %s\n",
+				g.N(), textplot.Sparkline(downsample(rec.RangeFloat(), width)))
+			fmt.Printf("weight S(t) trajectory:\n  %s\n",
+				textplot.Sparkline(downsample(rec.SumFloat(), width)))
+		}
+		if t == 0 {
+			fmt.Printf("initial: simple average %.4f, degree-weighted average %.4f\n",
+				res.InitialAverage, res.InitialWeightedAverage)
+			if trace {
+				for _, st := range res.Stages {
+					fmt.Printf("  step %10d: support %v\n", st.FromStep, st.Opinions)
+				}
+			}
+		}
+		if res.Consensus {
+			winners.Add(res.Winner)
+		}
+		stepsAll = append(stepsAll, float64(res.Steps))
+		if res.TwoAdjacentStep >= 0 {
+			reduceAll = append(reduceAll, float64(res.TwoAdjacentStep))
+		}
+		if trials == 1 {
+			if res.Consensus {
+				fmt.Printf("consensus on %d after %d steps (two adjacent at step %d)\n",
+					res.Winner, res.Steps, res.TwoAdjacentStep)
+			} else {
+				fmt.Printf("NO consensus after %d steps; final range [%d,%d]\n",
+					res.Steps, res.FinalMin, res.FinalMax)
+			}
+		}
+	}
+	if trials > 1 {
+		fmt.Printf("winners over %d trials: %s\n", trials, winners)
+		fmt.Printf("mean steps to consensus: %.0f; mean steps to two adjacent: %.0f\n",
+			stats.Mean(stepsAll), stats.Mean(reduceAll))
+	}
+	return nil
+}
+
+// downsample reduces xs to at most width points by striding.
+func downsample(xs []float64, width int) []float64 {
+	if len(xs) <= width {
+		return xs
+	}
+	out := make([]float64, width)
+	for i := range out {
+		out[i] = xs[i*len(xs)/width]
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Command graphinfo inspects a graph family: size, degree statistics,
+// structure flags, and the spectral quantities the paper's theorems are
+// parameterized by (λ, λk feasibility, mixing-time bound).
+//
+// Examples:
+//
+//	graphinfo -graph regular:1000,16
+//	graphinfo -graph gnp:500,0.05 -k 9
+//	graphinfo -graph barbell:20,5 -diameter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"div/internal/cli"
+	"div/internal/graph"
+	"div/internal/markov"
+	"div/internal/spectral"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "complete:100", "graph spec (see divsim -help)")
+		seed      = flag.Uint64("seed", 1, "seed for random families")
+		k         = flag.Int("k", 5, "opinion count for the λk feasibility line")
+		diameter  = flag.Bool("diameter", false, "also compute the exact diameter (O(n·m))")
+	)
+	flag.Parse()
+
+	if err := run(*graphSpec, *seed, *k, *diameter); err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphSpec string, seed uint64, k int, diameter bool) error {
+	g, err := cli.ParseGraph(graphSpec, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph:      %v\n", g)
+	deg := graph.Degrees(g)
+	fmt.Printf("degrees:    min %d, max %d, mean %.2f\n", deg.Min, deg.Max, deg.Mean)
+	fmt.Printf("stationary: π_min %.6f, π_max %.6f (paper wants π_min = Θ(1/n): n·π_min = %.2f)\n",
+		deg.PiMin, deg.PiMax, float64(g.N())*deg.PiMin)
+	fmt.Printf("connected:  %v   bipartite: %v   regular: %v\n",
+		graph.IsConnected(g), graph.IsBipartite(g), g.IsRegular())
+	if diameter {
+		d, err := graph.Diameter(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diameter:   %d\n", d)
+	}
+	if !graph.IsConnected(g) {
+		fmt.Println("λ:          undefined (disconnected)")
+		return nil
+	}
+	lam, err := spectral.Lambda(g, spectral.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("λ:          %.6f\n", lam)
+	if g.N() >= 2 {
+		cut, lambda2, err := markov.CheegerSweep(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("λ₂:         %.6f (signed)\n", lambda2)
+		fmt.Printf("Φ (sweep):  %.6f with |S| = %d  [Cheeger: %.4f ≤ Φ ≤ %.4f]\n",
+			cut.Phi, len(cut.Set), (1-lambda2)/2, math.Sqrt(2*(1-lambda2)))
+	}
+	fmt.Printf("λ·k:        %.4f at k=%d (Theorem 2 needs λk = o(1))\n", lam*float64(k), k)
+	if lam > 0 && lam < 1 {
+		fmt.Printf("max k:      %.0f for λk ≤ 0.5\n", math.Floor(0.5/lam))
+		fmt.Printf("t_mix:      ≤ %.0f steps (ε = 1/4 bound)\n", spectral.MixingTimeBound(lam, deg.PiMin, 0.25))
+	} else if lam >= 1 {
+		fmt.Println("warning:    λ = 1 (bipartite or disconnected walk): the paper's aperiodicity assumption fails")
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Distributed: DIV deployed as a real message-passing protocol. Every
+// node runs an independent Poisson clock; on each tick it pulls one
+// random neighbour's opinion over the (lossless but slow) network and
+// nudges its own value. With zero latency this is *provably* the
+// paper's vertex process; with latency, every observation is stale —
+// and the example shows how gracefully the rounded-average guarantee
+// degrades.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"div"
+)
+
+func main() {
+	const (
+		n      = 150
+		k      = 5
+		trials = 40
+	)
+	g := div.Complete(n)
+	// 60% at opinion 3, 40% at opinion 4: average exactly 3.4.
+	counts := []int{0, 0, 90, 60, 0}
+	fmt.Printf("network: %v, readings %v (average 3.40 → want consensus on 3 or 4)\n\n", g, counts)
+	fmt.Printf("%-22s %-12s %-14s %-14s\n", "mean latency", "accuracy", "time (periods)", "messages/node")
+
+	for _, latency := range []float64{0, 0.5, 2, 8} {
+		good, consensus := 0, 0
+		var timeSum, msgSum float64
+		for trial := 0; trial < trials; trial++ {
+			init, err := div.BlockOpinions(n, counts, div.NewRand(uint64(10+trial)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := div.RunDistributed(div.NetConfig{
+				Graph:           g,
+				Initial:         init,
+				Latency:         latency,
+				Seed:            uint64(1000*int(latency*10) + trial),
+				StopOnConsensus: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Consensus {
+				consensus++
+				if res.Winner == 3 || res.Winner == 4 {
+					good++
+				}
+			}
+			timeSum += res.Time
+			msgSum += float64(res.Messages) / n
+		}
+		fmt.Printf("%-22s %-12s %-14s %-14s\n",
+			fmt.Sprintf("%.1f firing periods", latency),
+			fmt.Sprintf("%d/%d (%d consensus)", good, trials, consensus),
+			fmt.Sprintf("%.0f", timeSum/trials),
+			fmt.Sprintf("%.0f", msgSum/trials),
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("latency 0 reproduces the sequential vertex process exactly (Poisson thinning);")
+	fmt.Println("under stale reads DIV's one-unit updates keep the consensus near the average")
+	fmt.Println("long after wholesale-adoption protocols would have amplified stale noise.")
+}

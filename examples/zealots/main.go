@@ -1,0 +1,74 @@
+// Zealots: what happens to averaging consensus when some nodes refuse
+// to update? A crashed sensor stuck at a reading — or a strategic
+// zealot — never changes its opinion but is still observed by
+// neighbours. This example shows the two regimes: a single zealot
+// eventually captures the whole network (absorption beats the
+// martingale), and two disagreeing zealots keep it open forever.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"div"
+)
+
+func main() {
+	const (
+		n = 200
+		k = 9
+	)
+	g := div.Complete(n)
+
+	// Regime 1: one stubborn node pinned at the top of the scale.
+	fmt.Println("— one zealot pinned at 9, everyone else uniform in 1..9 —")
+	for trial := 0; trial < 5; trial++ {
+		init := div.UniformOpinions(n, k, div.NewRand(uint64(10+trial)))
+		init[0] = k
+		rule, err := div.NewStubborn(div.DIV{}, n, []int{0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := div.Run(div.Config{
+			Graph:    g,
+			Initial:  init,
+			Rule:     rule,
+			MaxSteps: 5000 * n * n,
+			Seed:     uint64(100 + trial),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  trial %d: average started at %.2f, consensus on %d after %d steps\n",
+			trial, res.InitialAverage, res.Winner, res.Steps)
+	}
+	fmt.Println("  ⇒ the zealot always wins: all-9 is the only absorbing state,")
+	fmt.Println("    so the averaging guarantee of Theorem 2 is overridden.")
+
+	// Regime 2: two zealots that disagree.
+	fmt.Println()
+	fmt.Println("— two zealots pinned at 1 and 9 —")
+	init := div.UniformOpinions(n, k, div.NewRand(42))
+	init[0], init[1] = 1, k
+	rule, err := div.NewStubborn(div.DIV{}, n, []int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := div.Run(div.Config{
+		Graph:    g,
+		Initial:  init,
+		Rule:     rule,
+		Stop:     div.UntilMaxSteps,
+		MaxSteps: 100 * n * n,
+		Seed:     43,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  after %d steps: consensus=%v, surviving opinions span [%d, %d]\n",
+		res.Steps, res.Consensus, res.FinalMin, res.FinalMax)
+	fmt.Println("  ⇒ no absorbing state exists; the network hovers in a mixture forever.")
+	fmt.Println()
+	fmt.Println("Takeaway: DIV averages honest networks (E1), but a deployment must")
+	fmt.Println("bound stuck nodes — a single silent fault re-targets the consensus.")
+}

@@ -1,0 +1,3 @@
+module div
+
+go 1.22

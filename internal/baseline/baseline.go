@@ -1,0 +1,156 @@
+// Package baseline implements the comparison dynamics the paper
+// positions DIV against: plain pull voting (converges to the *mode*
+// with probability proportional to degree mass, Hassin–Peleg), median
+// voting (Doerr et al., converges near the *median*), best-of-k
+// plurality sampling, and the edge load-balancing averaging protocol of
+// Berenbrink et al. [5] (the alternative integer-averaging primitive
+// DIV is compared with in the introduction).
+//
+// Every baseline is a core.Rule over the same State and schedulers, so
+// head-to-head experiments run on identical graphs, initial opinions,
+// and random streams.
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/core"
+)
+
+// Pull is classic pull voting: the updating vertex adopts the observed
+// neighbour's opinion wholesale. With two opinions this is the paper's
+// final-stage process with win probabilities given by equation (3).
+type Pull struct{}
+
+// Name implements core.Rule.
+func (Pull) Name() string { return "pull" }
+
+// Step implements core.Rule.
+func (Pull) Step(s *core.State, _ *rand.Rand, v, w int) {
+	s.SetOpinion(v, s.Opinion(w))
+}
+
+// Median is the median dynamics of Doerr et al. (SPAA'11): the
+// updating vertex samples a second independent neighbour u and replaces
+// its opinion with median(X_v, X_w, X_u). On the complete graph the
+// consensus lands within O(√(n log n)) order-statistic positions of the
+// true median.
+type Median struct{}
+
+// Name implements core.Rule.
+func (Median) Name() string { return "median" }
+
+// Step implements core.Rule.
+func (Median) Step(s *core.State, r *rand.Rand, v, w int) {
+	g := s.Graph()
+	u := g.Neighbor(v, r.IntN(g.Degree(v)))
+	s.SetOpinion(v, median3(s.Opinion(v), s.Opinion(w), s.Opinion(u)))
+}
+
+func median3(a, b, c int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// BestOfK is plurality sampling: the updating vertex samples K
+// neighbours with replacement (including the scheduled w as the first
+// sample) and adopts the most frequent opinion in the sample; ties are
+// kept if the vertex's own opinion is among the winners, otherwise
+// broken uniformly at random.
+type BestOfK struct {
+	// K is the sample size (≥ 1). K=1 degenerates to Pull.
+	K int
+}
+
+// Name implements core.Rule.
+func (b BestOfK) Name() string { return fmt.Sprintf("best-of-%d", b.K) }
+
+// Step implements core.Rule.
+func (b BestOfK) Step(s *core.State, r *rand.Rand, v, w int) {
+	k := b.K
+	if k < 1 {
+		k = 1
+	}
+	g := s.Graph()
+	// Tally the sampled opinions. Sample values are bounded by the
+	// state's current range, so a small map is fine at these k.
+	tally := make(map[int]int, k)
+	tally[s.Opinion(w)]++
+	for i := 1; i < k; i++ {
+		u := g.Neighbor(v, r.IntN(g.Degree(v)))
+		tally[s.Opinion(u)]++
+	}
+	best := -1
+	var winners []int
+	for op, c := range tally {
+		switch {
+		case c > best:
+			best = c
+			winners = winners[:0]
+			winners = append(winners, op)
+		case c == best:
+			winners = append(winners, op)
+		}
+	}
+	own := s.Opinion(v)
+	for _, op := range winners {
+		if op == own {
+			return // tie includes own opinion: keep it
+		}
+	}
+	s.SetOpinion(v, winners[r.IntN(len(winners))])
+}
+
+// LoadBalance is the population-protocol averaging step of Berenbrink
+// et al. [5]: the two endpoints of the scheduled edge rebalance their
+// integer loads to ⌊(a+b)/2⌋ and ⌈(a+b)/2⌉ (the larger share staying
+// with the endpoint that held the larger load). Unlike DIV it needs a
+// coordinated two-vertex update, and unlike DIV it conserves the total
+// exactly rather than in expectation; it reaches a *mixture* of ⌊c⌋
+// and ⌈c⌉ rather than consensus when c is not an integer.
+//
+// Use it with the EdgeProcess scheduler; under the vertex process the
+// edge is the scheduled (v,w) pair, which biases edge selection by
+// 1/d(v) — the experiments only schedule it on the edge process.
+type LoadBalance struct{}
+
+// Name implements core.Rule.
+func (LoadBalance) Name() string { return "loadbalance" }
+
+// Step implements core.Rule.
+func (LoadBalance) Step(s *core.State, _ *rand.Rand, v, w int) {
+	a, b := s.Opinion(v), s.Opinion(w)
+	sum := a + b
+	lo := floorDiv2(sum)
+	hi := sum - lo
+	if a <= b {
+		s.SetOpinion(v, lo)
+		s.SetOpinion(w, hi)
+	} else {
+		s.SetOpinion(v, hi)
+		s.SetOpinion(w, lo)
+	}
+}
+
+func floorDiv2(x int) int {
+	if x >= 0 {
+		return x / 2
+	}
+	return (x - 1) / 2
+}
+
+var (
+	_ core.Rule = Pull{}
+	_ core.Rule = Median{}
+	_ core.Rule = BestOfK{}
+	_ core.Rule = LoadBalance{}
+)

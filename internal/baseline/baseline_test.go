@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestRuleNames(t *testing.T) {
+	tests := []struct {
+		rule core.Rule
+		want string
+	}{
+		{Pull{}, "pull"},
+		{Median{}, "median"},
+		{BestOfK{K: 3}, "best-of-3"},
+		{LoadBalance{}, "loadbalance"},
+	}
+	for _, tc := range tests {
+		if got := tc.rule.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPullAdoptsNeighbour(t *testing.T) {
+	g := graph.Path(3)
+	s := core.MustState(g, []int{1, 5, 3})
+	Pull{}.Step(s, nil, 0, 1)
+	if s.Opinion(0) != 5 {
+		t.Errorf("opinion(0) = %d, want 5", s.Opinion(0))
+	}
+	if s.Opinion(1) != 5 {
+		t.Errorf("observed vertex changed to %d", s.Opinion(1))
+	}
+}
+
+func TestMedian3(t *testing.T) {
+	tests := []struct {
+		a, b, c, want int
+	}{
+		{1, 2, 3, 2}, {3, 2, 1, 2}, {2, 1, 3, 2},
+		{5, 5, 1, 5}, {1, 5, 5, 5}, {5, 1, 5, 5},
+		{4, 4, 4, 4},
+	}
+	for _, tc := range tests {
+		if got := median3(tc.a, tc.b, tc.c); got != tc.want {
+			t.Errorf("median3(%d,%d,%d) = %d, want %d", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMedianRuleOnTriangle(t *testing.T) {
+	// On K_3 with opinions {1,2,3}, vertex 0 (opinion 1) observing w=1
+	// (opinion 2) and sampling u ∈ {1,2}: median(1,2,2)=2 or
+	// median(1,2,3)=2. Either way vertex 0 moves to 2.
+	g := graph.Complete(3)
+	r := rng.New(1)
+	s := core.MustState(g, []int{1, 2, 3})
+	Median{}.Step(s, r, 0, 1)
+	if s.Opinion(0) != 2 {
+		t.Errorf("opinion(0) = %d, want 2", s.Opinion(0))
+	}
+}
+
+func TestBestOfKDegeneratesToPull(t *testing.T) {
+	g := graph.Path(3)
+	r := rng.New(2)
+	s := core.MustState(g, []int{1, 5, 3})
+	BestOfK{K: 1}.Step(s, r, 0, 1)
+	if s.Opinion(0) != 5 {
+		t.Errorf("opinion(0) = %d, want 5", s.Opinion(0))
+	}
+}
+
+func TestBestOfKKeepsOwnOnTie(t *testing.T) {
+	// Vertex 0 on a path observes w=1 twice? No: K=2 samples w plus one
+	// more neighbour. On path(2) vertex 0 has a single neighbour, so
+	// both samples are vertex 1: unanimous, adopts.
+	g := graph.Path(2)
+	r := rng.New(3)
+	s := core.MustState(g, []int{1, 2})
+	BestOfK{K: 2}.Step(s, r, 0, 1)
+	if s.Opinion(0) != 2 {
+		t.Errorf("unanimous sample not adopted: %d", s.Opinion(0))
+	}
+}
+
+func TestBestOfKMajority(t *testing.T) {
+	// Star centre sampling many leaves: leaves all hold 3, so the
+	// centre adopts 3 with K=5.
+	g := graph.Star(6)
+	r := rng.New(4)
+	s := core.MustState(g, []int{1, 3, 3, 3, 3, 3})
+	BestOfK{K: 5}.Step(s, r, 0, 1)
+	if s.Opinion(0) != 3 {
+		t.Errorf("centre = %d, want 3", s.Opinion(0))
+	}
+}
+
+func TestLoadBalanceStep(t *testing.T) {
+	g := graph.Path(2)
+	tests := []struct {
+		name  string
+		a, b  int
+		wantA int
+		wantB int
+	}{
+		{"even split", 2, 4, 3, 3},
+		{"odd split keeps larger high", 1, 4, 2, 3},
+		{"reversed", 4, 1, 3, 2},
+		{"equal", 3, 3, 3, 3},
+		{"adjacent", 2, 3, 2, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := core.MustState(g, []int{tc.a, tc.b})
+			LoadBalance{}.Step(s, nil, 0, 1)
+			if s.Opinion(0) != tc.wantA || s.Opinion(1) != tc.wantB {
+				t.Errorf("(%d,%d) -> (%d,%d), want (%d,%d)",
+					tc.a, tc.b, s.Opinion(0), s.Opinion(1), tc.wantA, tc.wantB)
+			}
+		})
+	}
+}
+
+func TestLoadBalanceConservesSumExactly(t *testing.T) {
+	g := graph.Complete(20)
+	r := rng.New(5)
+	s := core.MustState(g, core.UniformOpinions(20, 9, r))
+	want := s.Sum()
+	for i := 0; i < 50000; i++ {
+		v := r.IntN(20)
+		w := g.Neighbor(v, r.IntN(19))
+		LoadBalance{}.Step(s, r, v, w)
+		if s.Sum() != want {
+			t.Fatalf("sum changed from %d to %d at step %d", want, s.Sum(), i)
+		}
+	}
+	// After many steps loads are within a 3-value band around the mean
+	// (Berenbrink et al. reach ⌊c⌋/⌈c⌉ plus stragglers; generously: 3).
+	if s.Max()-s.Min() > 2 {
+		t.Errorf("load spread %d after mixing", s.Max()-s.Min())
+	}
+}
+
+// TestPullTwoOpinionWinProbability reproduces equation (3): on the edge
+// process P[1 wins] = N_1/n.
+func TestPullTwoOpinionWinProbability(t *testing.T) {
+	const n, n1, trials = 30, 10, 2000
+	g := graph.Complete(n)
+	r := rng.New(6)
+	wins := 0
+	for trial := 0; trial < trials; trial++ {
+		init, err := core.TwoOpinionSplit(n, n1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(core.Config{
+			Graph:   g,
+			Initial: init,
+			Process: core.EdgeProcess,
+			Rule:    Pull{},
+			Seed:    rng.DeriveSeed(7, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consensus {
+			t.Fatalf("trial %d no consensus", trial)
+		}
+		if res.Winner == 1 {
+			wins++
+		}
+	}
+	p0 := float64(n1) / n
+	z := (float64(wins) - p0*trials) / math.Sqrt(trials*p0*(1-p0))
+	if math.Abs(z) > 4.5 {
+		t.Errorf("opinion 1 won %d/%d, want p=%.3f (z=%.1f)", wins, trials, p0, z)
+	}
+}
+
+// TestPullVertexProcessWinProbabilityDegreeWeighted reproduces the
+// vertex-process side of equation (3): P[i wins] = d(A_i)/2m. On the
+// star with the centre holding opinion 1 alone, d(A_1)/2m = 1/2 even
+// though N_1/n = 1/n.
+func TestPullVertexProcessWinProbabilityDegreeWeighted(t *testing.T) {
+	const n, trials = 9, 3000
+	g := graph.Star(n)
+	init := make([]int, n)
+	init[0] = 1
+	for v := 1; v < n; v++ {
+		init[v] = 2
+	}
+	wins := 0
+	for trial := 0; trial < trials; trial++ {
+		res, err := core.Run(core.Config{
+			Graph:   g,
+			Initial: init,
+			Process: core.VertexProcess,
+			Rule:    Pull{},
+			Seed:    rng.DeriveSeed(8, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner == 1 {
+			wins++
+		}
+	}
+	p0 := 0.5 // d(centre)/2m = (n-1)/(2(n-1))
+	z := (float64(wins) - p0*trials) / math.Sqrt(trials*p0*(1-p0))
+	if math.Abs(z) > 4.5 {
+		t.Errorf("centre opinion won %d/%d, want 0.5 (z=%.1f)", wins, trials, z)
+	}
+}
+
+func TestMedianConvergesToMedianishValue(t *testing.T) {
+	// Strong majority at value 2 with minorities at 1 and 9: the median
+	// dynamics must land on 2, never on the outlier 9 (mean ≈ 2.7).
+	const n = 90
+	g := graph.Complete(n)
+	r := rng.New(9)
+	counts := make([]int, 9)
+	counts[0] = 20 // opinion 1
+	counts[1] = 50 // opinion 2 (median)
+	counts[8] = 20 // opinion 9
+	for trial := 0; trial < 20; trial++ {
+		init, err := core.BlockOpinions(n, counts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(core.Config{
+			Graph:   g,
+			Initial: init,
+			Rule:    Median{},
+			Seed:    rng.DeriveSeed(10, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consensus {
+			t.Fatalf("median dynamics no consensus after %d steps", res.Steps)
+		}
+		if res.Winner != 2 {
+			t.Errorf("trial %d: median dynamics won at %d, want 2", trial, res.Winner)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"math/rand/v2"
+
+	"div/internal/core"
+)
+
+// Push-flavoured dynamics: the scheduler still draws "v chooses w", but
+// the OBSERVED vertex w is the one that updates — v pushes its opinion
+// at w. Push and pull differ only on irregular graphs, where they
+// conserve different weightings of the opinion vector:
+//
+//	pull DIV, vertex process:  Σ d(v)·X_v   (the paper's Z(t))
+//	push DIV, vertex process:  Σ X_v/d(v)   (inverse-degree weighted)
+//
+// The inverse-degree identity follows from the same antisymmetry
+// argument as Lemma 3: the (v,w) term of the expected one-step change
+// of Σ X_u/d(u) is sign(X_v−X_w)/(n·d(v)·d(w)), symmetric in v,w up to
+// the antisymmetric sign — so the sum over arcs cancels exactly.
+// core.PushDIVInvDegDrift exposes the exact enumeration, and the E17
+// experiment confirms consensus tracks the inverse-degree average.
+
+// PushDIV is incremental voting with the update direction reversed:
+// the scheduled neighbour w moves one unit toward v's opinion.
+type PushDIV struct{}
+
+// Name implements core.Rule.
+func (PushDIV) Name() string { return "push-div" }
+
+// Step implements core.Rule.
+func (PushDIV) Step(s *core.State, _ *rand.Rand, v, w int) {
+	xv, xw := s.Opinion(v), s.Opinion(w)
+	switch {
+	case xw < xv:
+		s.SetOpinion(w, xw+1)
+	case xw > xv:
+		s.SetOpinion(w, xw-1)
+	}
+}
+
+// Push is classic push voting: v imposes its opinion on the scheduled
+// neighbour w wholesale.
+type Push struct{}
+
+// Name implements core.Rule.
+func (Push) Name() string { return "push" }
+
+// Step implements core.Rule.
+func (Push) Step(s *core.State, _ *rand.Rand, v, w int) {
+	s.SetOpinion(w, s.Opinion(v))
+}
+
+var (
+	_ core.Rule = PushDIV{}
+	_ core.Rule = Push{}
+)

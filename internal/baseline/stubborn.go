@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/core"
+)
+
+// Stubborn wraps a single-vertex update rule and freezes a set of
+// zealot vertices: zealots are observed like anyone else but never
+// change their own opinion. Zealots model stubborn agents, sensor
+// anchors, or crash-faulty nodes stuck at a reading.
+//
+// With DIV inside, the dynamics change qualitatively: if every zealot
+// holds the same value z, the unique absorbing state is all-z — the
+// zealots eventually drag the entire network, however few they are. If
+// zealots disagree, no consensus exists and the network hovers in a
+// quasi-stationary mixture between the zealot values. The E18
+// experiment measures both regimes.
+//
+// The wrapper is only meaningful for rules that update the scheduled
+// vertex v (DIV, IncrementalStep, Pull, Median, BestOfK); rules that
+// update other vertices (Push, PushDIV, LoadBalance) would bypass the
+// freeze, so NewStubborn rejects them.
+type Stubborn struct {
+	inner  core.Rule
+	frozen []bool
+}
+
+// NewStubborn freezes the given zealot vertices under the inner rule.
+func NewStubborn(inner core.Rule, n int, zealots []int) (*Stubborn, error) {
+	switch inner.(type) {
+	case Push, PushDIV, LoadBalance:
+		return nil, fmt.Errorf("baseline: Stubborn cannot wrap %s (it updates vertices other than the scheduled one)", inner.Name())
+	}
+	frozen := make([]bool, n)
+	for _, z := range zealots {
+		if z < 0 || z >= n {
+			return nil, fmt.Errorf("baseline: zealot %d out of range [0,%d)", z, n)
+		}
+		frozen[z] = true
+	}
+	return &Stubborn{inner: inner, frozen: frozen}, nil
+}
+
+// Name implements core.Rule.
+func (s *Stubborn) Name() string { return "stubborn-" + s.inner.Name() }
+
+// Step implements core.Rule.
+func (s *Stubborn) Step(st *core.State, r *rand.Rand, v, w int) {
+	if s.frozen[v] {
+		return
+	}
+	s.inner.Step(st, r, v, w)
+}
+
+var _ core.Rule = (*Stubborn)(nil)

@@ -1,0 +1,210 @@
+// Package cli holds shared plumbing for the command-line tools: a
+// compact graph-specification mini-language and rule lookup, so
+// cmd/divsim, cmd/divbench and cmd/graphinfo stay thin.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"div/internal/baseline"
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+// ParseGraph builds a graph from a spec string:
+//
+//	complete:N          path:N            cycle:N
+//	star:N              hypercube:D       torus:R,C
+//	grid:R,C            binarytree:N      barbell:C,P
+//	regular:N,D         gnp:N,P           ws:N,D,BETA
+//	ba:N,M              circulant:N,S1+S2+...
+//
+// Random families draw from the given seed and retry until connected
+// where applicable.
+func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
+	name, argStr, _ := strings.Cut(spec, ":")
+	args := strings.Split(argStr, ",")
+	argInt := func(i int) (int, error) {
+		if i >= len(args) || args[i] == "" {
+			return 0, fmt.Errorf("cli: %s needs argument %d", name, i+1)
+		}
+		return strconv.Atoi(strings.TrimSpace(args[i]))
+	}
+	argFloat := func(i int) (float64, error) {
+		if i >= len(args) || args[i] == "" {
+			return 0, fmt.Errorf("cli: %s needs argument %d", name, i+1)
+		}
+		return strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
+	}
+	r := rng.New(seed)
+
+	switch strings.ToLower(name) {
+	case "complete":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n), nil
+	case "path":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n), nil
+	case "cycle":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Cycle(n), nil
+	case "star":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n), nil
+	case "hypercube":
+		d, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Hypercube(d), nil
+	case "torus":
+		rows, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(rows, cols), nil
+	case "grid":
+		rows, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(rows, cols), nil
+	case "binarytree":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.BinaryTree(n), nil
+	case "barbell":
+		c, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Barbell(c, p), nil
+	case "regular":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(n, d, r)
+	case "gnp":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := argFloat(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.ConnectedGnp(n, p, r, 200)
+	case "ws":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := argFloat(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.WattsStrogatz(n, d, beta, r)
+	case "ba":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.BarabasiAlbert(n, m, r)
+	case "circulant":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("cli: circulant needs strides, e.g. circulant:12,1+2")
+		}
+		var strides []int
+		for _, s := range strings.Split(args[1], "+") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("cli: circulant stride %q: %w", s, err)
+			}
+			strides = append(strides, v)
+		}
+		return graph.Circulant(n, strides), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown graph family %q (try complete:N, regular:N,D, gnp:N,P, …)", name)
+	}
+}
+
+// ParseRule returns the update rule named by s.
+func ParseRule(s string) (core.Rule, error) {
+	switch strings.ToLower(s) {
+	case "div", "":
+		return core.DIV{}, nil
+	case "pull":
+		return baseline.Pull{}, nil
+	case "median":
+		return baseline.Median{}, nil
+	case "loadbalance", "lb":
+		return baseline.LoadBalance{}, nil
+	default:
+		if rest, ok := strings.CutPrefix(strings.ToLower(s), "bestof"); ok {
+			k, err := strconv.Atoi(rest)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("cli: bad best-of rule %q", s)
+			}
+			return baseline.BestOfK{K: k}, nil
+		}
+		return nil, fmt.Errorf("cli: unknown rule %q (div, pull, median, bestofK, loadbalance)", s)
+	}
+}
+
+// ParseProcess returns the scheduler named by s.
+func ParseProcess(s string) (core.Process, error) {
+	switch strings.ToLower(s) {
+	case "vertex", "":
+		return core.VertexProcess, nil
+	case "edge":
+		return core.EdgeProcess, nil
+	default:
+		return 0, fmt.Errorf("cli: unknown process %q (vertex, edge)", s)
+	}
+}

@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"testing"
+
+	"div/internal/baseline"
+	"div/internal/core"
+)
+
+func TestParseGraphFamilies(t *testing.T) {
+	tests := []struct {
+		spec  string
+		wantN int
+		wantM int // -1 to skip
+	}{
+		{"complete:6", 6, 15},
+		{"path:9", 9, 8},
+		{"cycle:7", 7, 7},
+		{"star:5", 5, 4},
+		{"hypercube:3", 8, 12},
+		{"torus:3,4", 12, 24},
+		{"grid:2,3", 6, 7},
+		{"binarytree:7", 7, 6},
+		{"barbell:3,1", 7, 8},
+		{"regular:20,3", 20, 30},
+		{"gnp:30,0.4", 30, -1},
+		{"ws:20,4,0.1", 20, 40},
+		{"ba:25,2", 25, -1},
+		{"circulant:10,1+2", 10, 20},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			g, err := ParseGraph(tc.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != tc.wantN {
+				t.Errorf("N = %d, want %d", g.N(), tc.wantN)
+			}
+			if tc.wantM >= 0 && g.M() != tc.wantM {
+				t.Errorf("M = %d, want %d", g.M(), tc.wantM)
+			}
+		})
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus:5", "complete:", "complete:x", "torus:3", "regular:5,3",
+		"gnp:10", "circulant:10", "circulant:10,a",
+	} {
+		if _, err := ParseGraph(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseGraphDeterministic(t *testing.T) {
+	a, err := ParseGraph("regular:30,4", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseGraph("regular:30,4", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed, different graph")
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"div", "div"}, {"", "div"}, {"pull", "pull"},
+		{"median", "median"}, {"bestof3", "best-of-3"},
+		{"loadbalance", "loadbalance"}, {"lb", "loadbalance"},
+		{"DIV", "div"},
+	}
+	for _, tc := range tests {
+		r, err := ParseRule(tc.in)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", tc.in, err)
+			continue
+		}
+		if r.Name() != tc.want {
+			t.Errorf("ParseRule(%q) = %q, want %q", tc.in, r.Name(), tc.want)
+		}
+	}
+	if _, err := ParseRule("bogus"); err == nil {
+		t.Error("bogus rule accepted")
+	}
+	if _, err := ParseRule("bestofx"); err == nil {
+		t.Error("bestofx accepted")
+	}
+	if r, _ := ParseRule("bestof5"); r.(baseline.BestOfK).K != 5 {
+		t.Error("bestof5 K wrong")
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	if p, err := ParseProcess("vertex"); err != nil || p != core.VertexProcess {
+		t.Error("vertex parse failed")
+	}
+	if p, err := ParseProcess(""); err != nil || p != core.VertexProcess {
+		t.Error("default parse failed")
+	}
+	if p, err := ParseProcess("edge"); err != nil || p != core.EdgeProcess {
+		t.Error("edge parse failed")
+	}
+	if _, err := ParseProcess("both"); err == nil {
+		t.Error("bogus process accepted")
+	}
+}

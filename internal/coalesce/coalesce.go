@@ -1,0 +1,185 @@
+// Package coalesce implements coalescing random walks, the classical
+// dual of pull voting: running the voting process backwards in time,
+// the "whose opinion am I holding" lineages of the vertices are
+// coalescing random walks, so the consensus time of pull voting is
+// governed by the coalescing time and the winning-opinion distribution
+// by the absorption site. The duality is the engine behind the
+// consensus-time literature the paper builds on (e.g. [6], [17]), and
+// package exp's E19 experiment checks its quantitative fingerprints on
+// our engine.
+//
+// The model here matches the asynchronous vertex process: discrete
+// steps, at each step one uniformly random walker-carrying vertex is
+// activated... more precisely, the standard asynchronous coalescing
+// system is simulated directly: every vertex starts with a particle; at
+// each step a uniformly random particle moves to a uniformly random
+// neighbour of its current vertex; particles meeting on a vertex merge.
+package coalesce
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/graph"
+)
+
+// System is a set of coalescing particles on a graph.
+type System struct {
+	g *graph.Graph
+	// at[v] = number of particles currently at v (0 or 1 after
+	// coalescence, but transiently counts merge multiplicity).
+	position []int32 // position[p] = vertex of particle p, -1 if merged away
+	occupant []int32 // occupant[v] = surviving particle at v, -1 if none
+	alive    int
+	steps    int64
+}
+
+// New places one particle on every vertex of g.
+func New(g *graph.Graph) (*System, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("coalesce: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return nil, fmt.Errorf("coalesce: graph has an isolated vertex")
+	}
+	s := &System{
+		g:        g,
+		position: make([]int32, g.N()),
+		occupant: make([]int32, g.N()),
+		alive:    g.N(),
+	}
+	for v := range s.position {
+		s.position[v] = int32(v)
+		s.occupant[v] = int32(v)
+	}
+	return s, nil
+}
+
+// Alive returns the number of surviving particles.
+func (s *System) Alive() int { return s.alive }
+
+// Steps returns the number of move attempts performed.
+func (s *System) Steps() int64 { return s.steps }
+
+// Step activates one uniformly random surviving particle and moves it
+// to a uniformly random neighbour, merging on arrival if occupied. It
+// reports whether a merge happened.
+//
+// Activation is implemented by rejection over the particle ids so the
+// per-step cost stays O(1) even late in the process.
+func (s *System) Step(r *rand.Rand) bool {
+	// Rejection-sample a surviving particle.
+	var p int32
+	for {
+		p = int32(r.IntN(len(s.position)))
+		if s.position[p] >= 0 {
+			break
+		}
+	}
+	s.steps++
+	from := s.position[p]
+	to := int32(s.g.Neighbor(int(from), r.IntN(s.g.Degree(int(from)))))
+	s.occupant[from] = -1
+	if q := s.occupant[to]; q >= 0 {
+		// Merge p into q.
+		s.position[p] = -1
+		s.alive--
+		return true
+	}
+	s.position[p] = to
+	s.occupant[to] = p
+	return false
+}
+
+// RunToOne advances the system until a single particle survives and
+// returns the number of activations of *surviving* particles consumed
+// (the asynchronous coalescing time in particle-activation units) or an
+// error after maxSteps.
+func (s *System) RunToOne(maxSteps int64, r *rand.Rand) (int64, error) {
+	for s.alive > 1 {
+		if s.steps >= maxSteps {
+			return 0, fmt.Errorf("coalesce: %d particles still alive after %d steps", s.alive, maxSteps)
+		}
+		s.Step(r)
+	}
+	return s.steps, nil
+}
+
+// MeetingTime runs TWO walkers from the given starts (asynchronous:
+// each step one of the two moves, chosen uniformly) until they occupy
+// the same vertex, returning the number of steps, or an error after
+// maxSteps. The pairwise meeting time lower-bounds the coalescing time
+// and is the quantity classical bounds are stated in.
+func MeetingTime(g *graph.Graph, a, b int, maxSteps int64, r *rand.Rand) (int64, error) {
+	if g.MinDegree() == 0 {
+		return 0, fmt.Errorf("coalesce: graph has an isolated vertex")
+	}
+	if a == b {
+		return 0, nil
+	}
+	pa, pb := a, b
+	for t := int64(1); t <= maxSteps; t++ {
+		if r.IntN(2) == 0 {
+			pa = g.Neighbor(pa, r.IntN(g.Degree(pa)))
+		} else {
+			pb = g.Neighbor(pb, r.IntN(g.Degree(pb)))
+		}
+		if pa == pb {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("coalesce: walkers from %d and %d did not meet in %d steps", a, b, maxSteps)
+}
+
+// StepVertexClock performs one step under the VERTEX clock: a uniform
+// vertex is drawn; if it carries a particle, the particle moves (and
+// merges on arrival), otherwise nothing happens. Every draw counts as a
+// step. This is the exact time-reversal of the asynchronous
+// vertex-process pull voting step, so the vertex-clock coalescing time
+// equals the pull-voting consensus time (from all-distinct opinions) IN
+// DISTRIBUTION — the duality E19 verifies.
+func (s *System) StepVertexClock(r *rand.Rand) bool {
+	s.steps++
+	v := int32(r.IntN(s.g.N()))
+	p := s.occupant[v]
+	if p < 0 {
+		return false
+	}
+	to := int32(s.g.Neighbor(int(v), r.IntN(s.g.Degree(int(v)))))
+	s.occupant[v] = -1
+	if q := s.occupant[to]; q >= 0 {
+		s.position[p] = -1
+		s.alive--
+		return true
+	}
+	s.position[p] = to
+	s.occupant[to] = p
+	return false
+}
+
+// RunToOneVertexClock advances under the vertex clock until one
+// particle survives, returning the step count (comparable one-for-one
+// with pull-voting process steps), or an error after maxSteps.
+func (s *System) RunToOneVertexClock(maxSteps int64, r *rand.Rand) (int64, error) {
+	for s.alive > 1 {
+		if s.steps >= maxSteps {
+			return 0, fmt.Errorf("coalesce: %d particles still alive after %d vertex-clock steps", s.alive, maxSteps)
+		}
+		s.StepVertexClock(r)
+	}
+	return s.steps, nil
+}
+
+// Survivor returns the id (= origin vertex) of the unique surviving
+// particle; ok is false while more than one survives.
+func (s *System) Survivor() (origin int, ok bool) {
+	if s.alive != 1 {
+		return 0, false
+	}
+	for p, pos := range s.position {
+		if pos >= 0 {
+			return p, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,143 @@
+package coalesce
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/stats"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(graph.MustFromEdges(0, nil)); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := New(graph.MustFromEdges(2, nil)); err == nil {
+		t.Error("isolated vertices accepted")
+	}
+}
+
+func TestSystemInvariants(t *testing.T) {
+	g := graph.Complete(20)
+	s, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive() != 20 {
+		t.Fatalf("alive = %d at start", s.Alive())
+	}
+	r := rng.New(1)
+	for s.Alive() > 1 {
+		before := s.Alive()
+		merged := s.Step(r)
+		if merged && s.Alive() != before-1 {
+			t.Fatal("merge did not decrement alive")
+		}
+		if !merged && s.Alive() != before {
+			t.Fatal("non-merge changed alive")
+		}
+		// occupant/position consistency.
+		count := 0
+		for v := 0; v < g.N(); v++ {
+			if p := s.occupant[v]; p >= 0 {
+				count++
+				if s.position[p] != int32(v) {
+					t.Fatalf("occupant/position mismatch at %d", v)
+				}
+			}
+		}
+		if count != s.Alive() {
+			t.Fatalf("occupied vertices %d != alive %d", count, s.Alive())
+		}
+	}
+}
+
+func TestRunToOne(t *testing.T) {
+	g := graph.Complete(30)
+	s, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := s.RunToOne(1<<30, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive() != 1 {
+		t.Fatalf("alive = %d after RunToOne", s.Alive())
+	}
+	if steps <= 0 {
+		t.Fatal("no steps consumed")
+	}
+	// Timeout path.
+	s2, _ := New(graph.Cycle(40))
+	if _, err := s2.RunToOne(5, rng.New(3)); err == nil {
+		t.Error("timeout not reported")
+	}
+}
+
+func TestMeetingTimeBasics(t *testing.T) {
+	g := graph.Complete(10)
+	r := rng.New(4)
+	if mt, err := MeetingTime(g, 3, 3, 100, r); err != nil || mt != 0 {
+		t.Errorf("same-start meeting = %v, %v", mt, err)
+	}
+	if _, err := MeetingTime(graph.Path(50), 0, 49, 3, r); err == nil {
+		t.Error("timeout not reported")
+	}
+	if _, err := MeetingTime(graph.MustFromEdges(2, nil), 0, 1, 10, r); err == nil {
+		t.Error("isolated vertices accepted")
+	}
+}
+
+func TestMeetingTimeCompleteGraph(t *testing.T) {
+	// On K_n, after any move the pair meets w.p. 1/(n-1): meeting time
+	// is geometric with mean n-1.
+	const n, trials = 25, 4000
+	g := graph.Complete(n)
+	r := rng.New(5)
+	var times []float64
+	for i := 0; i < trials; i++ {
+		mt, err := MeetingTime(g, 0, 1, 1<<20, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, float64(mt))
+	}
+	s := stats.Summarize(times)
+	want := float64(n - 1)
+	if math.Abs(s.Mean-want) > 5*s.Stderr()+0.5 {
+		t.Errorf("mean meeting time %v ± %v, want %v", s.Mean, s.Stderr(), want)
+	}
+}
+
+func TestCoalescingTimeScalesLinearlyOnComplete(t *testing.T) {
+	// Full coalescence on K_n takes Θ(n) particle activations per
+	// remaining pair stage, ≈ 2(n-1)·... — empirically the total is
+	// Θ(n²) activations? No: with meeting rate 1/(n-1) per activation
+	// and k particles the merge rate scales with k, giving total
+	// activations Θ(n log n)... rather than pin a constant, check the
+	// growth exponent between n=32 and n=128 stays well below
+	// quadratic.
+	r := rng.New(6)
+	mean := func(n int) float64 {
+		var times []float64
+		for i := 0; i < 30; i++ {
+			s, err := New(graph.Complete(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := s.RunToOne(1<<30, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, float64(steps))
+		}
+		return stats.Mean(times)
+	}
+	m32, m128 := mean(32), mean(128)
+	expo := math.Log(m128/m32) / math.Log(4)
+	if expo < 0.7 || expo > 1.9 {
+		t.Errorf("coalescing time exponent %v (m32=%v m128=%v)", expo, m32, m128)
+	}
+}

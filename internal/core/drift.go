@@ -1,0 +1,85 @@
+package core
+
+// Exact one-step drift computations for the martingale results
+// (Lemma 3). These enumerate every possible scheduler draw in integer
+// arithmetic, so the martingale property is verified exactly rather
+// than statistically.
+
+// SignedArcSum returns Σ over directed arcs (v,w) of sign(X_w - X_v).
+// By antisymmetry of sign under arc reversal this is identically zero
+// for every opinion configuration on every graph, which is precisely
+// why both weights in Lemma 3 are martingales:
+//
+//	E[ΔS   | edge process,   X] = SignedArcSum / 2m = 0   (Lemma 3(i))
+//	E[ΔZ_raw | vertex process, X] = SignedArcSum / n  = 0   (Lemma 3(ii))
+//
+// Tests assert the zero; benchmarks use it as an exact-drift oracle.
+func SignedArcSum(s *State) int64 {
+	g := s.Graph()
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		xv := s.opinions[v]
+		for _, w := range g.Neighbors(v) {
+			xw := s.opinions[w]
+			switch {
+			case xw > xv:
+				total++
+			case xw < xv:
+				total--
+			}
+		}
+	}
+	return total
+}
+
+// VertexProcessSumDrift returns the exact expected one-step change of
+// the plain sum S under the *vertex* process,
+// E[ΔS | X] = (1/n) Σ_v (1/d(v)) Σ_{w∈N(v)} sign(X_w - X_v).
+// This is generally nonzero on irregular graphs — S is a martingale
+// only for the edge process — and the E10 experiment uses it to show
+// why the vertex process converges to the degree-weighted average
+// instead.
+func VertexProcessSumDrift(s *State) float64 {
+	g := s.Graph()
+	var total float64
+	for v := 0; v < g.N(); v++ {
+		xv := s.opinions[v]
+		var signed int64
+		for _, w := range g.Neighbors(v) {
+			xw := s.opinions[w]
+			switch {
+			case xw > xv:
+				signed++
+			case xw < xv:
+				signed--
+			}
+		}
+		total += float64(signed) / float64(g.Degree(v))
+	}
+	return total / float64(g.N())
+}
+
+// EdgeProcessDegSumDrift returns the exact expected one-step change of
+// the degree-weighted raw sum Σ d(v)X_v under the *edge* process,
+// E[ΔZ_raw | X] = (1/2m) Σ_arcs d(v)·sign(X_w - X_v).
+// Nonzero in general on irregular graphs: the mirror image of
+// VertexProcessSumDrift.
+func EdgeProcessDegSumDrift(s *State) float64 {
+	g := s.Graph()
+	var total int64
+	for v := 0; v < g.N(); v++ {
+		xv := s.opinions[v]
+		var signed int64
+		for _, w := range g.Neighbors(v) {
+			xw := s.opinions[w]
+			switch {
+			case xw > xv:
+				signed++
+			case xw < xv:
+				signed--
+			}
+		}
+		total += int64(g.Degree(v)) * signed
+	}
+	return float64(total) / float64(g.DegreeSum())
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/rng"
+)
+
+// Initial-opinion profiles used across experiments. All return a slice
+// of length n with values in [1, k] unless documented otherwise.
+
+// UniformOpinions assigns each vertex an independent uniform opinion
+// from {1, …, k}.
+func UniformOpinions(n, k int, r *rand.Rand) []int {
+	ops := make([]int, n)
+	for v := range ops {
+		ops[v] = 1 + r.IntN(k)
+	}
+	return ops
+}
+
+// WeightedOpinions assigns opinions i+1 with probability weights[i]
+// (normalized), enabling skewed profiles whose mode, median and mean
+// differ — the E7 mode/median/mean separation workload.
+func WeightedOpinions(n int, weights []float64, r *rand.Rand) ([]int, error) {
+	alias, err := rng.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("core: WeightedOpinions: %w", err)
+	}
+	ops := make([]int, n)
+	for v := range ops {
+		ops[v] = 1 + alias.Sample(r)
+	}
+	return ops, nil
+}
+
+// BlockOpinions assigns exact counts: counts[i] vertices get opinion
+// i+1, placed at uniformly random vertices. Σ counts must equal n.
+// Exact counts pin the initial average c exactly, which Theorem 2's
+// winner-split predictions need.
+func BlockOpinions(n int, counts []int, r *rand.Rand) ([]int, error) {
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("core: BlockOpinions negative count %d", c)
+		}
+		total += c
+	}
+	if total != n {
+		return nil, fmt.Errorf("core: BlockOpinions counts sum to %d, want n=%d", total, n)
+	}
+	ops := make([]int, 0, n)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			ops = append(ops, i+1)
+		}
+	}
+	rng.Shuffle(r, ops)
+	return ops, nil
+}
+
+// TwoOpinionSplit places exactly n1 vertices at opinion 1 and the rest
+// at opinion 2, at random positions: the classic two-opinion pull
+// voting initial condition of equation (3).
+func TwoOpinionSplit(n, n1 int, r *rand.Rand) ([]int, error) {
+	if n1 < 0 || n1 > n {
+		return nil, fmt.Errorf("core: TwoOpinionSplit n1=%d out of [0,%d]", n1, n)
+	}
+	return BlockOpinions(n, []int{n1, n - n1}, r)
+}
+
+// ExtremesOpinions splits vertices between the two extreme opinions 1
+// and k (half each, ties to k), the worst case for the reduction phase:
+// the range must collapse through every intermediate value.
+func ExtremesOpinions(n, k int, r *rand.Rand) []int {
+	ops, err := BlockOpinions(n, extremeCounts(n, k), r)
+	if err != nil {
+		panic(err) // unreachable: counts sum to n by construction
+	}
+	return ops
+}
+
+func extremeCounts(n, k int) []int {
+	counts := make([]int, k)
+	counts[0] = n / 2
+	counts[k-1] = n - n/2
+	return counts
+}
+
+// PlantedSetOpinions assigns opinion inside to the given vertex set and
+// outside to all others, for experiments that plant an unbalanced or
+// structured minority (E4, E9).
+func PlantedSetOpinions(n int, set []int, inside, outside int) ([]int, error) {
+	ops := make([]int, n)
+	for v := range ops {
+		ops[v] = outside
+	}
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("core: PlantedSetOpinions vertex %d out of range", v)
+		}
+		ops[v] = inside
+	}
+	return ops, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+// Recorder is an Observer that samples the live state into time
+// series: pass Recorder.Observe as Config.Observer (with the desired
+// Config.ObserveEvery period) and read the series after the run. It
+// captures exactly the quantities the paper's analysis tracks — the
+// conserved weights S(t) and Z(t), the opinion range and support size,
+// and the π masses of the two extreme opinions (the objects of
+// Lemma 10).
+type Recorder struct {
+	// Steps[i] is the step count at sample i.
+	Steps []int64
+	// Range[i] is Max-Min at sample i.
+	Range []int
+	// Support[i] is the number of distinct opinions at sample i.
+	Support []int
+	// Sum[i] is S_raw(t) = Σ X_v.
+	Sum []int64
+	// DegSum[i] is Σ d(v)X_v (∝ Z(t)).
+	DegSum []int64
+	// PiMin[i] and PiMax[i] are π(A_min) and π(A_max): the stationary
+	// masses of the smallest and largest surviving opinions.
+	PiMin, PiMax []float64
+}
+
+// Observe implements the Config.Observer signature; it never aborts.
+func (rec *Recorder) Observe(s *State) bool {
+	rec.Steps = append(rec.Steps, s.Steps())
+	rec.Range = append(rec.Range, s.Range())
+	rec.Support = append(rec.Support, s.SupportSize())
+	rec.Sum = append(rec.Sum, s.Sum())
+	rec.DegSum = append(rec.DegSum, s.DegSum())
+	rec.PiMin = append(rec.PiMin, s.PiMass(s.Min()))
+	rec.PiMax = append(rec.PiMax, s.PiMass(s.Max()))
+	return true
+}
+
+// Len returns the number of samples taken.
+func (rec *Recorder) Len() int { return len(rec.Steps) }
+
+// SumFloat returns the Sum series as float64s, for plotting and fits.
+func (rec *Recorder) SumFloat() []float64 {
+	out := make([]float64, len(rec.Sum))
+	for i, v := range rec.Sum {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// RangeFloat returns the Range series as float64s.
+func (rec *Recorder) RangeFloat() []float64 {
+	out := make([]float64, len(rec.Range))
+	for i, v := range rec.Range {
+		out[i] = float64(v)
+	}
+	return out
+}

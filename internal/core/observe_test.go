@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestRecorderSeries(t *testing.T) {
+	g := graph.Complete(40)
+	r := rng.New(31)
+	rec := &Recorder{}
+	res, err := Run(Config{
+		Graph:        g,
+		Initial:      UniformOpinions(40, 6, r),
+		Seed:         32,
+		Observer:     rec.Observe,
+		ObserveEvery: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+	if rec.Len() < 2 {
+		t.Fatalf("only %d samples", rec.Len())
+	}
+	// Parallel series lengths.
+	n := rec.Len()
+	if len(rec.Range) != n || len(rec.Support) != n || len(rec.Sum) != n ||
+		len(rec.DegSum) != n || len(rec.PiMin) != n || len(rec.PiMax) != n {
+		t.Fatal("series lengths diverge")
+	}
+	// Steps non-decreasing; first sample at step 0.
+	if rec.Steps[0] != 0 {
+		t.Errorf("first sample at step %d", rec.Steps[0])
+	}
+	for i := 1; i < n; i++ {
+		if rec.Steps[i] <= rec.Steps[i-1] {
+			t.Fatalf("steps not increasing at %d", i)
+		}
+	}
+	// Range non-increasing (the paper's contraction property).
+	for i := 1; i < n; i++ {
+		if rec.Range[i] > rec.Range[i-1] {
+			t.Fatalf("range widened between samples %d and %d", i-1, i)
+		}
+	}
+	// π masses are probabilities.
+	for i := 0; i < n; i++ {
+		for _, p := range []float64{rec.PiMin[i], rec.PiMax[i]} {
+			if p <= 0 || p > 1 {
+				t.Fatalf("π mass %v out of (0,1] at sample %d", p, i)
+			}
+		}
+	}
+	// Float conversions mirror the raw series.
+	sf, rf := rec.SumFloat(), rec.RangeFloat()
+	for i := 0; i < n; i++ {
+		if int64(sf[i]) != rec.Sum[i] || int(rf[i]) != rec.Range[i] {
+			t.Fatal("float conversions diverge")
+		}
+	}
+}
+
+func TestRecorderRangeEndsAtZero(t *testing.T) {
+	g := graph.Complete(30)
+	r := rng.New(33)
+	rec := &Recorder{}
+	res, err := Run(Config{
+		Graph:        g,
+		Initial:      UniformOpinions(30, 4, r),
+		Seed:         34,
+		Observer:     rec.Observe,
+		ObserveEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus")
+	}
+	last := rec.Len() - 1
+	if rec.Range[last] != 0 || rec.Support[last] != 1 {
+		t.Errorf("final sample range=%d support=%d", rec.Range[last], rec.Support[last])
+	}
+	// With per-step sampling, the sum series changes by at most 1 per
+	// consecutive sample (the Azuma increment bound d_i ≤ 1).
+	for i := 1; i <= last; i++ {
+		d := rec.Sum[i] - rec.Sum[i-1]
+		if d > 1 || d < -1 {
+			t.Fatalf("sum jumped by %d between per-step samples", d)
+		}
+	}
+}

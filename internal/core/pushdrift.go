@@ -1,0 +1,85 @@
+package core
+
+// Drift computations for push-flavoured incremental voting, where the
+// scheduled pair (v, w) updates w toward v. Under the vertex process
+// the conserved quantity is the INVERSE-degree weighted sum
+// H(t) = Σ_v X_v/d(v): the (v,w) arc contributes
+// sign(X_v−X_w)/(n·d(v)·d(w)) to E[ΔH | X], which cancels against the
+// (w,v) arc by antisymmetry — the push-side mirror of Lemma 3.
+
+// PushDIVInvDegDrift returns the exact one-step drift of
+// H = Σ_v X_v/d(v) under the vertex-process push-DIV dynamic,
+// E[ΔH | X] = (1/n) Σ_v Σ_{w∈N(v)} sign(X_v - X_w)/(d(v)·d(w)).
+// It is identically zero for every configuration on every graph; tests
+// assert the zero and E17 uses the conservation to predict the
+// consensus value.
+func PushDIVInvDegDrift(s *State) float64 {
+	g := s.Graph()
+	var total float64
+	for v := 0; v < g.N(); v++ {
+		xv := s.opinions[v]
+		dv := float64(g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			xw := s.opinions[w]
+			if xv == xw {
+				continue
+			}
+			sign := 1.0
+			if xv < xw {
+				sign = -1
+			}
+			total += sign / (dv * float64(g.Degree(int(w))))
+		}
+	}
+	return total / float64(g.N())
+}
+
+// PushDIVSumDrift returns the exact one-step drift of the plain sum S
+// under the vertex-process push-DIV dynamic,
+// E[ΔS | X] = (1/n) Σ_v Σ_{w∈N(v)} sign(X_v - X_w)/d(v).
+// Generally nonzero on irregular graphs: push does NOT conserve the
+// simple average, the mirror image of VertexProcessSumDrift.
+func PushDIVSumDrift(s *State) float64 {
+	g := s.Graph()
+	var total float64
+	for v := 0; v < g.N(); v++ {
+		xv := s.opinions[v]
+		var signed int64
+		for _, w := range g.Neighbors(v) {
+			xw := s.opinions[w]
+			switch {
+			case xv > xw:
+				signed++
+			case xv < xw:
+				signed--
+			}
+		}
+		total += float64(signed) / float64(g.Degree(v))
+	}
+	return total / float64(g.N())
+}
+
+// InvDegSum returns H_raw(t) = Σ_v X_v/d(v), the push-DIV conserved
+// weight (up to the 1/n normalization).
+func InvDegSum(s *State) float64 {
+	g := s.Graph()
+	var total float64
+	for v := 0; v < g.N(); v++ {
+		total += float64(s.opinions[v]) / float64(g.Degree(v))
+	}
+	return total
+}
+
+// InvDegAverage returns the inverse-degree weighted average
+// Σ_v (X_v/d(v)) / Σ_v (1/d(v)) — the value push-DIV consensus tracks
+// in expectation under the vertex process.
+func InvDegAverage(s *State) float64 {
+	g := s.Graph()
+	var num, den float64
+	for v := 0; v < g.N(); v++ {
+		inv := 1 / float64(g.Degree(v))
+		num += float64(s.opinions[v]) * inv
+		den += inv
+	}
+	return num / den
+}

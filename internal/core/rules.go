@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand/v2"
+)
+
+// Rule is one asynchronous update applied when the scheduler selects
+// the ordered pair (v, w): v is the updating vertex, w the observed
+// neighbour. Rules may draw extra randomness from r (e.g. median voting
+// samples a second neighbour) and may update more than one vertex
+// (e.g. load balancing updates both endpoints), but every write must go
+// through State.SetOpinion.
+type Rule interface {
+	// Name identifies the rule in reports ("div", "pull", …).
+	Name() string
+	// Step applies one asynchronous update for the scheduled pair.
+	Step(s *State, r *rand.Rand, v, w int)
+}
+
+// DIV is the paper's discrete incremental voting rule: on observing a
+// neighbour with a different opinion, move one unit toward it
+// (equation (1)):
+//
+//	X_v < X_w ⟹ X'_v = X_v + 1
+//	X_v = X_w ⟹ X'_v = X_v
+//	X_v > X_w ⟹ X'_v = X_v - 1
+type DIV struct{}
+
+// Name implements Rule.
+func (DIV) Name() string { return "div" }
+
+// Step implements Rule.
+func (DIV) Step(s *State, _ *rand.Rand, v, w int) {
+	xv, xw := s.opinions[v], s.opinions[w]
+	switch {
+	case xv < xw:
+		s.SetOpinion(v, int(xv)+1)
+	case xv > xw:
+		s.SetOpinion(v, int(xv)-1)
+	}
+}
+
+var _ Rule = DIV{}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+// StopCondition tells Run when to halt.
+type StopCondition int
+
+const (
+	// UntilConsensus runs until one opinion remains (or MaxSteps).
+	UntilConsensus StopCondition = iota
+	// UntilTwoAdjacent runs until at most two adjacent opinions remain
+	// — the end of the paper's reduction phase (Theorem 1).
+	UntilTwoAdjacent
+	// UntilMaxSteps runs for exactly MaxSteps steps.
+	UntilMaxSteps
+	// UntilThreeConsecutive runs until the opinion range spans at most
+	// three consecutive values. This is the guaranteed absorbing band
+	// of the load-balancing baseline ([5] proves convergence to three
+	// consecutive values; with floor/ceil averaging, adjacent values
+	// exchange nothing, so a sparse graph can stall there forever).
+	UntilThreeConsecutive
+)
+
+// Config describes one run of an asynchronous voting process.
+type Config struct {
+	// Graph is the (connected) interaction graph. Required.
+	Graph *graph.Graph
+	// Initial is the initial opinion per vertex. Required.
+	Initial []int
+	// Process is the scheduler (vertex or edge). Default VertexProcess.
+	Process Process
+	// Rule is the update rule. Default DIV{}.
+	Rule Rule
+	// Seed seeds the run's private PCG stream.
+	Seed uint64
+	// MaxSteps caps the run. 0 means 200·n² steps, far beyond the
+	// o(n²) reduction plus O(n²) final-stage times on expanders.
+	MaxSteps int64
+	// Stop selects the halting condition. Default UntilConsensus.
+	Stop StopCondition
+	// Observer, when non-nil, is invoked every ObserveEvery steps (and
+	// once at step 0) with the live state. Returning false aborts the
+	// run early (Result.Aborted is set).
+	Observer func(s *State) bool
+	// ObserveEvery is the observer period in steps. Default n.
+	ObserveEvery int64
+	// TraceSupport records a Stage whenever the set of present opinions
+	// changes (the paper's {1,2,5}→{1,2,4}→… evolution).
+	TraceSupport bool
+}
+
+// Stage is one entry of the support trace: the set of opinions present
+// from FromStep until the next stage.
+type Stage struct {
+	FromStep int64
+	Opinions []int
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Winner is the consensus opinion, or 0 with Consensus=false.
+	Winner    int
+	Consensus bool
+	// Steps is the total number of scheduler invocations performed.
+	Steps int64
+	// ThreeStep is the first step at which at most three consecutive
+	// opinions remained (-1 if never).
+	ThreeStep int64
+	// TwoAdjacentStep is the first step at which at most two adjacent
+	// opinions remained — the paper's T (-1 if never).
+	TwoAdjacentStep int64
+	// InitialAverage is S(0)/n.
+	InitialAverage float64
+	// InitialWeightedAverage is Σ π_v X_v(0) (= Z(0)/n).
+	InitialWeightedAverage float64
+	// WeightAtTwoAdjacent is the process-appropriate average when the
+	// final stage began (c' in Lemma 5(ii); NaN if never reached).
+	WeightAtTwoAdjacent float64
+	// FinalMin and FinalMax bound the surviving opinions.
+	FinalMin, FinalMax int
+	// Aborted is set when the Observer stopped the run.
+	Aborted bool
+	// Stages is the support trace (nil unless Config.TraceSupport).
+	Stages []Stage
+}
+
+// Run executes one voting process to its stopping condition.
+func Run(cfg Config) (Result, error) {
+	if cfg.Graph == nil {
+		return Result{}, fmt.Errorf("core: Config.Graph is required")
+	}
+	s, err := NewState(cfg.Graph, cfg.Initial)
+	if err != nil {
+		return Result{}, err
+	}
+	rule := cfg.Rule
+	if rule == nil {
+		rule = DIV{}
+	}
+	sched, err := NewScheduler(s, cfg.Process)
+	if err != nil {
+		return Result{}, err
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		n := int64(s.N())
+		maxSteps = 200 * n * n
+	}
+	observeEvery := cfg.ObserveEvery
+	if observeEvery <= 0 {
+		observeEvery = int64(s.N())
+	}
+	r := rng.New(cfg.Seed)
+
+	res := Result{
+		ThreeStep:              -1,
+		TwoAdjacentStep:        -1,
+		InitialAverage:         s.Average(),
+		InitialWeightedAverage: s.WeightedAverage(),
+		WeightAtTwoAdjacent:    nan(),
+	}
+	recordMilestones := func() {
+		if res.ThreeStep < 0 && s.Range() <= 2 {
+			res.ThreeStep = s.Steps()
+		}
+		if res.TwoAdjacentStep < 0 && s.Range() <= 1 {
+			res.TwoAdjacentStep = s.Steps()
+			res.WeightAtTwoAdjacent = sched.WeightAverage()
+		}
+	}
+	recordMilestones()
+
+	var stages []Stage
+	recordStage := func() {
+		if !cfg.TraceSupport {
+			return
+		}
+		stages = append(stages, Stage{FromStep: s.Steps(), Opinions: s.Support(nil)})
+	}
+	recordStage()
+
+	if cfg.Observer != nil && !cfg.Observer(s) {
+		res.Aborted = true
+	}
+
+	done := func() bool {
+		switch cfg.Stop {
+		case UntilConsensus:
+			_, ok := s.Consensus()
+			return ok
+		case UntilTwoAdjacent:
+			return s.Range() <= 1
+		case UntilThreeConsecutive:
+			return s.Range() <= 2
+		case UntilMaxSteps:
+			return false
+		default:
+			return false
+		}
+	}
+
+	prevVersion := s.SupportVersion()
+	for !res.Aborted && !done() && s.Steps() < maxSteps {
+		v, w := sched.Pair(r)
+		s.countStep()
+		rule.Step(s, r, v, w)
+		if s.SupportVersion() != prevVersion {
+			recordMilestones()
+			recordStage()
+			prevVersion = s.SupportVersion()
+		}
+		if cfg.Observer != nil && s.Steps()%observeEvery == 0 {
+			if !cfg.Observer(s) {
+				res.Aborted = true
+			}
+		}
+	}
+
+	res.Steps = s.Steps()
+	res.FinalMin, res.FinalMax = s.Min(), s.Max()
+	if w, ok := s.Consensus(); ok {
+		res.Winner = w
+		res.Consensus = true
+	}
+	res.Stages = stages
+	return res, nil
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// RunMany executes trials independent runs of cfg with per-trial
+// derived seeds and returns every result. It is a convenience for
+// tests; the experiment harness in internal/sim adds parallelism and
+// aggregation on top of Run.
+func RunMany(cfg Config, trials int) ([]Result, error) {
+	results := make([]Result, trials)
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = rng.DeriveSeed(cfg.Seed, uint64(t))
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", t, err)
+		}
+		results[t] = res
+	}
+	return results, nil
+}

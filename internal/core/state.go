@@ -1,0 +1,315 @@
+// Package core implements the paper's primary contribution: the
+// discrete incremental voting (DIV) process, under both asynchronous
+// schedulers defined in the paper (the vertex process and the edge
+// process), with O(1)-per-step state accounting for opinion counts,
+// degree-weighted masses, extreme opinions, and the martingale weights
+// S(t) and Z(t).
+//
+// The engine is rule-pluggable: the DIV update rule (move one step
+// toward the observed neighbour) is the default, and the comparison
+// dynamics from the paper's related-work discussion (pull voting,
+// median voting, best-of-k plurality, edge load balancing) are provided
+// by package internal/baseline on the same State and scheduling
+// machinery, which makes head-to-head experiments exact like-for-like.
+package core
+
+import (
+	"fmt"
+
+	"div/internal/graph"
+)
+
+// State is the mutable configuration of a voting process: an opinion
+// per vertex plus incremental aggregates. All updates must go through
+// SetOpinion so the aggregates stay consistent.
+//
+// Opinions live in the window [Base(), Base()+Width()-1] fixed at
+// construction; every dynamic in this repository is range-contracting
+// (an update never moves a vertex outside the current [Min,Max]
+// opinion range), which SetOpinion enforces.
+type State struct {
+	g        *graph.Graph
+	opinions []int32
+	base     int32   // smallest initial opinion (offset of counts[0])
+	counts   []int64 // counts[i] = #vertices with opinion base+i
+	degMass  []int64 // degMass[i] = Σ d(v) over vertices with opinion base+i
+	minIdx   int     // smallest i with counts[i] > 0
+	maxIdx   int     // largest i with counts[i] > 0
+	sum      int64   // Σ_v X_v  (n·(S-average))
+	degSum   int64   // Σ_v d(v)·X_v (2m times the π-weighted average)
+	steps    int64
+	support  int    // number of indices with counts[i] > 0
+	supVer   uint64 // bumped whenever any cell transitions 0↔1 vertex
+}
+
+// NewState builds a State over g with the given initial opinions
+// (len == g.N()). The graph must be non-empty.
+func NewState(g *graph.Graph, initial []int) (*State, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if len(initial) != n {
+		return nil, fmt.Errorf("core: %d initial opinions for %d vertices", len(initial), n)
+	}
+	min, max := initial[0], initial[0]
+	for _, x := range initial {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	width := max - min + 1
+	if width > 1<<22 {
+		return nil, fmt.Errorf("core: opinion range %d too wide", width)
+	}
+	s := &State{
+		g:        g,
+		opinions: make([]int32, n),
+		base:     int32(min),
+		counts:   make([]int64, width),
+		degMass:  make([]int64, width),
+		minIdx:   0,
+		maxIdx:   width - 1,
+	}
+	for v, x := range initial {
+		i := x - min
+		s.opinions[v] = int32(x)
+		s.counts[i]++
+		s.degMass[i] += int64(g.Degree(v))
+		s.sum += int64(x)
+		s.degSum += int64(g.Degree(v)) * int64(x)
+	}
+	for _, c := range s.counts {
+		if c > 0 {
+			s.support++
+		}
+	}
+	// minIdx/maxIdx must point at occupied cells.
+	for s.counts[s.minIdx] == 0 {
+		s.minIdx++
+	}
+	for s.counts[s.maxIdx] == 0 {
+		s.maxIdx--
+	}
+	return s, nil
+}
+
+// MustState is NewState that panics on error.
+func MustState(g *graph.Graph, initial []int) *State {
+	s, err := NewState(g, initial)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Graph returns the underlying graph.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// N returns the number of vertices.
+func (s *State) N() int { return len(s.opinions) }
+
+// Opinion returns the current opinion of vertex v.
+func (s *State) Opinion(v int) int { return int(s.opinions[v]) }
+
+// Opinions copies the current opinion vector into dst (allocating when
+// dst is nil or too short) and returns it.
+func (s *State) Opinions(dst []int) []int {
+	if cap(dst) < len(s.opinions) {
+		dst = make([]int, len(s.opinions))
+	}
+	dst = dst[:len(s.opinions)]
+	for v, x := range s.opinions {
+		dst[v] = int(x)
+	}
+	return dst
+}
+
+// Min returns the smallest opinion currently held.
+func (s *State) Min() int { return int(s.base) + s.minIdx }
+
+// Max returns the largest opinion currently held.
+func (s *State) Max() int { return int(s.base) + s.maxIdx }
+
+// Range returns Max()-Min(): 0 at consensus, 1 in the final two-opinion
+// stage.
+func (s *State) Range() int { return s.maxIdx - s.minIdx }
+
+// SupportSize returns the number of distinct opinions currently held.
+func (s *State) SupportSize() int { return s.support }
+
+// SupportVersion increases whenever the *set* of held opinions changes
+// (any count transitions between zero and nonzero). Comparing versions
+// detects support changes in O(1), including swaps that preserve the
+// support size and extremes.
+func (s *State) SupportVersion() uint64 { return s.supVer }
+
+// Count returns the number of vertices currently holding opinion x.
+func (s *State) Count(x int) int64 {
+	i := int(int32(x) - s.base)
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// DegreeMass returns Σ d(v) over vertices holding opinion x, i.e.
+// 2m·π(A_x) in the paper's notation.
+func (s *State) DegreeMass(x int) int64 {
+	i := int(int32(x) - s.base)
+	if i < 0 || i >= len(s.degMass) {
+		return 0
+	}
+	return s.degMass[i]
+}
+
+// PiMass returns π(A_x) = DegreeMass(x)/2m.
+func (s *State) PiMass(x int) float64 {
+	return float64(s.DegreeMass(x)) / float64(s.g.DegreeSum())
+}
+
+// Sum returns S_raw(t) = Σ_v X_v(t); S(t) in the paper. Exactly
+// conserved in expectation by the edge process (Lemma 3(i)).
+func (s *State) Sum() int64 { return s.sum }
+
+// DegSum returns Σ_v d(v)·X_v(t) = 2m·Z(t)/n. Exactly conserved in
+// expectation by the vertex process (Lemma 3(ii)).
+func (s *State) DegSum() int64 { return s.degSum }
+
+// Average returns the simple average opinion S(t)/n.
+func (s *State) Average() float64 {
+	return float64(s.sum) / float64(s.N())
+}
+
+// WeightedAverage returns the degree-weighted average
+// Σ_v π_v X_v = DegSum/2m (the paper's Z(t)/n).
+func (s *State) WeightedAverage() float64 {
+	return float64(s.degSum) / float64(s.g.DegreeSum())
+}
+
+// Steps returns the number of asynchronous steps performed so far
+// (every scheduler invocation counts, including no-op steps where the
+// chosen vertices agreed — matching the paper's step counting).
+func (s *State) Steps() int64 { return s.steps }
+
+// Consensus reports whether all vertices hold the same opinion, and if
+// so which one.
+func (s *State) Consensus() (opinion int, ok bool) {
+	if s.minIdx == s.maxIdx {
+		return int(s.base) + s.minIdx, true
+	}
+	return 0, false
+}
+
+// Support appends the currently held opinions in ascending order to
+// dst and returns it.
+func (s *State) Support(dst []int) []int {
+	for i := s.minIdx; i <= s.maxIdx; i++ {
+		if s.counts[i] > 0 {
+			dst = append(dst, int(s.base)+i)
+		}
+	}
+	return dst
+}
+
+// SetOpinion sets vertex v's opinion to x, maintaining every aggregate
+// in O(1) amortized (the extreme pointers only ever move inward over a
+// run, by the paper's range-contraction property). It panics if x lies
+// outside the current [Min,Max] opinion range, since no dynamics in
+// this repository may widen the range.
+func (s *State) SetOpinion(v int, x int) {
+	old := s.opinions[v]
+	nw := int32(x)
+	if nw == old {
+		return
+	}
+	i := int(nw - s.base)
+	if i < s.minIdx || i > s.maxIdx {
+		panic(fmt.Sprintf("core: SetOpinion(%d,%d) outside current range [%d,%d]",
+			v, x, s.Min(), s.Max()))
+	}
+	j := int(old - s.base)
+	d := int64(s.g.Degree(v))
+	s.opinions[v] = nw
+	if s.counts[i] == 0 {
+		s.support++
+		s.supVer++
+	}
+	s.counts[i]++
+	s.degMass[i] += d
+	s.counts[j]--
+	s.degMass[j] -= d
+	if s.counts[j] == 0 {
+		s.support--
+		s.supVer++
+	}
+	s.sum += int64(nw) - int64(old)
+	s.degSum += d * (int64(nw) - int64(old))
+	// Extremes move inward only when an extreme cell empties.
+	for s.minIdx < s.maxIdx && s.counts[s.minIdx] == 0 {
+		s.minIdx++
+	}
+	for s.maxIdx > s.minIdx && s.counts[s.maxIdx] == 0 {
+		s.maxIdx--
+	}
+}
+
+// countStep increments the step counter; called by the schedulers.
+func (s *State) countStep() { s.steps++ }
+
+// CheckInvariants recomputes every aggregate from scratch and returns
+// an error describing the first inconsistency, for tests and debugging.
+func (s *State) CheckInvariants() error {
+	counts := make([]int64, len(s.counts))
+	degMass := make([]int64, len(s.degMass))
+	var sum, degSum int64
+	for v, x := range s.opinions {
+		i := int(x - s.base)
+		if i < 0 || i >= len(counts) {
+			return fmt.Errorf("core: opinion %d of vertex %d outside window", x, v)
+		}
+		counts[i]++
+		d := int64(s.g.Degree(v))
+		degMass[i] += d
+		sum += int64(x)
+		degSum += d * int64(x)
+	}
+	support := 0
+	for i := range counts {
+		if counts[i] != s.counts[i] {
+			return fmt.Errorf("core: counts[%d]=%d, recomputed %d", i, s.counts[i], counts[i])
+		}
+		if degMass[i] != s.degMass[i] {
+			return fmt.Errorf("core: degMass[%d]=%d, recomputed %d", i, s.degMass[i], degMass[i])
+		}
+		if counts[i] > 0 {
+			support++
+		}
+	}
+	if support != s.support {
+		return fmt.Errorf("core: support=%d, recomputed %d", s.support, support)
+	}
+	if sum != s.sum {
+		return fmt.Errorf("core: sum=%d, recomputed %d", s.sum, sum)
+	}
+	if degSum != s.degSum {
+		return fmt.Errorf("core: degSum=%d, recomputed %d", s.degSum, degSum)
+	}
+	if s.counts[s.minIdx] == 0 || s.counts[s.maxIdx] == 0 {
+		return fmt.Errorf("core: extreme pointer at empty cell (min=%d max=%d)", s.minIdx, s.maxIdx)
+	}
+	for i := 0; i < s.minIdx; i++ {
+		if s.counts[i] != 0 {
+			return fmt.Errorf("core: occupied cell %d below minIdx %d", i, s.minIdx)
+		}
+	}
+	for i := s.maxIdx + 1; i < len(s.counts); i++ {
+		if s.counts[i] != 0 {
+			return fmt.Errorf("core: occupied cell %d above maxIdx %d", i, s.maxIdx)
+		}
+	}
+	return nil
+}

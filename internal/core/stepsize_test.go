@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestIncrementalStepName(t *testing.T) {
+	if got := (IncrementalStep{S: 4}).Name(); got != "div-step-4" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestIncrementalStepSemantics(t *testing.T) {
+	g := graph.Path(2)
+	tests := []struct {
+		name   string
+		s      int
+		xv, xw int
+		want   int
+	}{
+		{"unit up", 1, 2, 7, 3},
+		{"unit down", 1, 7, 2, 6},
+		{"big up clamps", 4, 2, 4, 4},
+		{"big up partial", 4, 2, 9, 6},
+		{"big down partial", 3, 9, 2, 6},
+		{"equal no-op", 5, 4, 4, 4},
+		{"zero step treated as one", 0, 2, 9, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			st := MustState(g, []int{tc.xv, tc.xw})
+			IncrementalStep{S: tc.s}.Step(st, nil, 0, 1)
+			if got := st.Opinion(0); got != tc.want {
+				t.Errorf("(%d toward %d, s=%d) = %d, want %d", tc.xv, tc.xw, tc.s, got, tc.want)
+			}
+			if st.Opinion(1) != tc.xw {
+				t.Error("observed vertex changed")
+			}
+		})
+	}
+}
+
+func TestIncrementalStepOneEqualsDIV(t *testing.T) {
+	// Driving identical schedules through both rules must produce
+	// identical trajectories.
+	g := graph.Complete(25)
+	r := rng.New(9)
+	init := UniformOpinions(25, 7, r)
+	a := MustState(g, init)
+	b := MustState(g, init)
+	schedR := rng.New(10)
+	for i := 0; i < 20000; i++ {
+		v := schedR.IntN(25)
+		w := g.Neighbor(v, schedR.IntN(24))
+		DIV{}.Step(a, nil, v, w)
+		IncrementalStep{S: 1}.Step(b, nil, v, w)
+	}
+	for v := 0; v < 25; v++ {
+		if a.Opinion(v) != b.Opinion(v) {
+			t.Fatalf("trajectories diverged at vertex %d: %d vs %d", v, a.Opinion(v), b.Opinion(v))
+		}
+	}
+}
+
+func TestIncrementalStepNeverOvershoots(t *testing.T) {
+	// Property: the update never crosses the observed value, so the
+	// range-contraction invariant survives any step size.
+	g := graph.Complete(30)
+	r := rng.New(11)
+	s := MustState(g, UniformOpinions(30, 12, r))
+	rule := IncrementalStep{S: 5}
+	for i := 0; i < 100000; i++ {
+		v := r.IntN(30)
+		w := g.Neighbor(v, r.IntN(29))
+		before := s.Opinion(v)
+		target := s.Opinion(w)
+		rule.Step(s, r, v, w)
+		after := s.Opinion(v)
+		if (before < target && (after > target || after < before)) ||
+			(before > target && (after < target || after > before)) {
+			t.Fatalf("overshoot: %d toward %d gave %d", before, target, after)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+// Synchronous-rounds DIV: an extension beyond the paper's asynchronous
+// model. In each round EVERY vertex (independently, unless made lazy)
+// samples one random neighbour and all vertices apply the DIV update
+// simultaneously against the pre-round snapshot.
+//
+// Pure synchrony can fail to converge: on K_2 with opinions {a, a+1}
+// the two vertices swap forever (a 2-periodic orbit), the classic
+// parity pathology of synchronous dynamics. The standard cure is
+// laziness — each vertex skips a round with probability Lazy — which
+// breaks the symmetry and restores convergence. The E16 experiment
+// demonstrates both halves.
+
+// SyncConfig describes a synchronous-rounds run.
+type SyncConfig struct {
+	// Graph is the (connected) interaction graph. Required.
+	Graph *graph.Graph
+	// Initial is the initial opinion per vertex. Required.
+	Initial []int
+	// Lazy is the probability a vertex skips a round (0 ≤ Lazy < 1).
+	// Lazy = 0 is pure synchrony, which may oscillate.
+	Lazy float64
+	// Seed seeds the run's private PCG stream.
+	Seed uint64
+	// MaxRounds caps the run. 0 means 400·n rounds (≈ the async step
+	// cap divided by the n updates a round performs).
+	MaxRounds int64
+}
+
+// SyncResult summarizes a synchronous run.
+type SyncResult struct {
+	// Winner is the consensus opinion; Consensus reports whether one
+	// was reached before MaxRounds.
+	Winner    int
+	Consensus bool
+	// Rounds is the number of rounds executed.
+	Rounds int64
+	// Updates counts individual opinion changes across all rounds.
+	Updates int64
+	// Oscillating is set when the run ended at MaxRounds with the
+	// final state identical to the state two rounds earlier — the
+	// signature of a period-2 orbit.
+	Oscillating bool
+	// FinalMin/FinalMax bound the surviving opinions.
+	FinalMin, FinalMax int
+	// InitialAverage and InitialWeightedAverage mirror Result.
+	InitialAverage         float64
+	InitialWeightedAverage float64
+}
+
+// RunSync executes synchronous-rounds DIV.
+func RunSync(cfg SyncConfig) (SyncResult, error) {
+	if cfg.Graph == nil {
+		return SyncResult{}, fmt.Errorf("core: SyncConfig.Graph is required")
+	}
+	g := cfg.Graph
+	n := g.N()
+	if len(cfg.Initial) != n {
+		return SyncResult{}, fmt.Errorf("core: %d initial opinions for %d vertices", len(cfg.Initial), n)
+	}
+	if g.MinDegree() == 0 {
+		return SyncResult{}, fmt.Errorf("core: synchronous DIV requires min degree >= 1")
+	}
+	if cfg.Lazy < 0 || cfg.Lazy >= 1 {
+		return SyncResult{}, fmt.Errorf("core: Lazy %v outside [0,1)", cfg.Lazy)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 400 * int64(n)
+	}
+
+	r := rng.New(cfg.Seed)
+	cur := make([]int32, n)
+	next := make([]int32, n)
+	prev2 := make([]int32, n) // state two rounds ago, for orbit detection
+	var res SyncResult
+	var sum, degSum int64
+	minOp, maxOp := cfg.Initial[0], cfg.Initial[0]
+	for v, x := range cfg.Initial {
+		cur[v] = int32(x)
+		sum += int64(x)
+		degSum += int64(g.Degree(v)) * int64(x)
+		if x < minOp {
+			minOp = x
+		}
+		if x > maxOp {
+			maxOp = x
+		}
+	}
+	res.InitialAverage = float64(sum) / float64(n)
+	res.InitialWeightedAverage = float64(degSum) / float64(g.DegreeSum())
+
+	uniform := func(xs []int32) (int32, bool) {
+		for _, x := range xs[1:] {
+			if x != xs[0] {
+				return 0, false
+			}
+		}
+		return xs[0], true
+	}
+
+	for res.Rounds < maxRounds {
+		if w, ok := uniform(cur); ok {
+			res.Consensus = true
+			res.Winner = int(w)
+			break
+		}
+		copy(prev2, next) // next currently holds the state one round ago
+		for v := 0; v < n; v++ {
+			xv := cur[v]
+			if cfg.Lazy > 0 && rng.Bernoulli(r, cfg.Lazy) {
+				next[v] = xv
+				continue
+			}
+			w := g.Neighbor(v, r.IntN(g.Degree(v)))
+			xw := cur[w]
+			switch {
+			case xv < xw:
+				next[v] = xv + 1
+				res.Updates++
+			case xv > xw:
+				next[v] = xv - 1
+				res.Updates++
+			default:
+				next[v] = xv
+			}
+		}
+		cur, next = next, cur
+		res.Rounds++
+	}
+	if !res.Consensus {
+		res.Oscillating = equal32(cur, prev2)
+	}
+	min, max := cur[0], cur[0]
+	for _, x := range cur {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	res.FinalMin, res.FinalMax = int(min), int(max)
+	return res, nil
+}
+
+func equal32(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestRunSyncValidation(t *testing.T) {
+	if _, err := RunSync(SyncConfig{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := graph.Complete(3)
+	if _, err := RunSync(SyncConfig{Graph: g, Initial: []int{1}}); err == nil {
+		t.Error("short initial accepted")
+	}
+	if _, err := RunSync(SyncConfig{Graph: g, Initial: []int{1, 2, 3}, Lazy: 1}); err == nil {
+		t.Error("Lazy = 1 accepted")
+	}
+	if _, err := RunSync(SyncConfig{Graph: g, Initial: []int{1, 2, 3}, Lazy: -0.1}); err == nil {
+		t.Error("negative Lazy accepted")
+	}
+	iso := graph.MustFromEdges(2, nil)
+	if _, err := RunSync(SyncConfig{Graph: iso, Initial: []int{1, 2}}); err == nil {
+		t.Error("isolated vertices accepted")
+	}
+}
+
+func TestRunSyncK2Oscillates(t *testing.T) {
+	// Pure synchrony on K_2 with adjacent opinions is the canonical
+	// period-2 orbit: the vertices swap forever.
+	g := graph.Complete(2)
+	res, err := RunSync(SyncConfig{
+		Graph:     g,
+		Initial:   []int{1, 2},
+		Lazy:      0,
+		Seed:      1,
+		MaxRounds: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consensus {
+		t.Fatal("pure synchrony on K_2 reached consensus")
+	}
+	if !res.Oscillating {
+		t.Error("period-2 orbit not detected")
+	}
+	if res.Rounds != 500 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestRunSyncLazyBreaksOscillation(t *testing.T) {
+	g := graph.Complete(2)
+	res, err := RunSync(SyncConfig{
+		Graph:   g,
+		Initial: []int{1, 2},
+		Lazy:    0.5,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("lazy synchronous DIV did not converge (rounds %d)", res.Rounds)
+	}
+	if res.Winner != 1 && res.Winner != 2 {
+		t.Errorf("winner %d", res.Winner)
+	}
+}
+
+func TestRunSyncImmediateConsensus(t *testing.T) {
+	g := graph.Complete(4)
+	res, err := RunSync(SyncConfig{Graph: g, Initial: []int{5, 5, 5, 5}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || res.Winner != 5 || res.Rounds != 0 {
+		t.Errorf("immediate consensus: %+v", res)
+	}
+}
+
+func TestRunSyncConvergesNearAverage(t *testing.T) {
+	// Lazy synchronous DIV on K_n should still land near the initial
+	// average (the per-round expected drift of S is zero on regular
+	// graphs).
+	const n, trials = 90, 40
+	g := graph.Complete(n)
+	r := rng.New(4)
+	init, err := BlockOpinions(n, []int{30, 0, 30, 0, 30}, r) // c = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunSync(SyncConfig{
+			Graph:   g,
+			Initial: init,
+			Lazy:    0.3,
+			Seed:    rng.DeriveSeed(5, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consensus {
+			t.Fatalf("trial %d: no consensus after %d rounds", trial, res.Rounds)
+		}
+		if res.Winner >= 2 && res.Winner <= 4 {
+			good++
+		}
+	}
+	if good < trials*3/4 {
+		t.Errorf("only %d/%d runs landed within ±1 of the average 3", good, trials)
+	}
+}
+
+func TestRunSyncRangeNeverWidens(t *testing.T) {
+	g := graph.Cycle(20)
+	r := rng.New(6)
+	init := UniformOpinions(20, 6, r)
+	res, err := RunSync(SyncConfig{Graph: g, Initial: init, Lazy: 0.2, Seed: 7, MaxRounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := init[0], init[0]
+	for _, x := range init {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if res.FinalMin < min || res.FinalMax > max {
+		t.Errorf("range widened: [%d,%d] from [%d,%d]", res.FinalMin, res.FinalMax, min, max)
+	}
+}
+
+func TestRunSyncDeterministic(t *testing.T) {
+	g := graph.Complete(20)
+	r := rng.New(8)
+	init := UniformOpinions(20, 4, r)
+	cfg := SyncConfig{Graph: g, Initial: init, Lazy: 0.25, Seed: 9}
+	a, err := RunSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Winner != b.Winner || a.Rounds != b.Rounds || a.Updates != b.Updates {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunSyncAverageDriftSmall(t *testing.T) {
+	// On a regular graph the per-round expected change of S is zero;
+	// over many trials the mean final S should track the initial S.
+	const n, trials = 64, 200
+	g := graph.Torus(8, 8)
+	r := rng.New(10)
+	init := UniformOpinions(n, 5, r)
+	var s0 int
+	for _, x := range init {
+		s0 += x
+	}
+	var final float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunSync(SyncConfig{
+			Graph:   g,
+			Initial: init,
+			Lazy:    0.3,
+			Seed:    rng.DeriveSeed(11, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consensus {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		final += float64(res.Winner)
+	}
+	meanWinner := final / trials
+	c := float64(s0) / n
+	if math.Abs(meanWinner-c) > 0.5 {
+		t.Errorf("mean winner %.3f vs initial average %.3f", meanWinner, c)
+	}
+}

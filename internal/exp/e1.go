@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sim"
+	"div/internal/spectral"
+	"div/internal/stats"
+)
+
+// E1WinnerDistribution reproduces Theorem 2 on the paper's three
+// expander families (K_n, random d-regular, G(n,p)): with opinions from
+// [k] and initial average c, the consensus value is ⌊c⌋ with
+// probability ~ ⌈c⌉-c and ⌈c⌉ with probability ~ c-⌊c⌋.
+//
+// The initial profile pins c = 4.3 exactly, so the predicted split is
+// P[4] = 0.7, P[5] = 0.3.
+func E1WinnerDistribution(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{ID: "E1", Name: "winner distribution (Theorem 2)"}
+
+	n := p.pick(150, 400)
+	k := 8
+	const target = 4.3
+	trials := p.pick(300, 1500)
+
+	gr := rng.New(rng.DeriveSeed(p.Seed, 0xe1))
+	d := p.pick(16, 24)
+	regular, err := graph.RandomRegular(n, d, gr)
+	if err != nil {
+		return nil, err
+	}
+	gnpP := math.Max(0.1, 4*math.Log(float64(n))/float64(n))
+	gnp, err := graph.ConnectedGnp(n, gnpP, gr, 100)
+	if err != nil {
+		return nil, err
+	}
+	graphs := []*graph.Graph{graph.Complete(n), regular, gnp}
+
+	counts, err := profileWithMean(n, k, target)
+	if err != nil {
+		return nil, err
+	}
+	c := meanOfCounts(counts)
+	lo, hi := roundedPair(c)
+	qPred := c - float64(lo) // P[⌈c⌉]
+
+	tbl := sim.NewTable(
+		fmt.Sprintf("E1: DIV winner distribution, k=%d, c=%.3f (predict P[%d]=%.3f, P[%d]=%.3f)", k, c, lo, 1-qPred, hi, qPred),
+		"graph", "n", "lambda", "trials", "frac winner in {lo,hi}", "P[hi] measured", "P[hi] predicted", "z",
+	)
+
+	for gi, g := range graphs {
+		lam, err := spectral.Lambda(g, spectral.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E1: λ(%v): %w", g, err)
+		}
+		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x100+gi)), p.Parallelism,
+			func(trial int, seed uint64) (int, error) {
+				r := rng.New(seed)
+				init, err := core.BlockOpinions(n, counts, r)
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.Run(core.Config{
+					Graph:   g,
+					Initial: init,
+					Process: core.VertexProcess,
+					Seed:    rng.SplitMix64(seed),
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Consensus {
+					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+				}
+				return res.Winner, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		inPair, hits := 0, 0
+		for _, w := range winners {
+			if isRoundedAverage(w, c) {
+				inPair++
+			}
+			if w == hi {
+				hits++
+			}
+		}
+		frac := float64(inPair) / float64(trials)
+		pHi := float64(hits) / float64(inPair)
+		z := stats.BinomialZ(hits, inPair, qPred)
+		tbl.AddRow(g.Name(), n, lam, trials, frac, pHi, qPred, z)
+
+		rep.check(frac >= 0.95,
+			fmt.Sprintf("rounded-average winner on %s", g.Name()),
+			"winner ∈ {⌊c⌋,⌈c⌉} in %.1f%% of %d trials (want ≥ 95%%)", 100*frac, trials)
+		rep.check(math.Abs(z) <= 5,
+			fmt.Sprintf("winner split on %s", g.Name()),
+			"P[⌈c⌉] = %.3f vs predicted %.3f (z=%.2f, want |z| ≤ 5)", pHi, qPred, z)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.note("Theorem 2 asserts the split asymptotically (c' ~ c); the finite-n drift of the weight martingale adds O(√T/n) slack absorbed by the z threshold.")
+	return rep, nil
+}

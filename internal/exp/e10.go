@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sim"
+	"div/internal/stats"
+)
+
+// E10EdgeVsVertex reproduces the footnote and Remark 1: "the edge
+// process returns a simple average while the vertex process returns a
+// degree weighted average" — and the two coincide only on (near-)
+// regular graphs.
+//
+// On irregular graphs with degree-correlated opinions the two targets
+// separate by several opinion values. The sharpest check exploits the
+// optional-stopping consequence of Lemma 3, valid on EVERY connected
+// graph: E[winner] equals the initial simple average under the edge
+// process and the initial degree-weighted average under the vertex
+// process, exactly.
+func E10EdgeVsVertex(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{ID: "E10", Name: "edge vs vertex process (Remark 1)"}
+	trials := p.pick(300, 1000)
+
+	r := rng.New(rng.DeriveSeed(p.Seed, 0xe10))
+
+	// Scenario A: Barabási–Albert graph, hubs opinionated high.
+	nB := p.pick(150, 400)
+	gB, err := graph.BarabasiAlbert(nB, 4, r)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, nB)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool { return gB.Degree(order[i]) > gB.Degree(order[j]) })
+	initBA, err := core.PlantedSetOpinions(nB, order[:nB/4], 9, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scenario B: star, centre opinionated high (assumptions of
+	// Theorem 2 fail — π_max = 1/2 — but Lemma 3's expectation claim
+	// still binds exactly).
+	nS := p.pick(101, 201)
+	gS := graph.Star(nS)
+	initStar := make([]int, nS)
+	initStar[0] = 5
+	for v := 1; v < nS; v++ {
+		initStar[v] = 1
+	}
+
+	tbl := sim.NewTable(
+		"E10: consensus value vs the process's conserved average",
+		"graph", "process", "target avg", "mean winner", "stderr", "|z|", "winner histogram",
+	)
+
+	type scen struct {
+		g    *graph.Graph
+		init []int
+		tag  string
+	}
+	var meanWinner [2]map[string]float64
+	meanWinner[0] = map[string]float64{}
+	meanWinner[1] = map[string]float64{}
+	scens := []scen{{gB, initBA, "BA"}, {gS, initStar, "star"}}
+	for si, sc := range scens {
+		st := core.MustState(sc.g, sc.init)
+		targets := map[core.Process]float64{
+			core.EdgeProcess:   st.Average(),
+			core.VertexProcess: st.WeightedAverage(),
+		}
+		for pi, proc := range []core.Process{core.EdgeProcess, core.VertexProcess} {
+			winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0xa00+10*si+pi)), p.Parallelism,
+				func(trial int, seed uint64) (float64, error) {
+					res, err := core.Run(core.Config{
+						Graph:   sc.g,
+						Initial: sc.init,
+						Process: proc,
+						Seed:    seed,
+					})
+					if err != nil {
+						return 0, err
+					}
+					if !res.Consensus {
+						return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+					}
+					return float64(res.Winner), nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			s := stats.Summarize(winners)
+			h := stats.NewIntHistogram()
+			for _, w := range winners {
+				h.Add(int(w))
+			}
+			target := targets[proc]
+			z := 0.0
+			if s.Stderr() > 0 {
+				z = (s.Mean - target) / s.Stderr()
+			}
+			meanWinner[pi][sc.tag] = s.Mean
+			tbl.AddRow(sc.g.Name(), proc.String(), target, s.Mean, s.Stderr(), math.Abs(z), h.String())
+			rep.check(math.Abs(z) <= 5,
+				fmt.Sprintf("E[winner] = conserved average (%s, %s)", sc.tag, proc),
+				"mean winner %.3f vs target %.3f (|z| = %.2f, want ≤ 5; optional stopping on Lemma 3)", s.Mean, target, math.Abs(z))
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+
+	sepBA := meanWinner[1]["BA"] - meanWinner[0]["BA"]
+	rep.check(sepBA >= 1,
+		"processes separate on irregular graphs",
+		"BA graph: mean winner differs by %.2f opinion values between vertex (degree-weighted) and edge (simple) processes", sepBA)
+	rep.note("On the star the spread of winners is wide (π_max = 1/2 breaks Theorem 2's concentration), but the expectation identity holds exactly — the experiment separates Lemma 3 from Theorem 2.")
+	return rep, nil
+}

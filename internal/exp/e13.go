@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sim"
+	"div/internal/spectral"
+	"div/internal/textplot"
+)
+
+// E13LambdaKThreshold maps the boundary of Theorem 2's hypothesis
+// λk = o(1): across graph families spanning λ from 1/n to ≈1, with k
+// fixed, the probability that the consensus lands on {⌊c⌋, ⌈c⌉}
+// degrades as λk grows — sharply so under adversarial contiguous
+// placement of opinions, which is what the known counterexamples use.
+//
+// For each family the experiment reports λ, λk, and the accuracy under
+// (a) uniformly shuffled and (b) contiguous-block initial placement.
+func E13LambdaKThreshold(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{ID: "E13", Name: "accuracy across the λk threshold"}
+	k := 10
+	trials := p.pick(60, 250)
+	r := rng.New(rng.DeriveSeed(p.Seed, 0xe13))
+
+	var graphs []*graph.Graph
+	nBig := p.pick(120, 240)
+	nSmall := p.pick(48, 96)
+	graphs = append(graphs, graph.Complete(nBig))
+	for _, d := range []int{32, 8, 4} {
+		g, err := graph.RandomRegular(nBig, d, r)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g)
+	}
+	side := 1
+	for side*side < nSmall {
+		side++
+	}
+	if side%2 == 0 {
+		side++
+	}
+	graphs = append(graphs, graph.Torus(side, side))
+	oddSmall := nSmall + 1 - nSmall%2
+	graphs = append(graphs, graph.Cycle(oddSmall))
+
+	type row struct {
+		name                    string
+		n                       int
+		lambda, lambdaK         float64
+		accShuffled, accBlocked float64
+	}
+	rows := make([]row, 0, len(graphs))
+	for gi, g := range graphs {
+		lam, err := spectral.Lambda(g, spectral.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E13: λ(%v): %w", g, err)
+		}
+		n := g.N()
+		blockInit := make([]int, n)
+		span := (n + k - 1) / k
+		for v := 0; v < n; v++ {
+			blockInit[v] = 1 + v/span
+			if blockInit[v] > k {
+				blockInit[v] = k
+			}
+		}
+		acc := func(shuffle bool, stream uint64) (float64, error) {
+			good, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, stream), p.Parallelism,
+				func(trial int, seed uint64) (int, error) {
+					rr := rng.New(seed)
+					init := append([]int(nil), blockInit...)
+					if shuffle {
+						rng.Shuffle(rr, init)
+					}
+					st := core.MustState(g, init)
+					c := st.WeightedAverage()
+					res, err := core.Run(core.Config{
+						Graph:    g,
+						Initial:  init,
+						Process:  core.VertexProcess,
+						MaxSteps: 500 * int64(n) * int64(n),
+						Seed:     rng.SplitMix64(seed),
+					})
+					if err != nil {
+						return 0, err
+					}
+					if !res.Consensus {
+						return 0, fmt.Errorf("%v: no consensus after %d steps", g, res.Steps)
+					}
+					if isRoundedAverage(res.Winner, c) {
+						return 1, nil
+					}
+					return 0, nil
+				})
+			if err != nil {
+				return 0, err
+			}
+			hits := 0
+			for _, x := range good {
+				hits += x
+			}
+			return float64(hits) / float64(trials), nil
+		}
+		aS, err := acc(true, uint64(0xd00+2*gi))
+		if err != nil {
+			return nil, err
+		}
+		aB, err := acc(false, uint64(0xd00+2*gi+1))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{g.Name(), n, lam, lam * float64(k), aS, aB})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].lambdaK < rows[j].lambdaK })
+	tbl := sim.NewTable(
+		fmt.Sprintf("E13: P[winner ∈ {⌊c⌋,⌈c⌉}] vs λk (k=%d, DIV vertex process)", k),
+		"graph", "n", "lambda", "lambda*k", "acc (shuffled)", "acc (contiguous blocks)",
+	)
+	var xs, ys []float64
+	for _, rw := range rows {
+		tbl.AddRow(rw.name, rw.n, rw.lambda, rw.lambdaK, rw.accShuffled, rw.accBlocked)
+		xs = append(xs, rw.lambdaK)
+		ys = append(ys, rw.accBlocked)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+
+	plot := textplot.New(60, 12)
+	plot.Title = "E13 figure: accuracy (contiguous placement) vs λk"
+	plot.XLabel = "λk (log)"
+	plot.YLabel = "P[winner ∈ {⌊c⌋,⌈c⌉}]"
+	plot.LogX = true
+	if err := plot.Add('o', xs, ys); err != nil {
+		return nil, err
+	}
+	rep.Figures = append(rep.Figures, plot.Render())
+
+	best, worst := rows[0], rows[len(rows)-1]
+	rep.check(best.accBlocked >= 0.9,
+		"small λk: accurate even under adversarial placement",
+		"%s (λk=%.3f): blocked accuracy %.2f", best.name, best.lambdaK, best.accBlocked)
+	rep.check(worst.accBlocked <= best.accBlocked-0.12,
+		"large λk: guarantee degrades",
+		"%s (λk=%.2f): blocked accuracy %.2f vs %.2f at λk=%.3f", worst.name, worst.lambdaK, worst.accBlocked, best.accBlocked, best.lambdaK)
+	rep.note("Shuffled placement is kind even to poor expanders — the known failures (and [13]'s counterexample) need structured placement, which the 'contiguous blocks' column supplies.")
+	return rep, nil
+}

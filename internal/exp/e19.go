@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"div/internal/baseline"
+	"div/internal/coalesce"
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sim"
+	"div/internal/stats"
+)
+
+// E19CoalescingDuality verifies the classical duality behind the
+// consensus-time results the paper builds on: running asynchronous pull
+// voting backwards in time, the opinion lineages are coalescing random
+// walks. Concretely, with all-distinct initial opinions, the
+// vertex-process pull-voting consensus time and the vertex-clock
+// coalescing time are equal IN DISTRIBUTION on every graph — not just
+// in expectation — and the winning opinion is the surviving particle's
+// origin, uniform on regular graphs.
+//
+// Checked with a two-sample Kolmogorov–Smirnov test on K_n and on the
+// cycle (two very different time scales), plus a chi-square uniformity
+// test of the survivor origin.
+func E19CoalescingDuality(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{ID: "E19", Name: "pull voting ↔ coalescing walks duality"}
+	trials := p.pick(300, 800)
+
+	tbl := sim.NewTable(
+		"E19: consensus time (pull voting, distinct opinions) vs vertex-clock coalescing time",
+		"graph", "trials", "mean τ_cons", "mean τ_coal", "ratio", "KS distance", "KS threshold",
+	)
+
+	graphs := []*graph.Graph{
+		graph.Complete(p.pick(40, 80)),
+		graph.Cycle(p.pick(24, 40)),
+	}
+	for gi, g := range graphs {
+		n := g.N()
+		init := make([]int, n)
+		for v := range init {
+			init[v] = v + 1
+		}
+		consT, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1900+gi)), p.Parallelism,
+			func(trial int, seed uint64) (float64, error) {
+				res, err := core.Run(core.Config{
+					Graph:    g,
+					Initial:  init,
+					Process:  core.VertexProcess,
+					Rule:     baseline.Pull{},
+					MaxSteps: 5000 * int64(n) * int64(n),
+					Seed:     seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Consensus {
+					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+				}
+				return float64(res.Steps), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		coalT, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1920+gi)), p.Parallelism,
+			func(trial int, seed uint64) (float64, error) {
+				sys, err := coalesce.New(g)
+				if err != nil {
+					return 0, err
+				}
+				steps, err := sys.RunToOneVertexClock(5000*int64(n)*int64(n), rng.New(seed))
+				if err != nil {
+					return 0, err
+				}
+				return float64(steps), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sc := stats.Summarize(consT)
+		sl := stats.Summarize(coalT)
+		ks, err := stats.KS2Sample(consT, coalT)
+		if err != nil {
+			return nil, err
+		}
+		// Two-sample KS 0.1%-level critical value: 1.95·√(2/trials).
+		thresh := 1.95 * sqrt2Over(trials)
+		tbl.AddRow(g.Name(), trials, sc.Mean, sl.Mean, sc.Mean/sl.Mean, ks, thresh)
+		rep.check(ks <= thresh,
+			fmt.Sprintf("equality in distribution on %s", g.Name()),
+			"two-sample KS distance %.4f ≤ %.4f (α = 0.001) between τ_cons and τ_coal over %d+%d trials", ks, thresh, trials, trials)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+
+	// Survivor origin uniform on a regular graph.
+	gU := graph.Cycle(p.pick(15, 24))
+	counts := make([]int64, gU.N())
+	originTrials := p.pick(1500, 5000)
+	origins, err := sim.Trials(originTrials, rng.DeriveSeed(p.Seed, 0x1950), p.Parallelism,
+		func(trial int, seed uint64) (int, error) {
+			sys, err := coalesce.New(gU)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := sys.RunToOneVertexClock(1<<40, rng.New(seed)); err != nil {
+				return 0, err
+			}
+			origin, ok := sys.Survivor()
+			if !ok {
+				return 0, fmt.Errorf("no survivor")
+			}
+			return origin, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range origins {
+		counts[o]++
+	}
+	expected := make([]float64, gU.N())
+	for i := range expected {
+		expected[i] = float64(originTrials) / float64(gU.N())
+	}
+	chi2, dof, err := stats.ChiSquare(counts, expected)
+	if err != nil {
+		return nil, err
+	}
+	// χ² mean = dof, sd = √(2·dof); allow 5 sd.
+	limit := float64(dof) + 5*math.Sqrt(2*float64(dof))
+	rep.check(chi2 <= limit,
+		"survivor origin uniform on regular graphs",
+		"χ² = %.1f on %d dof over %d runs (limit %.1f) — the dual statement of eq. (3)'s P[i wins] = N_i/n", chi2, dof, originTrials, limit)
+	rep.note("Duality: reversing the update sequence turns 'v copies a random neighbour' into 'the particle at v moves to a random neighbour'; coalescence of all lineages is exactly consensus.")
+	return rep, nil
+}
+
+func sqrt2Over(n int) float64 { return math.Sqrt(2 / float64(n)) }

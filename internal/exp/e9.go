@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sim"
+	"div/internal/stats"
+)
+
+// E9PathCounterexample reproduces the negative result quoted from [13]
+// (Theorem 3 there): when λk = Ω(1) — the path has λ = 1 - O(1/n²) —
+// an opinion other than ⌊c⌋/⌈c⌉ can win with constant probability.
+//
+// The path carries three contiguous blocks 1|2|3 with proportions
+// 40/30/30, so c = 1.9 and Theorem 2's target is {1,2}; opinion 3 is
+// the off-average outcome. On the path the block interfaces perform
+// random walks and 3 wins with constant probability; the same
+// proportions shuffled onto a complete graph push P[3 wins] to ≈ 0,
+// isolating expansion as the operative assumption.
+func E9PathCounterexample(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rep := &Report{ID: "E9", Name: "path counterexample ([13] Thm 3)"}
+
+	nPath := p.pick(20, 30)
+	nK := p.pick(150, 240)
+	trials := p.pick(300, 800)
+
+	blocks := func(n int) []int {
+		init := make([]int, n)
+		b1 := 2 * n / 5
+		b2 := b1 + 3*n/10
+		for v := 0; v < n; v++ {
+			switch {
+			case v < b1:
+				init[v] = 1
+			case v < b2:
+				init[v] = 2
+			default:
+				init[v] = 3
+			}
+		}
+		return init
+	}
+
+	run := func(g *graph.Graph, shuffle bool, stream uint64) (*stats.IntHistogram, float64, error) {
+		n := g.N()
+		base := blocks(n)
+		c := core.MustState(g, base).Average()
+		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, stream), p.Parallelism,
+			func(trial int, seed uint64) (int, error) {
+				r := rng.New(seed)
+				init := append([]int(nil), base...)
+				if shuffle {
+					rng.Shuffle(r, init)
+				}
+				res, err := core.Run(core.Config{
+					Graph:    g,
+					Initial:  init,
+					Process:  core.VertexProcess,
+					MaxSteps: 400 * int64(n) * int64(n) * int64(n), // path consensus is Θ(n³)-ish
+					Seed:     rng.SplitMix64(seed),
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Consensus {
+					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+				}
+				return res.Winner, nil
+			})
+		if err != nil {
+			return nil, 0, err
+		}
+		h := stats.NewIntHistogram()
+		for _, w := range winners {
+			h.Add(w)
+		}
+		return h, c, nil
+	}
+
+	pathHist, cPath, err := run(graph.Path(nPath), false, 0x900)
+	if err != nil {
+		return nil, err
+	}
+	completeHist, cK, err := run(graph.Complete(nK), true, 0x901)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := sim.NewTable(
+		"E9: winner with blocks 1|2|3 (40/30/30) — contiguous on the path vs shuffled on K_n",
+		"graph", "c", "trials", "P[1 wins]", "P[2 wins]", "P[3 wins] (off-average)",
+	)
+	tbl.AddRow(fmt.Sprintf("path(%d), contiguous", nPath), cPath, trials,
+		pathHist.Proportion(1), pathHist.Proportion(2), pathHist.Proportion(3))
+	tbl.AddRow(fmt.Sprintf("complete(%d), shuffled", nK), cK, trials,
+		completeHist.Proportion(1), completeHist.Proportion(2), completeHist.Proportion(3))
+	rep.Tables = append(rep.Tables, tbl)
+
+	pOff := pathHist.Proportion(3)
+	cOff := completeHist.Proportion(3)
+	rep.check(pOff >= 0.1,
+		"off-average opinion wins on the path",
+		"P[3 wins] = %.3f despite c = %.2f (target {1,2})", pOff, cPath)
+	rep.check(cOff <= 0.08,
+		"expander restores the guarantee",
+		"on K_%d the off-average opinion won only %.1f%% of runs", nK, 100*cOff)
+	rep.check(pOff > cOff+0.08,
+		"expansion is the operative assumption",
+		"off-average win rate: path %.1f%% vs K_n %.1f%%", 100*pOff, 100*cOff)
+	rep.note("The path has λ = 1 - Θ(1/n²): λk = Ω(1) violates Theorem 2's hypothesis, and the contiguous-block profile realizes [13]'s counterexample.")
+	return rep, nil
+}

@@ -1,0 +1,136 @@
+// Package exp implements the repository's experiment suite E1–E19: one
+// experiment per theorem, lemma, closed-form probability, or worked
+// example in the paper (plus the E14 distributed-deployment extension).
+// DESIGN.md §3 is the index. Each experiment produces text tables (and
+// the scaling ones ASCII figures), together with named pass/fail checks
+// asserted by the integration tests, so "paper claim vs. measured"
+// lives in code rather than prose.
+//
+// Every experiment accepts Params and respects Quick mode, which
+// scales sizes down to seconds for use in `go test` and `go test
+// -bench`; the full mode behind `divbench -full` uses larger n and
+// trial counts.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"div/internal/sim"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Quick selects reduced sizes/trials (seconds instead of minutes).
+	Quick bool
+	// Seed is the master seed; every trial derives from it.
+	Seed uint64
+	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 0x5eed
+	}
+	return p
+}
+
+// pick returns quick in Quick mode and full otherwise.
+func (p Params) pick(quick, full int) int {
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+// Check is a named verdict comparing a paper claim against measurement.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Name   string
+	Tables []*sim.Table
+	// Figures holds pre-rendered ASCII plots.
+	Figures []string
+	Checks  []Check
+	Notes   []string
+}
+
+// Failed returns the failing checks.
+func (r *Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Report) check(pass bool, name, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Func runs one experiment.
+type Func func(Params) (*Report, error)
+
+// Def pairs an experiment with its metadata.
+type Def struct {
+	ID   string
+	Name string
+	Run  Func
+}
+
+// All lists every experiment in index order.
+var All = []Def{
+	{"E1", "winner distribution (Theorem 2)", E1WinnerDistribution},
+	{"E2", "reduction time scaling (Theorem 1, eq. 4)", E2ReductionTime},
+	{"E3", "weight martingales (Lemma 3)", E3Martingale},
+	{"E4", "two-opinion pull voting (eq. 3)", E4TwoOpinionPull},
+	{"E5", "Azuma concentration (eq. 5)", E5Concentration},
+	{"E6", "stage evolution (intro example)", E6StageEvolution},
+	{"E7", "mode/median/mean separation", E7ModeMedianMean},
+	{"E8", "DIV vs load-balancing averaging [5]", E8LoadBalancing},
+	{"E9", "path counterexample ([13] Thm 3)", E9PathCounterexample},
+	{"E10", "edge vs vertex process (Remark 1)", E10EdgeVsVertex},
+	{"E11", "second eigenvalues of example families", E11Eigenvalues},
+	{"E12", "extreme-opinion elimination (Lemmas 10-14)", E12ExtremeElimination},
+	{"E13", "accuracy across the λk threshold", E13LambdaKThreshold},
+	{"E14", "distributed message-passing deployment", E14Distributed},
+	{"E15", "step-size ablation (DIV → pull)", E15StepSizeAblation},
+	{"E16", "synchronous rounds (extension)", E16Synchronous},
+	{"E17", "push vs pull: which average survives", E17PushPull},
+	{"E18", "zealots / stubborn vertices (extension)", E18Zealots},
+	{"E19", "pull voting ↔ coalescing walks duality", E19CoalescingDuality},
+}
+
+// ByID returns the experiment definition with the given ID.
+func ByID(id string) (Def, error) {
+	for _, d := range All {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Def{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// roundedPair returns ⌊c⌋ and ⌈c⌉.
+func roundedPair(c float64) (int, int) {
+	return int(math.Floor(c)), int(math.Ceil(c))
+}
+
+// isRoundedAverage reports whether winner ∈ {⌊c⌋, ⌈c⌉}.
+func isRoundedAverage(winner int, c float64) bool {
+	lo, hi := roundedPair(c)
+	return winner == lo || winner == hi
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsQuick runs every experiment end-to-end in Quick mode
+// and asserts that all paper-claim checks pass. This is the
+// repository's primary integration test: it exercises graphs, spectral
+// analysis, the core process, baselines, netsim, and the harness
+// against the paper's predictions in one sweep.
+func TestExperimentsQuick(t *testing.T) {
+	for _, d := range All {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := d.Run(Params{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", d.ID, err)
+			}
+			if rep.ID != d.ID {
+				t.Errorf("report ID %q, want %q", rep.ID, d.ID)
+			}
+			if len(rep.Checks) == 0 {
+				t.Errorf("%s produced no checks", d.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Errorf("%s produced no tables", d.ID)
+			}
+			for _, c := range rep.Failed() {
+				t.Errorf("%s check %q failed: %s", d.ID, c.Name, c.Detail)
+			}
+			for _, tbl := range rep.Tables {
+				if out := tbl.String(); !strings.Contains(out, d.ID) {
+					t.Errorf("%s table title %q does not carry the experiment ID", d.ID, tbl.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID("E5")
+	if err != nil || d.ID != "E5" {
+		t.Errorf("ByID(E5) = %+v, %v", d, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All {
+		if seen[d.ID] {
+			t.Errorf("duplicate experiment ID %s", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Run == nil {
+			t.Errorf("%s has nil Run", d.ID)
+		}
+		if d.Name == "" {
+			t.Errorf("%s has empty name", d.ID)
+		}
+	}
+}
+
+func TestProfileWithMean(t *testing.T) {
+	tests := []struct {
+		n, k   int
+		target float64
+	}{
+		{100, 8, 4.3},
+		{100, 8, 1.0},
+		{100, 8, 8.0},
+		{100, 2, 1.5},
+		{7, 5, 3.21},
+		{1000, 20, 7.77},
+	}
+	for _, tc := range tests {
+		counts, err := profileWithMean(tc.n, tc.k, tc.target)
+		if err != nil {
+			t.Errorf("profileWithMean(%d,%d,%v): %v", tc.n, tc.k, tc.target, err)
+			continue
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				t.Errorf("profileWithMean(%d,%d,%v) negative count: %v", tc.n, tc.k, tc.target, counts)
+			}
+			total += c
+		}
+		if total != tc.n {
+			t.Errorf("profileWithMean(%d,%d,%v) sums to %d", tc.n, tc.k, tc.target, total)
+		}
+		got := meanOfCounts(counts)
+		if math.Abs(got-tc.target) > 1.0/float64(tc.n)+1e-9 {
+			t.Errorf("profileWithMean(%d,%d,%v) mean = %v", tc.n, tc.k, tc.target, got)
+		}
+	}
+}
+
+func TestProfileWithMeanErrors(t *testing.T) {
+	if _, err := profileWithMean(10, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := profileWithMean(10, 5, 0.5); err == nil {
+		t.Error("target below 1 accepted")
+	}
+	if _, err := profileWithMean(10, 5, 9); err == nil {
+		t.Error("target above k accepted")
+	}
+}
+
+func TestMedianOfCounts(t *testing.T) {
+	tests := []struct {
+		counts []int
+		want   int
+	}{
+		{[]int{3, 0, 2}, 1},       // 1,1,1,3,3 -> median 1
+		{[]int{1, 3, 1}, 2},       // 1,2,2,2,3 -> 2
+		{[]int{2, 2}, 1},          // 1,1,2,2 -> lower median 1
+		{[]int{0, 0, 5}, 3},       // all 3s
+		{[]int{1, 1, 1, 1, 1}, 3}, // 1..5 -> 3
+	}
+	for _, tc := range tests {
+		if got := medianOfCounts(tc.counts); got != tc.want {
+			t.Errorf("medianOfCounts(%v) = %d, want %d", tc.counts, got, tc.want)
+		}
+	}
+}
+
+func TestRoundedHelpers(t *testing.T) {
+	lo, hi := roundedPair(4.3)
+	if lo != 4 || hi != 5 {
+		t.Errorf("roundedPair(4.3) = %d,%d", lo, hi)
+	}
+	lo, hi = roundedPair(6)
+	if lo != 6 || hi != 6 {
+		t.Errorf("roundedPair(6) = %d,%d", lo, hi)
+	}
+	if !isRoundedAverage(4, 4.3) || !isRoundedAverage(5, 4.3) || isRoundedAverage(6, 4.3) {
+		t.Error("isRoundedAverage wrong around 4.3")
+	}
+}
+
+func TestParamsPick(t *testing.T) {
+	q := Params{Quick: true}
+	f := Params{}
+	if q.pick(1, 2) != 1 || f.pick(1, 2) != 2 {
+		t.Error("pick wrong")
+	}
+	if q.withDefaults().Seed == 0 {
+		t.Error("withDefaults left zero seed")
+	}
+	withSeed := Params{Seed: 7}.withDefaults()
+	if withSeed.Seed != 7 {
+		t.Error("withDefaults clobbered explicit seed")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	rep := &Report{ID: "X"}
+	rep.check(true, "good", "fine %d", 1)
+	rep.check(false, "bad", "broken %s", "here")
+	rep.note("a note %d", 2)
+	if len(rep.Checks) != 2 || len(rep.Failed()) != 1 {
+		t.Errorf("checks %v", rep.Checks)
+	}
+	if rep.Failed()[0].Detail != "broken here" {
+		t.Errorf("detail %q", rep.Failed()[0].Detail)
+	}
+	if rep.Notes[0] != "a note 2" {
+		t.Errorf("note %q", rep.Notes[0])
+	}
+}

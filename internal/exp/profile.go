@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+)
+
+// profileWithMean builds exact opinion counts over {1..k} summing to n
+// whose average is exactly round(target·n)/n ≈ target. Mass sits at the
+// two extreme opinions (plus at most one interior value to absorb the
+// rounding residue), which is simultaneously the worst case for the
+// reduction phase and an exact pin on the initial average c that
+// Theorem 2's winner-split prediction is stated in terms of.
+func profileWithMean(n, k int, target float64) ([]int, error) {
+	if k < 2 || n < 1 {
+		return nil, fmt.Errorf("exp: profileWithMean needs k >= 2, n >= 1 (got k=%d n=%d)", k, n)
+	}
+	if target < 1 || target > float64(k) {
+		return nil, fmt.Errorf("exp: target mean %v outside [1,%d]", target, k)
+	}
+	total := int(math.Round(target * float64(n)))
+	if total < n {
+		total = n
+	}
+	if total > k*n {
+		total = k * n
+	}
+	counts := make([]int, k)
+	counts[0] = n
+	sum := n
+	// Bulk: move vertices 1 → k, each adds k-1 to the sum.
+	moves := (total - sum) / (k - 1)
+	if moves > counts[0] {
+		moves = counts[0]
+	}
+	counts[0] -= moves
+	counts[k-1] += moves
+	sum += moves * (k - 1)
+	// Residue: move one vertex 1 → 1+rem.
+	if rem := total - sum; rem > 0 {
+		if counts[0] == 0 {
+			// All mass at k already; pull one back instead: k → k-rem.
+			counts[k-1]--
+			counts[k-1-rem]++
+		} else {
+			counts[0]--
+			counts[rem]++
+		}
+	}
+	return counts, nil
+}
+
+// meanOfCounts returns the exact average opinion of a counts profile.
+func meanOfCounts(counts []int) float64 {
+	var sum, n int
+	for i, c := range counts {
+		sum += (i + 1) * c
+		n += c
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,173 @@
+package graph
+
+import "fmt"
+
+// BFS performs a breadth-first search from src and returns the distance
+// (in edges) to every vertex, with -1 for unreachable vertices.
+func BFS(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether g is connected. The empty graph and the
+// single vertex are connected by convention.
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := BFS(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of g as vertex lists,
+// ordered by smallest contained vertex.
+func Components(g *Graph) [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int32{int32(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, int(v))
+			for _, w := range g.Neighbors(int(v)) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Eccentricity returns the maximum BFS distance from v to any reachable
+// vertex, or an error if some vertex is unreachable.
+func Eccentricity(g *Graph, v int) (int, error) {
+	dist := BFS(g, v)
+	ecc := 0
+	for u, d := range dist {
+		if d == -1 {
+			return 0, fmt.Errorf("graph: vertex %d unreachable from %d", u, v)
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, nil
+}
+
+// Diameter returns the exact diameter by running a BFS from every
+// vertex: O(n·m). Intended for the modest sizes used in tests and
+// reports, not for the largest simulations.
+func Diameter(g *Graph) (int, error) {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		ecc, err := Eccentricity(g, v)
+		if err != nil {
+			return 0, err
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// IsBipartite reports whether g is 2-colourable. Bipartite graphs make
+// the random walk periodic (λ_n = -1), violating the paper's
+// aperiodicity assumption.
+func IsBipartite(g *Graph) bool {
+	color := make([]int8, g.N()) // 0 unseen, 1/2 sides
+	for s := 0; s < g.N(); s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		stack := []int32{int32(s)}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(int(v)) {
+				if color[w] == 0 {
+					color[w] = 3 - color[v]
+					stack = append(stack, w)
+				} else if color[w] == color[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// DegreeStats summarizes the degree sequence of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// PiMin and PiMax are the extreme stationary probabilities
+	// π_v = d(v)/2m; the paper assumes π_min = Θ(1/n).
+	PiMin, PiMax float64
+}
+
+// Degrees computes degree statistics. The graph must have at least one
+// edge for the stationary fields to be meaningful.
+func Degrees(g *Graph) DegreeStats {
+	s := DegreeStats{Min: g.MinDegree(), Max: g.MaxDegree()}
+	if g.N() > 0 {
+		s.Mean = float64(g.DegreeSum()) / float64(g.N())
+	}
+	if g.M() > 0 {
+		total := float64(g.DegreeSum())
+		s.PiMin = float64(s.Min) / total
+		s.PiMax = float64(s.Max) / total
+	}
+	return s
+}
+
+// Triangles returns the number of triangles in g, counted once each.
+// O(Σ_v d(v)²) via neighbourhood intersection; fine for test sizes.
+func Triangles(g *Graph) int64 {
+	var count int64
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if int(u) <= v {
+				continue
+			}
+			for _, w := range nb[i+1:] {
+				if g.HasEdge(int(u), int(w)) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

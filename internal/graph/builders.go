@@ -1,0 +1,244 @@
+package graph
+
+import "fmt"
+
+// Complete returns the complete graph K_n. The paper's strongest
+// expander example: λ = 1/(n-1).
+func Complete(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("complete(n=%d)", n))
+}
+
+// Path returns the path graph P_n (n-1 edges). The paper's canonical
+// non-expander: λ = 1 - O(1/n²), used in the E9 counterexample.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, Edge{U: v, V: v + 1})
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("path(n=%d)", n))
+}
+
+// Cycle returns the cycle graph C_n (n ≥ 3). λ = cos(π/n) for odd n
+// and 1 for even n (bipartite).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle requires n >= 3, got %d", n))
+	}
+	edges := make([]Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{U: v, V: (v + 1) % n})
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("cycle(n=%d)", n))
+}
+
+// Star returns the star K_{1,n-1} with centre 0. Maximally irregular;
+// used to separate the edge and vertex processes (Remark 1 fails).
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: 0, V: v})
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("star(n=%d)", n))
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+// Bipartite, so λ = |λ_n| = 1: the aperiodicity assumption fails, a
+// useful stress case.
+func CompleteBipartite(a, b int) *Graph {
+	edges := make([]Edge, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, Edge{U: u, V: a + v})
+		}
+	}
+	return MustFromEdges(a+b, edges).WithName(fmt.Sprintf("completeBipartite(a=%d,b=%d)", a, b))
+}
+
+// Grid returns the rows×cols 2-D lattice (no wraparound).
+func Grid(rows, cols int) *Graph {
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("grid(%dx%d)", rows, cols))
+}
+
+// Torus returns the rows×cols 2-D lattice with wraparound (4-regular
+// when rows,cols ≥ 3). Poor expander: λ ≈ 1 - Θ(1/n).
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: Torus requires rows,cols >= 3, got %dx%d", rows, cols))
+	}
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, Edge{U: id(r, c), V: id(r, (c+1)%cols)})
+			edges = append(edges, Edge{U: id(r, c), V: id((r+1)%rows, c)})
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("torus(%dx%d)", rows, cols))
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+// d-regular with λ₂ = 1 - 2/d, but bipartite (λ_n = -1, so λ = 1).
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 25 {
+		panic(fmt.Sprintf("graph: Hypercube dimension %d out of range [1,25]", d))
+	}
+	n := 1 << d
+	edges := make([]Edge, 0, n*d/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if u > v {
+				edges = append(edges, Edge{U: v, V: u})
+			}
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("hypercube(d=%d)", d))
+}
+
+// BinaryTree returns the complete binary tree with n vertices, rooted
+// at 0 (children of v are 2v+1, 2v+2).
+func BinaryTree(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: (v - 1) / 2, V: v})
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("binaryTree(n=%d)", n))
+}
+
+// Barbell returns two cliques K_c joined by a path of p intermediate
+// vertices (p may be 0, giving a single bridging edge). A classic
+// bottleneck graph with λ → 1.
+func Barbell(c, p int) *Graph {
+	if c < 2 {
+		panic(fmt.Sprintf("graph: Barbell requires clique size >= 2, got %d", c))
+	}
+	n := 2*c + p
+	var edges []Edge
+	clique := func(base int) {
+		for u := 0; u < c; u++ {
+			for v := u + 1; v < c; v++ {
+				edges = append(edges, Edge{U: base + u, V: base + v})
+			}
+		}
+	}
+	clique(0)
+	clique(c + p)
+	// Path from vertex c-1 (in first clique) through p middles to c+p
+	// (first vertex of second clique).
+	prev := c - 1
+	for i := 0; i < p; i++ {
+		edges = append(edges, Edge{U: prev, V: c + i})
+		prev = c + i
+	}
+	edges = append(edges, Edge{U: prev, V: c + p})
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("barbell(c=%d,p=%d)", c, p))
+}
+
+// Lollipop returns a clique K_c with a pendant path of p vertices.
+func Lollipop(c, p int) *Graph {
+	if c < 2 {
+		panic(fmt.Sprintf("graph: Lollipop requires clique size >= 2, got %d", c))
+	}
+	n := c + p
+	var edges []Edge
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	prev := c - 1
+	for i := 0; i < p; i++ {
+		edges = append(edges, Edge{U: prev, V: c + i})
+		prev = c + i
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("lollipop(c=%d,p=%d)", c, p))
+}
+
+// Circulant returns the circulant graph on n vertices where v is
+// adjacent to v±s (mod n) for each stride s in strides. Strides must be
+// distinct values in [1, n/2]. Regular by construction; eigenvalues
+// have the closed form (Σ_s 2cos(2πsj/n))/deg.
+func Circulant(n int, strides []int) *Graph {
+	seen := map[int]bool{}
+	var edges []Edge
+	for _, s := range strides {
+		if s < 1 || s > n/2 {
+			panic(fmt.Sprintf("graph: Circulant stride %d out of range [1,%d]", s, n/2))
+		}
+		if seen[s] {
+			panic(fmt.Sprintf("graph: Circulant duplicate stride %d", s))
+		}
+		seen[s] = true
+		for v := 0; v < n; v++ {
+			u := (v + s) % n
+			if 2*s == n && u < v {
+				continue // antipodal stride contributes each edge once
+			}
+			edges = append(edges, Edge{U: v, V: u})
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("circulant(n=%d,strides=%v)", n, strides))
+}
+
+// Petersen returns the Petersen graph: 10 vertices, 3-regular, with
+// walk spectrum {1, (1/3)×5, (-2/3)×4} — a fixed, non-trivial spectral
+// oracle (λ = 2/3) used to validate the eigensolvers.
+func Petersen() *Graph {
+	var edges []Edge
+	// Outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5.
+	for i := 0; i < 5; i++ {
+		edges = append(edges,
+			Edge{U: i, V: (i + 1) % 5},
+			Edge{U: 5 + i, V: 5 + (i+2)%5},
+			Edge{U: i, V: 5 + i},
+		)
+	}
+	return MustFromEdges(10, edges).WithName("petersen")
+}
+
+// CompleteMultipartite returns the complete multipartite graph with the
+// given part sizes: vertices in different parts are adjacent, vertices
+// within a part are not. K_{a,b} and Turán graphs are special cases.
+func CompleteMultipartite(parts []int) *Graph {
+	n := 0
+	starts := make([]int, len(parts)+1)
+	for i, p := range parts {
+		if p < 1 {
+			panic(fmt.Sprintf("graph: CompleteMultipartite part %d has size %d", i, p))
+		}
+		starts[i] = n
+		n += p
+	}
+	starts[len(parts)] = n
+	var edges []Edge
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			for u := starts[i]; u < starts[i+1]; u++ {
+				for v := starts[j]; v < starts[j+1]; v++ {
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+	}
+	return MustFromEdges(n, edges).WithName(fmt.Sprintf("completeMultipartite(%v)", parts))
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBuilderShapes(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantN     int
+		wantM     int
+		regular   bool
+		bipartite bool
+	}{
+		{"complete5", Complete(5), 5, 10, true, false},
+		{"complete2", Complete(2), 2, 1, true, true},
+		{"path6", Path(6), 6, 5, false, true},
+		{"cycle6", Cycle(6), 6, 6, true, true},
+		{"cycle7", Cycle(7), 7, 7, true, false},
+		{"star8", Star(8), 8, 7, false, true},
+		{"bipartite34", CompleteBipartite(3, 4), 7, 12, false, true},
+		{"grid34", Grid(3, 4), 12, 17, false, true},
+		{"torus44", Torus(4, 4), 16, 32, true, true},
+		{"torus35", Torus(3, 5), 15, 30, true, false},
+		{"hypercube3", Hypercube(3), 8, 12, true, true},
+		{"binaryTree7", BinaryTree(7), 7, 6, false, true},
+		{"barbell4_2", Barbell(4, 2), 10, 15, false, false},
+		{"barbell3_0", Barbell(3, 0), 6, 7, false, false},
+		{"lollipop4_3", Lollipop(4, 3), 7, 9, false, false},
+		{"circulant8_12", Circulant(8, []int{1, 2}), 8, 16, true, false},
+		// C_6(1,3) is K_{3,3}: the hexagon plus antipodal chords.
+		{"circulant6_13", Circulant(6, []int{1, 3}), 6, 9, true, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.N() != tc.wantN {
+				t.Errorf("N = %d, want %d", tc.g.N(), tc.wantN)
+			}
+			if tc.g.M() != tc.wantM {
+				t.Errorf("M = %d, want %d", tc.g.M(), tc.wantM)
+			}
+			if got := tc.g.IsRegular(); got != tc.regular {
+				t.Errorf("IsRegular = %v, want %v", got, tc.regular)
+			}
+			if got := IsBipartite(tc.g); got != tc.bipartite {
+				t.Errorf("IsBipartite = %v, want %v", got, tc.bipartite)
+			}
+			if !IsConnected(tc.g) {
+				t.Error("builder produced disconnected graph")
+			}
+			if err := tc.g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestCompleteDegrees(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 50} {
+		g := Complete(n)
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != n-1 {
+				t.Fatalf("K_%d degree(%d) = %d", n, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	g := Hypercube(4)
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			diff := v ^ int(w)
+			if diff&(diff-1) != 0 {
+				t.Fatalf("hypercube edge (%d,%d) differs in more than one bit", v, w)
+			}
+		}
+	}
+}
+
+func TestTorusDegree(t *testing.T) {
+	g := Torus(5, 7)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBarbellStructure(t *testing.T) {
+	g := Barbell(5, 3)
+	// The two cliques plus path: vertices 0..4 clique, 5..7 path, 8..12 clique.
+	if !g.HasEdge(0, 4) || !g.HasEdge(8, 12) {
+		t.Error("cliques missing edges")
+	}
+	if !g.HasEdge(4, 5) || !g.HasEdge(5, 6) || !g.HasEdge(6, 7) || !g.HasEdge(7, 8) {
+		t.Error("bridge path missing edges")
+	}
+	if g.HasEdge(0, 8) {
+		t.Error("cross-clique edge present")
+	}
+}
+
+func TestCirculantPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"stride zero", func() { Circulant(6, []int{0}) }},
+		{"stride too large", func() { Circulant(6, []int{4}) }},
+		{"duplicate stride", func() { Circulant(8, []int{2, 2}) }},
+		{"cycle small", func() { Cycle(2) }},
+		{"torus small", func() { Torus(2, 5) }},
+		{"barbell small", func() { Barbell(1, 0) }},
+		{"hypercube dim", func() { Hypercube(0) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestCirculantAntipodal(t *testing.T) {
+	// Stride n/2 contributes exactly one edge per antipodal pair.
+	g := Circulant(6, []int{3})
+	if g.M() != 3 {
+		t.Fatalf("C_6(3) has %d edges, want 3", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("C_6(3) degree(%d) = %d, want 1", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBuilderNames(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want string
+	}{
+		{Complete(3), "complete(n=3)"},
+		{Path(4), "path(n=4)"},
+		{Cycle(5), "cycle(n=5)"},
+		{Star(6), "star(n=6)"},
+	}
+	for _, tc := range tests {
+		if tc.g.Name() != tc.want {
+			t.Errorf("name = %q, want %q", tc.g.Name(), tc.want)
+		}
+		wantPrefix := fmt.Sprintf("%s{n=%d m=%d}", tc.want, tc.g.N(), tc.g.M())
+		if tc.g.String() != wantPrefix {
+			t.Errorf("String = %q, want %q", tc.g.String(), wantPrefix)
+		}
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("Petersen n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsRegular() || g.Degree(0) != 3 {
+		t.Error("Petersen not 3-regular")
+	}
+	if IsBipartite(g) {
+		t.Error("Petersen reported bipartite")
+	}
+	if d, err := Diameter(g); err != nil || d != 2 {
+		t.Errorf("Petersen diameter = %d, %v; want 2", d, err)
+	}
+	// Girth 5: no triangles.
+	if Triangles(g) != 0 {
+		t.Error("Petersen has triangles")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompleteMultipartite(t *testing.T) {
+	g := CompleteMultipartite([]int{2, 3, 4})
+	if g.N() != 9 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// m = 2·3 + 2·4 + 3·4 = 26.
+	if g.M() != 26 {
+		t.Fatalf("m = %d, want 26", g.M())
+	}
+	// Within-part pairs are non-adjacent.
+	if g.HasEdge(0, 1) || g.HasEdge(2, 3) || g.HasEdge(5, 6) {
+		t.Error("within-part edge present")
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(4, 8) {
+		t.Error("across-part edge missing")
+	}
+	// K_{a,b} special case.
+	kab := CompleteMultipartite([]int{3, 4})
+	ref := CompleteBipartite(3, 4)
+	if kab.M() != ref.M() || kab.N() != ref.N() {
+		t.Error("two-part multipartite != complete bipartite")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty part accepted")
+		}
+	}()
+	CompleteMultipartite([]int{0, 2})
+}

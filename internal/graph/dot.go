@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// DOTOptions customizes WriteDOT output.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header (default "G").
+	Name string
+	// Label, when non-nil, supplies a per-vertex label (e.g. the
+	// current opinion) rendered as the node's label attribute.
+	Label func(v int) string
+}
+
+// WriteDOT serializes g in Graphviz DOT format, for visual inspection
+// of small instances (e.g. `divsim`-sized runs rendered with neato).
+func WriteDOT(w io.Writer, g *Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n", name); err != nil {
+		return err
+	}
+	if opts.Label != nil {
+		for v := 0; v < g.N(); v++ {
+			if _, err := fmt.Fprintf(bw, "  %d [label=%q];\n", v, opts.Label(v)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				if _, err := fmt.Fprintf(bw, "  %d;\n", v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

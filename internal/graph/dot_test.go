@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	g := Path(3)
+	var b strings.Builder
+	if err := WriteDOT(&b, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph \"G\" {") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0 -- 1;") || !strings.Contains(out, "1 -- 2;") {
+		t.Errorf("missing edges: %q", out)
+	}
+	if strings.Count(out, "--") != g.M() {
+		t.Errorf("edge lines = %d, want %d", strings.Count(out, "--"), g.M())
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("missing footer: %q", out)
+	}
+}
+
+func TestWriteDOTLabels(t *testing.T) {
+	g := Complete(3)
+	var b strings.Builder
+	err := WriteDOT(&b, g, DOTOptions{
+		Name:  "opinions",
+		Label: func(v int) string { return fmt.Sprintf("x=%d", v+10) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `graph "opinions" {`) {
+		t.Errorf("name not used: %q", out)
+	}
+	for v := 0; v < 3; v++ {
+		want := fmt.Sprintf("%d [label=\"x=%d\"];", v, v+10)
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestWriteDOTIsolatedVertices(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1}})
+	var b strings.Builder
+	if err := WriteDOT(&b, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "2;") {
+		t.Errorf("isolated vertex 2 not declared: %q", b.String())
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the parser: arbitrary input must either
+// parse into a graph that passes Validate and round-trips, or return an
+// error — never panic or produce a corrupt graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("3 2\n0 1\n1 2\n")
+	f.Add("# name x\n2 1\n0 1\n")
+	f.Add("")
+	f.Add("0 0\n")
+	f.Add("5 0\n")
+	f.Add("2 1\n1 1\n")
+	f.Add("1000000 1\n0 1\n")
+	f.Add("3 2\n0 1\n# c\n\n1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() > 1<<20 {
+			t.Skip("oversized graph")
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails validation: %v (input %q)", err, input)
+		}
+		var b strings.Builder
+		if err := WriteEdgeList(&b, g); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		g2, err := ReadEdgeList(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

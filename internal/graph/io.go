@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in a plain-text format:
+//
+//	# name <label>        (optional comment lines)
+//	n m
+//	u v                   (one line per edge, u < v)
+//
+// The format round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		if _, err := fmt.Fprintf(bw, "# name %s\n", g.Name()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	name := ""
+	var n, m int
+	header := false
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# name "); ok {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", line, text)
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		if !header {
+			n, m = a, b
+			header = true
+			edges = make([]Edge, 0, m)
+			continue
+		}
+		edges = append(edges, Edge{U: a, V: b})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing header line")
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, len(edges))
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		g = g.WithName(name)
+	}
+	return g, nil
+}

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"div/internal/rng"
+)
+
+// Gnp returns an Erdős–Rényi random graph G(n,p): each of the n(n-1)/2
+// possible edges is present independently with probability p. For
+// p ≥ 2(1+ε)log(n)/n these are expanders with λ ≲ 2/√(np) w.h.p.
+// (paper, "Graphs with small second eigenvalue").
+//
+// Sparse p uses geometric skipping so the cost is O(n + m) rather than
+// O(n²).
+func Gnp(n int, p float64, r *rand.Rand) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: Gnp probability %v out of [0,1]", p)
+	}
+	var edges []Edge
+	switch {
+	case p == 0:
+		// no edges
+	case p == 1:
+		return Complete(n).WithName(fmt.Sprintf("gnp(n=%d,p=1)", n)), nil
+	default:
+		// Batagelj–Brandes skipping over the lexicographic edge order.
+		v, w := 1, -1
+		lq := logOneMinus(p)
+		for v < n {
+			w += 1 + geometricSkip(r, lq)
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				edges = append(edges, Edge{U: w, V: v})
+			}
+		}
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.WithName(fmt.Sprintf("gnp(n=%d,p=%g)", n, p)), nil
+}
+
+// logOneMinus returns log(1-p) computed stably for the skipping trick.
+func logOneMinus(p float64) float64 {
+	return math.Log1p(-p)
+}
+
+// geometricSkip returns a Geometric(p)-distributed skip count given
+// lq = log(1-p), i.e. the number of failures before the next success.
+func geometricSkip(r *rand.Rand, lq float64) int {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Log(u) / lq)
+}
+
+// RandomRegular returns a uniform-ish random d-regular simple graph on
+// n vertices via the configuration model with rejection: d·n half-edges
+// are paired uniformly; pairings creating self-loops or multi-edges are
+// rerolled, and the whole pairing is restarted if it gets stuck. For
+// d = o(√n) the result is asymptotically uniform, and random d-regular
+// graphs satisfy λ = O(1/√d) w.h.p. (paper's second example family).
+//
+// Requires 0 ≤ d < n and d·n even.
+func RandomRegular(n, d int, r *rand.Rand) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular requires 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular requires n*d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		g, err := NewFromEdges(n, nil)
+		if err != nil {
+			return nil, err
+		}
+		return g.WithName(fmt.Sprintf("randomRegular(n=%d,d=0)", n)), nil
+	}
+	const maxAttempts = 1000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges, ok := tryPairing(n, d, r)
+		if !ok {
+			continue
+		}
+		g, err := NewFromEdges(n, edges)
+		if err != nil {
+			// Should be impossible: tryPairing guarantees simplicity.
+			return nil, fmt.Errorf("graph: RandomRegular produced invalid pairing: %w", err)
+		}
+		return g.WithName(fmt.Sprintf("randomRegular(n=%d,d=%d)", n, d)), nil
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d,d=%d) failed after %d attempts", n, d, maxAttempts)
+}
+
+// tryPairing attempts one configuration-model pairing that avoids
+// self-loops and multi-edges by local retries, giving up (ok=false)
+// when the remaining half-edges admit no valid pair.
+func tryPairing(n, d int, r *rand.Rand) ([]Edge, bool) {
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(r, stubs)
+	adj := make(map[int64]bool, n*d/2)
+	key := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	edges := make([]Edge, 0, n*d/2)
+	// Repeatedly take the last stub and pair it with a random earlier
+	// stub; on conflict retry a bounded number of times.
+	for len(stubs) > 0 {
+		u := stubs[len(stubs)-1]
+		stubs = stubs[:len(stubs)-1]
+		paired := false
+		for try := 0; try < 4*len(stubs)+16 && len(stubs) > 0; try++ {
+			j := r.IntN(len(stubs))
+			v := stubs[j]
+			if v == u || adj[key(u, v)] {
+				continue
+			}
+			stubs[j] = stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			adj[key(u, v)] = true
+			edges = append(edges, Edge{U: int(u), V: int(v)})
+			paired = true
+			break
+		}
+		if !paired {
+			return nil, false
+		}
+	}
+	return edges, true
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its d/2 nearest neighbours on each side, with each
+// edge independently rewired to a uniform random non-conflicting
+// endpoint with probability beta. d must be even, 2 ≤ d < n.
+func WattsStrogatz(n, d int, beta float64, r *rand.Rand) (*Graph, error) {
+	if d%2 != 0 || d < 2 || d >= n {
+		return nil, fmt.Errorf("graph: WattsStrogatz requires even 2 <= d < n, got d=%d n=%d", d, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: WattsStrogatz beta %v out of [0,1]", beta)
+	}
+	adj := make(map[int64]bool, n*d/2)
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	var edges []Edge
+	add := func(u, v int) {
+		adj[key(u, v)] = true
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	for v := 0; v < n; v++ {
+		for s := 1; s <= d/2; s++ {
+			add(v, (v+s)%n)
+		}
+	}
+	for i := range edges {
+		if !rng.Bernoulli(r, beta) {
+			continue
+		}
+		e := edges[i]
+		// Rewire the far endpoint to a uniform valid target.
+		for try := 0; try < 64; try++ {
+			t := r.IntN(n)
+			if t == e.U || t == e.V || adj[key(e.U, t)] {
+				continue
+			}
+			delete(adj, key(e.U, e.V))
+			adj[key(e.U, t)] = true
+			edges[i].V = t
+			break
+		}
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.WithName(fmt.Sprintf("wattsStrogatz(n=%d,d=%d,beta=%g)", n, d, beta)), nil
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from
+// a small clique on m0 = m+1 vertices, each new vertex attaches to m
+// distinct existing vertices chosen with probability proportional to
+// degree. Heavy-tailed degrees; the canonical irregular test bed for
+// the vertex vs. edge process comparison (E10).
+func BarabasiAlbert(n, m int, r *rand.Rand) (*Graph, error) {
+	if m < 1 || m+1 > n {
+		return nil, fmt.Errorf("graph: BarabasiAlbert requires 1 <= m < n, got m=%d n=%d", m, n)
+	}
+	// targets holds one entry per half-edge endpoint, so a uniform draw
+	// from it is a degree-proportional draw.
+	var targets []int32
+	var edges []Edge
+	m0 := m + 1
+	for u := 0; u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]bool, m)
+	for v := m0; v < n; v++ {
+		clear(chosen)
+		for len(chosen) < m {
+			t := targets[r.IntN(len(targets))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			edges = append(edges, Edge{U: v, V: int(t)})
+			targets = append(targets, int32(v), t)
+		}
+	}
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.WithName(fmt.Sprintf("barabasiAlbert(n=%d,m=%d)", n, m)), nil
+}
+
+// ConnectedGnp draws G(n,p) repeatedly until the sample is connected,
+// up to maxTries attempts. It exists because the voting processes are
+// defined on connected graphs.
+func ConnectedGnp(n int, p float64, r *rand.Rand, maxTries int) (*Graph, error) {
+	for i := 0; i < maxTries; i++ {
+		g, err := Gnp(n, p, r)
+		if err != nil {
+			return nil, err
+		}
+		if IsConnected(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: ConnectedGnp(n=%d,p=%g) not connected after %d tries", n, p, maxTries)
+}

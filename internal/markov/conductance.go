@@ -1,0 +1,108 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"div/internal/graph"
+	"div/internal/spectral"
+)
+
+// Conductance returns Φ(S) = Q(S, S^c)/min(π(S), π(S^c)), the
+// bottleneck ratio of the vertex set S under the simple random walk.
+// Expanders are exactly the graphs whose every-set conductance is
+// bounded below, which via Cheeger's inequality is equivalent (up to
+// squaring) to the spectral-gap condition the paper's theorems assume.
+func Conductance(g *graph.Graph, s []int) (float64, error) {
+	if len(s) == 0 || len(s) == g.N() {
+		return 0, fmt.Errorf("markov: conductance of trivial set (|S|=%d of %d)", len(s), g.N())
+	}
+	inS := make([]bool, g.N())
+	for _, v := range s {
+		if v < 0 || v >= g.N() {
+			return 0, fmt.Errorf("markov: vertex %d out of range", v)
+		}
+		inS[v] = true
+	}
+	var cut, degS int64
+	for _, v := range s {
+		degS += int64(g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if !inS[w] {
+				cut++
+			}
+		}
+	}
+	total := float64(g.DegreeSum())
+	piS := float64(degS) / total
+	q := float64(cut) / total // Q(S,S^c) = (#cut edges)/2m
+	return q / math.Min(piS, 1-piS), nil
+}
+
+// SweepCut scans the prefixes S_i = {order[0..i]} of a vertex ordering
+// and returns the prefix with the smallest conductance, in O(n + m).
+type SweepCut struct {
+	// Set is the best prefix (a copy).
+	Set []int
+	// Phi is its conductance.
+	Phi float64
+}
+
+// Sweep computes the best prefix cut of the given ordering.
+func Sweep(g *graph.Graph, order []int) (SweepCut, error) {
+	n := g.N()
+	if len(order) != n {
+		return SweepCut{}, fmt.Errorf("markov: sweep order has %d entries for %d vertices", len(order), n)
+	}
+	if n < 2 {
+		return SweepCut{}, fmt.Errorf("markov: sweep needs at least two vertices")
+	}
+	inS := make([]bool, n)
+	total := float64(g.DegreeSum())
+	var cut, degS int64
+	best := SweepCut{Phi: math.Inf(1)}
+	for i := 0; i < n-1; i++ {
+		v := order[i]
+		inS[v] = true
+		degS += int64(g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if inS[w] {
+				cut-- // edge absorbed into S
+			} else {
+				cut++
+			}
+		}
+		piS := float64(degS) / total
+		phi := (float64(cut) / total) / math.Min(piS, 1-piS)
+		if phi < best.Phi {
+			best.Phi = phi
+			best.Set = append([]int(nil), order[:i+1]...)
+		}
+	}
+	return best, nil
+}
+
+// CheegerSweep runs the classic spectral partitioning pipeline: compute
+// the second eigenvector of the walk matrix, sort vertices by it, and
+// sweep. Cheeger's inequality guarantees the result Φ* satisfies
+//
+//	(1-λ₂)/2  ≤  Φ_G  ≤  Φ*  ≤  √(2(1-λ₂))
+//
+// so the returned cut certifies the graph's expansion two-sidedly.
+func CheegerSweep(g *graph.Graph) (SweepCut, float64, error) {
+	lambda2, vec, err := spectral.SecondEigen(g, spectral.Options{})
+	if err != nil {
+		return SweepCut{}, 0, err
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vec[order[i]] < vec[order[j]] })
+	cut, err := Sweep(g, order)
+	if err != nil {
+		return SweepCut{}, 0, err
+	}
+	return cut, lambda2, nil
+}

@@ -1,0 +1,162 @@
+// Package markov implements the simple-random-walk machinery the
+// paper's analysis is built on: the observation driving Lemma 10 is
+// that the DIV update probability (equation (2)) is exactly 1/n times
+// the walk transition probability P(v,w) = 1/d(v), so the mixing
+// behaviour of the walk — governed by λ and the expander mixing lemma —
+// controls how fast extreme-opinion mass contracts.
+//
+// Provided: exact distribution evolution under P (sparse vector-matrix
+// products), total-variation distance to stationarity, Monte-Carlo walk
+// simulation, hitting-time estimation, and the ergodic flow Q(S,U)
+// appearing in the expander mixing lemma (Lemma 9).
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"div/internal/graph"
+)
+
+// Walker performs simple random walks on a fixed graph.
+type Walker struct {
+	g *graph.Graph
+}
+
+// NewWalker returns a Walker over g; every vertex must have a
+// neighbour.
+func NewWalker(g *graph.Graph) (*Walker, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("markov: empty graph")
+	}
+	if g.MinDegree() == 0 {
+		return nil, fmt.Errorf("markov: graph has an isolated vertex")
+	}
+	return &Walker{g: g}, nil
+}
+
+// Step moves the walker one step from v.
+func (w *Walker) Step(v int, r *rand.Rand) int {
+	return w.g.Neighbor(v, r.IntN(w.g.Degree(v)))
+}
+
+// Walk runs t steps from start and returns the end vertex.
+func (w *Walker) Walk(start, t int, r *rand.Rand) int {
+	v := start
+	for i := 0; i < t; i++ {
+		v = w.Step(v, r)
+	}
+	return v
+}
+
+// HittingTime runs a walk from start until it first reaches target and
+// returns the number of steps, or an error after maxSteps.
+func (w *Walker) HittingTime(start, target int, maxSteps int64, r *rand.Rand) (int64, error) {
+	v := start
+	for t := int64(0); t <= maxSteps; t++ {
+		if v == target {
+			return t, nil
+		}
+		v = w.Step(v, r)
+	}
+	return 0, fmt.Errorf("markov: target %d not hit from %d within %d steps", target, start, maxSteps)
+}
+
+// EvolveStep computes dst = src·P exactly (one step of the distribution
+// under the walk), where (src·P)_u = Σ_{v∈N(u)} src_v/d(v). dst and src
+// must have length g.N() and may not alias.
+func (w *Walker) EvolveStep(dst, src []float64) {
+	g := w.g
+	for u := 0; u < g.N(); u++ {
+		var sum float64
+		for _, v := range g.Neighbors(u) {
+			sum += src[v] / float64(g.Degree(int(v)))
+		}
+		dst[u] = sum
+	}
+}
+
+// Evolve returns the exact distribution after t steps starting from the
+// point mass at start.
+func (w *Walker) Evolve(start, t int) []float64 {
+	n := w.g.N()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[start] = 1
+	for i := 0; i < t; i++ {
+		w.EvolveStep(next, cur)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// TVDistance returns the total-variation distance ½‖p−q‖₁.
+func TVDistance(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("markov: TV distance over mismatched lengths %d, %d", len(p), len(q))
+	}
+	var sum float64
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2, nil
+}
+
+// MixingTV returns the exact TV distance to stationarity after t steps
+// from the given start vertex.
+func (w *Walker) MixingTV(start, t int) (float64, error) {
+	return TVDistance(w.Evolve(start, t), w.g.Stationary())
+}
+
+// EmpiricalDistribution runs walks independent t-step walks from start
+// and returns the empirical end-vertex distribution.
+func (w *Walker) EmpiricalDistribution(start, t, walks int, r *rand.Rand) []float64 {
+	counts := make([]float64, w.g.N())
+	for i := 0; i < walks; i++ {
+		counts[w.Walk(start, t, r)]++
+	}
+	for i := range counts {
+		counts[i] /= float64(walks)
+	}
+	return counts
+}
+
+// ErgodicFlow returns Q(S,U) = Σ_{v∈S} π_v P(v,U), the quantity bounded
+// by the expander mixing lemma (Lemma 9):
+// |Q(S,U) − π(S)π(U)| ≤ λ √(π(S)π(S^c)π(U)π(U^c)).
+func ErgodicFlow(g *graph.Graph, s, u []int) float64 {
+	inU := make([]bool, g.N())
+	for _, v := range u {
+		inU[v] = true
+	}
+	total := float64(g.DegreeSum())
+	var q float64
+	for _, v := range s {
+		cnt := 0
+		for _, w := range g.Neighbors(v) {
+			if inU[w] {
+				cnt++
+			}
+		}
+		// π_v · P(v,U) = (d(v)/2m) · (cnt/d(v)) = cnt/2m.
+		q += float64(cnt) / total
+	}
+	return q
+}
+
+// PiMass returns π(S) for a vertex set.
+func PiMass(g *graph.Graph, s []int) float64 {
+	var d int64
+	for _, v := range s {
+		d += int64(g.Degree(v))
+	}
+	return float64(d) / float64(g.DegreeSum())
+}
+
+// MixingLemmaBound returns the right-hand side of Lemma 9 for the two
+// sets, given λ.
+func MixingLemmaBound(g *graph.Graph, lambda float64, s, u []int) float64 {
+	ps, pu := PiMass(g, s), PiMass(g, u)
+	return lambda * math.Sqrt(ps*(1-ps)*pu*(1-pu))
+}

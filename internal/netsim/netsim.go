@@ -1,0 +1,283 @@
+// Package netsim deploys the voting dynamics as an actual distributed
+// message-passing protocol over a simulated asynchronous network, the
+// way a practitioner would run DIV on real nodes.
+//
+// Model: every node carries an independent rate-1 Poisson clock
+// (discrete-event simulation over a priority queue of timestamped
+// events). When a node fires it sends a PULL request to a uniformly
+// random neighbour; the neighbour replies with its current opinion; on
+// receiving the response the requester applies the DIV update
+// X_v += sign(X_w - X_v). Requests and responses each take an
+// independent exponential network latency with mean Latency.
+//
+// With Latency = 0 the sequence of (firing node, observed neighbour)
+// pairs is exactly the paper's asynchronous vertex process — Poisson
+// thinning makes the k-th firing node uniform — so the package doubles
+// as an independent implementation of the vertex process and the E14
+// experiment checks the two agree. With Latency > 0 the observed
+// opinion is *stale*, an effect outside the paper's model; DIV's
+// one-step updates make it remarkably robust to this, which E14
+// quantifies.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+// eventKind discriminates queue entries.
+type eventKind uint8
+
+const (
+	evFire eventKind = iota // node's local clock fires: issue a pull request
+	evReq                   // request arrives at the target
+	evResp                  // response arrives back at the requester
+)
+
+// event is one timestamped occurrence in the simulated network.
+type event struct {
+	at      float64
+	seq     uint64 // tie-break for determinism
+	kind    eventKind
+	node    int // the node the event happens at
+	peer    int // the counterparty (requester for evReq, responder for evResp)
+	opinion int // carried opinion (evResp)
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Config describes one distributed run.
+type Config struct {
+	// Graph is the (connected) network topology. Required.
+	Graph *graph.Graph
+	// Initial is the initial opinion per node. Required.
+	Initial []int
+	// Latency is the mean one-way message latency in units of the mean
+	// inter-firing time of a single node (each node fires at rate 1).
+	// 0 means messages are instantaneous and the run reproduces the
+	// paper's vertex process exactly.
+	Latency float64
+	// Loss is the probability each message (request or response) is
+	// dropped in transit. A dropped exchange is simply a skipped pull:
+	// DIV needs no retransmission logic because a lost observation is
+	// indistinguishable from the vertex not having fired.
+	Loss float64
+	// Seed seeds the run's private PCG stream.
+	Seed uint64
+	// MaxTime caps simulated time. 0 means 400·n, i.e. ≈ 400·n² firings
+	// network-wide, matching core.Run's default step cap.
+	MaxTime float64
+	// StopOnConsensus halts once consensus is *stable*: all node states
+	// agree and every in-flight response carries the consensus value
+	// (pending requests are then harmless — their responses will carry
+	// the consensus opinion too).
+	StopOnConsensus bool
+}
+
+// Result summarizes a distributed run.
+type Result struct {
+	// Winner is the consensus opinion; Consensus reports whether all
+	// nodes agreed at halt time.
+	Winner    int
+	Consensus bool
+	// Time is the simulated time at halt.
+	Time float64
+	// Firings counts local clock firings (comparable to the sequential
+	// process's step count).
+	Firings int64
+	// Messages counts all network messages sent (requests + responses).
+	Messages int64
+	// Dropped counts messages lost in transit.
+	Dropped int64
+	// FinalMin/FinalMax bound the surviving node opinions.
+	FinalMin, FinalMax int
+	// InitialAverage and InitialWeightedAverage mirror core.Result.
+	InitialAverage         float64
+	InitialWeightedAverage float64
+}
+
+// sim is the live run state.
+type sim struct {
+	cfg      Config
+	g        *graph.Graph
+	opinions []int
+	counts   map[int]int // opinion -> node count
+	respBy   map[int]int // opinion -> in-flight responses carrying it
+	respAll  int         // total in-flight responses
+	q        eventQueue
+	seq      uint64
+}
+
+// Run executes the distributed protocol to stable consensus or MaxTime.
+func Run(cfg Config) (Result, error) {
+	if cfg.Graph == nil {
+		return Result{}, fmt.Errorf("netsim: Config.Graph is required")
+	}
+	g := cfg.Graph
+	n := g.N()
+	if len(cfg.Initial) != n {
+		return Result{}, fmt.Errorf("netsim: %d initial opinions for %d nodes", len(cfg.Initial), n)
+	}
+	if g.MinDegree() == 0 {
+		return Result{}, fmt.Errorf("netsim: every node needs a neighbour")
+	}
+	if cfg.Latency < 0 {
+		return Result{}, fmt.Errorf("netsim: negative latency %v", cfg.Latency)
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return Result{}, fmt.Errorf("netsim: loss probability %v outside [0,1)", cfg.Loss)
+	}
+	maxTime := cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = 400 * float64(n)
+	}
+
+	r := rng.New(cfg.Seed)
+	s := &sim{
+		cfg:      cfg,
+		g:        g,
+		opinions: append([]int(nil), cfg.Initial...),
+		counts:   make(map[int]int),
+		respBy:   make(map[int]int),
+	}
+	var res Result
+	var sum, degSum int64
+	for v, x := range s.opinions {
+		s.counts[x]++
+		sum += int64(x)
+		degSum += int64(g.Degree(v)) * int64(x)
+	}
+	res.InitialAverage = float64(sum) / float64(n)
+	res.InitialWeightedAverage = float64(degSum) / float64(g.DegreeSum())
+
+	for v := 0; v < n; v++ {
+		s.push(rng.Exponential(r, 1), evFire, v, -1, 0)
+	}
+	latency := func() float64 {
+		if cfg.Latency == 0 {
+			return 0
+		}
+		return rng.Exponential(r, 1/cfg.Latency)
+	}
+
+	now := 0.0
+	for s.q.Len() > 0 {
+		ev := heap.Pop(&s.q).(event)
+		if ev.at > maxTime {
+			now = maxTime
+			break
+		}
+		now = ev.at
+		switch ev.kind {
+		case evFire:
+			res.Firings++
+			v := ev.node
+			w := g.Neighbor(v, r.IntN(g.Degree(v)))
+			res.Messages++
+			if rng.Bernoulli(r, cfg.Loss) {
+				res.Dropped++ // the pull silently fails
+			} else {
+				s.push(now+latency(), evReq, w, v, 0)
+			}
+			s.push(now+rng.Exponential(r, 1), evFire, v, -1, 0)
+		case evReq:
+			// ev.node responds to requester ev.peer with its opinion.
+			res.Messages++
+			if rng.Bernoulli(r, cfg.Loss) {
+				res.Dropped++
+				break
+			}
+			op := s.opinions[ev.node]
+			s.respBy[op]++
+			s.respAll++
+			s.push(now+latency(), evResp, ev.peer, ev.node, op)
+		case evResp:
+			s.respBy[ev.opinion]--
+			if s.respBy[ev.opinion] == 0 {
+				delete(s.respBy, ev.opinion)
+			}
+			s.respAll--
+			v := ev.node
+			xv, xw := s.opinions[v], ev.opinion
+			nw := xv
+			switch {
+			case xv < xw:
+				nw = xv + 1
+			case xv > xw:
+				nw = xv - 1
+			}
+			if nw != xv {
+				s.counts[xv]--
+				if s.counts[xv] == 0 {
+					delete(s.counts, xv)
+				}
+				s.counts[nw]++
+				s.opinions[v] = nw
+			}
+		}
+		if cfg.StopOnConsensus && s.stableConsensus() {
+			break
+		}
+	}
+	return s.finish(res, now), nil
+}
+
+// stableConsensus reports whether all nodes agree and no in-flight
+// response can break the agreement.
+func (s *sim) stableConsensus() bool {
+	if len(s.counts) != 1 {
+		return false
+	}
+	if s.respAll == 0 {
+		return true
+	}
+	for op := range s.counts {
+		return s.respBy[op] == s.respAll
+	}
+	return false
+}
+
+func (s *sim) push(at float64, kind eventKind, node, peer, opinion int) {
+	s.seq++
+	heap.Push(&s.q, event{at: at, seq: s.seq, kind: kind, node: node, peer: peer, opinion: opinion})
+}
+
+func (s *sim) finish(res Result, now float64) Result {
+	res.Time = now
+	min, max := s.opinions[0], s.opinions[0]
+	for _, x := range s.opinions {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	res.FinalMin, res.FinalMax = min, max
+	res.Consensus = min == max
+	if res.Consensus {
+		res.Winner = min
+	}
+	return res
+}

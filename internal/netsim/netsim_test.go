@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := graph.Complete(3)
+	if _, err := Run(Config{Graph: g, Initial: []int{1}}); err == nil {
+		t.Error("short initial accepted")
+	}
+	if _, err := Run(Config{Graph: g, Initial: []int{1, 2, 3}, Latency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	iso := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Run(Config{Graph: iso, Initial: []int{1, 2, 3}}); err == nil {
+		t.Error("isolated node accepted")
+	}
+}
+
+func TestZeroLatencyReachesConsensus(t *testing.T) {
+	g := graph.Complete(25)
+	r := rng.New(1)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(25, 5, r),
+		Seed:            2,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("no consensus by time %v (firings %d)", res.Time, res.Firings)
+	}
+	if res.Winner < 1 || res.Winner > 5 {
+		t.Errorf("winner %d outside range", res.Winner)
+	}
+	if res.Firings == 0 || res.Messages < 2*res.Firings {
+		t.Errorf("firings=%d messages=%d inconsistent", res.Firings, res.Messages)
+	}
+}
+
+func TestLatencyReachesConsensus(t *testing.T) {
+	g := graph.Complete(20)
+	r := rng.New(3)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(20, 4, r),
+		Latency:         0.5,
+		Seed:            4,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("no consensus under latency by time %v", res.Time)
+	}
+}
+
+func TestImmediateConsensus(t *testing.T) {
+	g := graph.Complete(5)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         []int{3, 3, 3, 3, 3},
+		Seed:            5,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || res.Winner != 3 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestMaxTimeRespected(t *testing.T) {
+	g := graph.Cycle(50)
+	r := rng.New(6)
+	res, err := Run(Config{
+		Graph:   g,
+		Initial: core.UniformOpinions(50, 9, r),
+		MaxTime: 3,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time > 3 {
+		t.Errorf("time %v exceeds MaxTime", res.Time)
+	}
+	// Each of 50 nodes fires ≈ 3 times in 3 time units.
+	if res.Firings < 50 || res.Firings > 500 {
+		t.Errorf("firings = %d, want ≈ 150", res.Firings)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	g := graph.Complete(15)
+	r := rng.New(8)
+	init := core.UniformOpinions(15, 4, r)
+	cfg := Config{Graph: g, Initial: init, Latency: 0.2, Seed: 9, StopOnConsensus: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Winner != b.Winner || a.Firings != b.Firings || a.Time != b.Time {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestZeroLatencyMatchesVertexProcessPrediction checks Theorem 2
+// through the message-passing implementation: on K_n the winner must be
+// ⌊c⌋ or ⌈c⌉ in almost every run.
+func TestZeroLatencyMatchesVertexProcessPrediction(t *testing.T) {
+	const n, trials = 60, 60
+	g := graph.Complete(n)
+	r := rng.New(10)
+	// c = (20·2 + 20·5 + 20·8)/60 = 5 exactly.
+	init, err := core.BlockOpinions(n, []int{0, 20, 0, 0, 20, 0, 0, 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	for trial := 0; trial < trials; trial++ {
+		res, err := Run(Config{
+			Graph:           g,
+			Initial:         init,
+			Seed:            rng.DeriveSeed(11, uint64(trial)),
+			StopOnConsensus: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Consensus {
+			t.Fatalf("trial %d no consensus", trial)
+		}
+		if res.Winner == 4 || res.Winner == 5 || res.Winner == 6 {
+			good++
+		}
+	}
+	// c = 5: winner should be 5 (or its floor/ceil neighbours under the
+	// martingale's O(√t)/n fluctuation). Allow a small failure rate.
+	if good < trials-6 {
+		t.Errorf("only %d/%d runs landed near the average 5", good, trials)
+	}
+}
+
+func TestFiringRateIsPoisson(t *testing.T) {
+	// Over time T with n nodes at rate 1, firings ≈ n·T.
+	g := graph.Cycle(30)
+	r := rng.New(12)
+	res, err := Run(Config{
+		Graph:   g,
+		Initial: core.UniformOpinions(30, 3, r),
+		MaxTime: 50,
+		Seed:    13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 30.0 * 50
+	z := (float64(res.Firings) - want) / math.Sqrt(want)
+	if math.Abs(z) > 5 {
+		t.Errorf("firings = %d, want ≈ %.0f (z=%.1f)", res.Firings, want, z)
+	}
+}
+
+func TestLossValidation(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := Run(Config{Graph: g, Initial: []int{1, 2, 3}, Loss: 1}); err == nil {
+		t.Error("Loss = 1 accepted")
+	}
+	if _, err := Run(Config{Graph: g, Initial: []int{1, 2, 3}, Loss: -0.1}); err == nil {
+		t.Error("negative Loss accepted")
+	}
+}
+
+func TestLossyNetworkStillConverges(t *testing.T) {
+	g := graph.Complete(25)
+	r := rng.New(20)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(25, 4, r),
+		Loss:            0.4,
+		Seed:            21,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("no consensus under 40%% loss by time %v", res.Time)
+	}
+	if res.Dropped == 0 {
+		t.Error("no messages dropped at Loss = 0.4")
+	}
+	if res.Dropped >= res.Messages {
+		t.Errorf("dropped %d of %d messages", res.Dropped, res.Messages)
+	}
+}
+
+func TestLossRateMatchesConfig(t *testing.T) {
+	g := graph.Cycle(40)
+	r := rng.New(22)
+	const loss = 0.25
+	res, err := Run(Config{
+		Graph:   g,
+		Initial: core.UniformOpinions(40, 8, r),
+		Loss:    loss,
+		MaxTime: 200,
+		Seed:    23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.Dropped) / float64(res.Messages)
+	// Requests are dropped at rate loss; responses only exist for
+	// surviving requests, so the overall rate is loss/(stuff) —
+	// bracket it generously.
+	if rate < loss/2 || rate > loss*1.5 {
+		t.Errorf("drop rate %.3f vs configured %.2f", rate, loss)
+	}
+	if res.Dropped == 0 {
+		t.Error("nothing dropped")
+	}
+}
+
+func TestZeroLossDropsNothing(t *testing.T) {
+	g := graph.Complete(10)
+	r := rng.New(24)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(10, 3, r),
+		Seed:            25,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped %d at Loss = 0", res.Dropped)
+	}
+}

@@ -1,0 +1,105 @@
+package rng
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Alias is a Walker/Vose alias-method sampler over {0, …, n-1} with
+// arbitrary non-negative weights. Construction is O(n); each Sample is
+// O(1) with exactly one uniform draw for the column and one for the
+// coin. It is the workhorse behind π-weighted vertex selection in the
+// edge process (π_v = d(v)/2m) and behind skewed initial-opinion
+// profiles.
+//
+// An Alias is immutable after construction and safe for concurrent use
+// as long as each goroutine supplies its own *rand.Rand.
+type Alias struct {
+	prob  []float64 // acceptance probability of the home symbol per column
+	alias []int32   // fallback symbol per column
+}
+
+// NewAlias builds an alias table for the given weights. It returns an
+// error if weights is empty, contains a negative or non-finite entry,
+// or sums to zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: NewAlias requires at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e308 {
+			return nil, fmt.Errorf("rng: NewAlias weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: NewAlias weights sum to zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: p_i * n.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers are all (approximately) 1.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// MustAlias is NewAlias that panics on error, for static tables.
+func MustAlias(weights []float64) *Alias {
+	a, err := NewAlias(weights)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (a *Alias) Sample(r *rand.Rand) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len returns the number of symbols in the table.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,150 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -0.5}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{1, math.Inf(1)}},
+		{"all zero", []float64{0, 0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewAlias(tc.weights); err == nil {
+				t.Errorf("NewAlias(%v) succeeded, want error", tc.weights)
+			}
+		})
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a := MustAlias([]float64{3.5})
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("singleton alias sampled %d", got)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := MustAlias([]float64{1, 0, 2, 0})
+	r := New(2)
+	for i := 0; i < 20000; i++ {
+		got := a.Sample(r)
+		if got == 1 || got == 3 {
+			t.Fatalf("zero-weight symbol %d sampled", got)
+		}
+	}
+}
+
+func TestAliasProportions(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := MustAlias(weights)
+	r := New(3)
+	const trials = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		p := w / total
+		z := (float64(counts[i]) - p*trials) / math.Sqrt(trials*p*(1-p))
+		if math.Abs(z) > 5 {
+			t.Errorf("symbol %d: count %d, want ≈ %.0f (z=%.1f)", i, counts[i], p*trials, z)
+		}
+	}
+}
+
+func TestAliasSkewedProportions(t *testing.T) {
+	// Extreme skew exercises the small/large worklist bookkeeping.
+	weights := []float64{1e-6, 1, 1e-6, 1e-6}
+	a := MustAlias(weights)
+	r := New(4)
+	const trials = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[1] < trials-100 {
+		t.Errorf("dominant symbol sampled only %d of %d", counts[1], trials)
+	}
+}
+
+func TestAliasLen(t *testing.T) {
+	if got := MustAlias([]float64{1, 2, 3}).Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+func TestAliasQuickValidSamples(t *testing.T) {
+	// Property: for arbitrary positive weight vectors, samples are
+	// always in range and strictly positive-weight symbols dominate.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, w := range raw {
+			weights[i] = float64(w)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true // rejected by NewAlias; covered elsewhere
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		r := New(99)
+		for i := 0; i < 200; i++ {
+			s := a.Sample(r)
+			if s < 0 || s >= len(weights) {
+				return false
+			}
+			if weights[s] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlias(nil) did not panic")
+		}
+	}()
+	MustAlias(nil)
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 10000)
+	for i := range weights {
+		weights[i] = float64(i%17) + 1
+	}
+	a := MustAlias(weights)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(r)
+	}
+}

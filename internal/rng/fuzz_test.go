@@ -1,0 +1,47 @@
+package rng
+
+import (
+	"testing"
+)
+
+// FuzzAliasWeights hardens the alias-table builder: any finite
+// non-negative weight vector with positive mass must build a sampler
+// whose outputs are in range and never hit zero-weight symbols.
+func FuzzAliasWeights(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3})
+	f.Add(uint64(2), []byte{0, 0, 5})
+	f.Add(uint64(3), []byte{255})
+	f.Add(uint64(4), []byte{0})
+	f.Add(uint64(5), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, b := range raw {
+			weights[i] = float64(b)
+			total += weights[i]
+		}
+		a, err := NewAlias(weights)
+		if total <= 0 || len(weights) == 0 {
+			if err == nil {
+				t.Fatal("degenerate weights accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid weights rejected: %v", err)
+		}
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			s := a.Sample(r)
+			if s < 0 || s >= len(weights) {
+				t.Fatalf("sample %d out of range", s)
+			}
+			if weights[s] == 0 {
+				t.Fatalf("zero-weight symbol %d sampled", s)
+			}
+		}
+	})
+}

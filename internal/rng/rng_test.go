@@ -1,0 +1,198 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed sequence 0,1,2 from the SplitMix64
+	// reference implementation (state advances by the golden gamma).
+	tests := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0xe220a8397b1dcdaf},
+		{1, 0x910a2dec89025cc1},
+		{2, 0x975835de1c9756ce},
+	}
+	for _, tc := range tests {
+		if got := SplitMix64(tc.in); got != tc.want {
+			t.Errorf("SplitMix64(%d) = %#x, want %#x", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		if SplitMix64(seed) != SplitMix64(seed) {
+			t.Fatalf("SplitMix64 not deterministic at %d", seed)
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for base := uint64(0); base < 50; base++ {
+		for stream := uint64(0); stream < 50; stream++ {
+			s := DeriveSeed(base, stream)
+			key := string(rune(base)) + "/" + string(rune(stream))
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed collision: %s and %s both map to %#x", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestNewDeterministicStreams(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewTrialIndependence(t *testing.T) {
+	a, b := NewTrial(7, 0), NewTrial(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("trial streams coincide on %d of 1000 draws", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		dst := make([]int, n)
+		Perm(r, dst)
+		seen := make([]bool, n)
+		for _, v := range dst {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(n=%d) produced invalid permutation %v", n, dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformish(t *testing.T) {
+	// Each position/value pair should appear with frequency ≈ 1/n.
+	r := New(2)
+	const n, trials = 4, 40000
+	counts := [n][n]int{}
+	dst := make([]int, n)
+	for i := 0; i < trials; i++ {
+		Perm(r, dst)
+		for pos, val := range dst {
+			counts[pos][val]++
+		}
+	}
+	want := float64(trials) / n
+	for pos := 0; pos < n; pos++ {
+		for val := 0; val < n; val++ {
+			z := (float64(counts[pos][val]) - want) / math.Sqrt(want*(1-1.0/n))
+			if math.Abs(z) > 5 {
+				t.Errorf("Perm position %d value %d count %d deviates (z=%.1f)", pos, val, counts[pos][val], z)
+			}
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(3)
+	xs := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), xs...)
+	Shuffle(r, xs)
+	// Multiset preserved.
+	count := map[string]int{}
+	for _, x := range xs {
+		count[x]++
+	}
+	for _, x := range orig {
+		count[x]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("Shuffle changed multiset: %s has residual %d", k, v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if Bernoulli(r, -0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !Bernoulli(r, 1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliProportion(t *testing.T) {
+	r := New(5)
+	const p, trials = 0.3, 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if Bernoulli(r, p) {
+			hits++
+		}
+	}
+	z := (float64(hits) - p*trials) / math.Sqrt(trials*p*(1-p))
+	if math.Abs(z) > 5 {
+		t.Errorf("Bernoulli(%.1f): %d/%d hits (z=%.1f)", p, hits, trials, z)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(6)
+	const rate, trials = 2.5, 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		x := Exponential(r, rate)
+		if x < 0 {
+			t.Fatalf("Exponential returned negative %v", x)
+		}
+		sum += x
+	}
+	mean := sum / trials
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exponential(rate=%v) mean = %v, want ≈ %v", rate, mean, 1/rate)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(rate=0) did not panic")
+		}
+	}()
+	Exponential(New(1), 0)
+}
+
+func TestDeriveSeedQuickNoTrivialCollisions(t *testing.T) {
+	f := func(base, s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		return DeriveSeed(base, s1) != DeriveSeed(base, s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim is the experiment harness: it fans Monte-Carlo trials
+// across a worker pool with deterministic per-trial seeds, aggregates
+// results, and renders the tables that regenerate the paper's claims
+// (see DESIGN.md §3 for the experiment index E1–E19).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"div/internal/rng"
+)
+
+// TrialFunc computes one trial. The trial index and a derived seed are
+// supplied; the function must draw all randomness from the seed so
+// trials are reproducible and order-independent.
+type TrialFunc[T any] func(trial int, seed uint64) (T, error)
+
+// Trials runs fn for trial = 0..trials-1 in parallel and returns the
+// results indexed by trial. Parallelism 0 means GOMAXPROCS. The first
+// error aborts outstanding work and is returned.
+func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]) ([]T, error) {
+	if trials < 0 {
+		return nil, fmt.Errorf("sim: negative trial count %d", trials)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > trials {
+		parallelism = trials
+	}
+	results := make([]T, trials)
+	if trials == 0 {
+		return results, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= trials {
+			return 0, false
+		}
+		t := next
+		next++
+		return t, true
+	}
+	fail := func(t int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("sim: trial %d: %w", t, err)
+		}
+	}
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := take()
+				if !ok {
+					return
+				}
+				res, err := fn(t, rng.DeriveSeed(baseSeed, uint64(t)))
+				if err != nil {
+					fail(t, err)
+					return
+				}
+				results[t] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Map applies fn to every element of xs in parallel (same pool
+// semantics as Trials), for sweeps whose points are independent.
+func Map[X, Y any](xs []X, baseSeed uint64, parallelism int, fn func(i int, x X, seed uint64) (Y, error)) ([]Y, error) {
+	return Trials(len(xs), baseSeed, parallelism, func(trial int, seed uint64) (Y, error) {
+		return fn(trial, xs[trial], seed)
+	})
+}
+
+// GeometricInts returns approximately count integers spaced
+// geometrically from lo to hi inclusive, deduplicated and ascending —
+// the standard n-sweep for scaling experiments.
+func GeometricInts(lo, hi, count int) []int {
+	if count < 2 || hi <= lo {
+		return []int{lo}
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(count-1))
+	out := make([]int, 0, count)
+	x := float64(lo)
+	last := 0
+	for i := 0; i < count; i++ {
+		v := int(x + 0.5)
+		if v > hi {
+			v = hi
+		}
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+		x *= ratio
+	}
+	if out[len(out)-1] != hi {
+		out = append(out, hi)
+	}
+	return out
+}

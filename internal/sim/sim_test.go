@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"div/internal/rng"
+)
+
+func TestTrialsDeterministicAcrossParallelism(t *testing.T) {
+	fn := func(trial int, seed uint64) (uint64, error) {
+		return rng.New(seed).Uint64() + uint64(trial), nil
+	}
+	serial, err := Trials(64, 7, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Trials(64, 7, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d differs: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestTrialsErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Trials(100, 1, 4, func(trial int, seed uint64) (int, error) {
+		if trial == 37 {
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "trial 37") {
+		t.Errorf("error %q does not name the failing trial", err)
+	}
+}
+
+func TestTrialsEdgeCases(t *testing.T) {
+	res, err := Trials(0, 1, 4, func(int, uint64) (int, error) { return 0, nil })
+	if err != nil || len(res) != 0 {
+		t.Errorf("zero trials: %v, %v", res, err)
+	}
+	if _, err := Trials[int](-1, 1, 4, nil); err == nil {
+		t.Error("negative trials accepted")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	xs := []int{10, 20, 30, 40}
+	ys, err := Map(xs, 1, 4, func(i int, x int, seed uint64) (int, error) {
+		return x * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, y := range ys {
+		if y != xs[i]*2 {
+			t.Fatalf("ys = %v", ys)
+		}
+	}
+}
+
+func TestGeometricInts(t *testing.T) {
+	got := GeometricInts(100, 1600, 5)
+	if got[0] != 100 || got[len(got)-1] != 1600 {
+		t.Errorf("endpoints: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("not strictly increasing: %v", got)
+		}
+	}
+	// Roughly doubling.
+	for i := 1; i < len(got); i++ {
+		ratio := float64(got[i]) / float64(got[i-1])
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Errorf("ratio %v at %d: %v", ratio, i, got)
+		}
+	}
+	if one := GeometricInts(50, 50, 5); len(one) != 1 || one[0] != 50 {
+		t.Errorf("degenerate sweep: %v", one)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo", "n", "value")
+	tbl.AddRow(10, 3.14159)
+	tbl.AddRow(2000, "x")
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "3.1416") {
+		t.Errorf("float not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines: %q", len(lines), out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(0.0)
+	tbl.AddRow(1e-9)
+	tbl.AddRow(2.5e7)
+	tbl.AddRow(nanv())
+	rows := tbl.Rows
+	if rows[0][0] != "0" {
+		t.Errorf("zero = %q", rows[0][0])
+	}
+	if !strings.Contains(rows[1][0], "e-") {
+		t.Errorf("tiny = %q", rows[1][0])
+	}
+	if !strings.Contains(rows[2][0], "e+") {
+		t.Errorf("huge = %q", rows[2][0])
+	}
+	if rows[3][0] != "NaN" {
+		t.Errorf("nan = %q", rows[3][0])
+	}
+}
+
+func nanv() float64 {
+	var z float64
+	return z / z
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow(1, "x,y")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,96 @@
+package spectral
+
+import (
+	"math"
+)
+
+// Closed-form λ values for the standard families, used as oracles in
+// tests and as the "paper" column in the E11 eigenvalue experiment.
+
+// LambdaComplete returns λ(K_n) = 1/(n-1) (paper, §"Graphs with small
+// second eigenvalue").
+func LambdaComplete(n int) float64 {
+	return 1 / float64(n-1)
+}
+
+// LambdaCycle returns λ(C_n). The walk eigenvalues are cos(2πj/n),
+// j = 0..n-1. For even n the cycle is bipartite (λ_n = -1, so λ = 1);
+// for odd n the largest modulus below 1 comes from the most negative
+// eigenvalue cos(π(n-1)/n) = -cos(π/n), giving λ = cos(π/n).
+func LambdaCycle(n int) float64 {
+	if n%2 == 0 {
+		return 1
+	}
+	return math.Cos(math.Pi / float64(n))
+}
+
+// LambdaHypercube returns λ(Q_d) = 1 - 2/d... with a subtlety: the walk
+// eigenvalues are 1-2i/d for i=0..d, so λ_n = -1 (bipartite) and the
+// absolute second eigenvalue is 1.
+func LambdaHypercube(d int) float64 {
+	return 1
+}
+
+// LambdaCompleteBipartite returns λ(K_{a,b}) = 1: the walk alternates
+// sides, so -1 is an eigenvalue.
+func LambdaCompleteBipartite(a, b int) float64 {
+	return 1
+}
+
+// LambdaPath returns λ of the path P_n. The walk eigenvalues are
+// cos(πj/(n-1)), j = 0..n-1, which include -1: the path is bipartite,
+// so λ = 1 exactly. The paper's "λ = 1-O(1/n²)" for the path refers to
+// the lazy/second eigenvalue λ₂, available as Lambda2Path.
+func LambdaPath(n int) float64 {
+	return 1
+}
+
+// Lambda2Path returns the second-largest (signed) walk eigenvalue of
+// the path P_n, cos(π/(n-1)) = 1 - O(1/n²).
+func Lambda2Path(n int) float64 {
+	return math.Cos(math.Pi / float64(n-1))
+}
+
+// LambdaCirculant returns λ of the circulant graph C_n(strides): the
+// adjacency eigenvalues are Σ_s 2cos(2πsj/n) (plus 1 if the antipodal
+// stride n/2 is present, which contributes cos(πj) once), divided by
+// the degree.
+func LambdaCirculant(n int, strides []int) float64 {
+	deg := 0
+	for _, s := range strides {
+		if 2*s == n {
+			deg++
+		} else {
+			deg += 2
+		}
+	}
+	lambda := 0.0
+	for j := 1; j < n; j++ {
+		sum := 0.0
+		for _, s := range strides {
+			c := math.Cos(2 * math.Pi * float64(s) * float64(j) / float64(n))
+			if 2*s == n {
+				sum += c
+			} else {
+				sum += 2 * c
+			}
+		}
+		if v := math.Abs(sum / float64(deg)); v > lambda {
+			lambda = v
+		}
+	}
+	return lambda
+}
+
+// LambdaRandomRegularBound returns the Friedman-style w.h.p. upper
+// bound for random d-regular graphs, λ ≲ 2√(d-1)/d, i.e. O(1/√d)
+// (paper's second example family; see [9, 23]).
+func LambdaRandomRegularBound(d int) float64 {
+	return 2 * math.Sqrt(float64(d-1)) / float64(d)
+}
+
+// LambdaGnpBound returns the w.h.p. upper bound (1+o(1))·2/√(np) for
+// G(n,p) with np ≥ 2(1+o(1))log n (paper's third example family, [8]).
+func LambdaGnpBound(n int, p float64) float64 {
+	return 2 / math.Sqrt(float64(n)*p)
+}

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"div/internal/rng"
+)
+
+// BootstrapCI computes a percentile bootstrap confidence interval for
+// an arbitrary statistic of a sample: the statistic is evaluated on
+// resamples drawn with replacement, and the (α/2, 1-α/2) percentiles of
+// the resampled distribution are returned. Deterministic given the
+// seed. Used by the harness for statistics (medians, ratios, fitted
+// exponents) whose sampling distribution has no clean closed form.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, confidence float64, seed uint64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: need at least 10 resamples, got %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	r := rng.New(seed)
+	buf := make([]float64, len(xs))
+	vals := make([]float64, resamples)
+	for i := 0; i < resamples; i++ {
+		for j := range buf {
+			buf[j] = xs[r.IntN(len(xs))]
+		}
+		vals[i] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return vals[loIdx], vals[hiIdx], nil
+}
+
+// BootstrapMeanCI is BootstrapCI specialized to the mean.
+func BootstrapMeanCI(xs []float64, resamples int, confidence float64, seed uint64) (lo, hi float64, err error) {
+	return BootstrapCI(xs, Mean, resamples, confidence, seed)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"testing"
+
+	"div/internal/rng"
+)
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, err := BootstrapMeanCI(nil, 100, 0.95, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1, 2}, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1, 2}, 100, 1.5, 1); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	// Samples from Uniform(0,10): the 95% CI of the mean should cover
+	// 5 in the vast majority of repetitions.
+	r := rng.New(3)
+	covered := 0
+	const reps = 100
+	for rep := 0; rep < reps; rep++ {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+		}
+		lo, hi, err := BootstrapMeanCI(xs, 500, 0.95, rng.DeriveSeed(4, uint64(rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("inverted interval [%v,%v]", lo, hi)
+		}
+		if lo <= 5 && 5 <= hi {
+			covered++
+		}
+	}
+	if covered < 85 {
+		t.Errorf("true mean covered in only %d/%d repetitions", covered, reps)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	lo1, hi1, err := BootstrapMeanCI(xs, 200, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapMeanCI(xs, 200, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("bootstrap not deterministic by seed")
+	}
+}
+
+func TestBootstrapCustomStatistic(t *testing.T) {
+	// One outlier among 16 points: resampled medians essentially never
+	// reach it, unlike resampled means.
+	xs := []float64{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 100}
+	med := func(v []float64) float64 {
+		m, _ := Median(v)
+		return m
+	}
+	lo, hi, err := BootstrapCI(xs, med, 500, 0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 1 || hi > 100 {
+		t.Errorf("median CI [%v,%v] out of data range", lo, hi)
+	}
+	if hi >= 100 {
+		t.Errorf("median CI [%v,%v] dominated by the outlier", lo, hi)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IntHistogram counts occurrences of integer outcomes (e.g. winning
+// opinions across trials).
+type IntHistogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int64)}
+}
+
+// Add records one observation of x.
+func (h *IntHistogram) Add(x int) { h.AddN(x, 1) }
+
+// AddN records n observations of x.
+func (h *IntHistogram) AddN(x int, n int64) {
+	h.counts[x] += n
+	h.total += n
+}
+
+// Count returns the number of observations of x.
+func (h *IntHistogram) Count(x int) int64 { return h.counts[x] }
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Proportion returns Count(x)/Total (0 for an empty histogram).
+func (h *IntHistogram) Proportion(x int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[x]) / float64(h.total)
+}
+
+// Keys returns the observed values in ascending order.
+func (h *IntHistogram) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Mode returns the most frequent value (smallest on ties) and its
+// count; ok is false for an empty histogram.
+func (h *IntHistogram) Mode() (value int, count int64, ok bool) {
+	for _, k := range h.Keys() {
+		if h.counts[k] > count {
+			value, count, ok = k, h.counts[k], true
+		}
+	}
+	return value, count, ok
+}
+
+// String renders "value:count" pairs in ascending value order.
+func (h *IntHistogram) String() string {
+	var b strings.Builder
+	for i, k := range h.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h.counts[k])
+	}
+	return b.String()
+}
+
+// Histogram bins float64 observations into uniform-width buckets over
+// [Lo, Hi); out-of-range observations clamp to the boundary buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with the given bucket count over
+// [lo, hi). It panics for invalid shapes, which are programmer errors.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) x%d", lo, hi, buckets))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}

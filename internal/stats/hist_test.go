@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(3)
+	h.Add(3)
+	h.Add(5)
+	h.AddN(1, 4)
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(5) != 1 || h.Count(1) != 4 || h.Count(9) != 0 {
+		t.Errorf("counts wrong: %s", h)
+	}
+	if p := h.Proportion(3); p != 2.0/7 {
+		t.Errorf("proportion(3) = %v", p)
+	}
+	keys := h.Keys()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v", keys)
+		}
+	}
+	v, c, ok := h.Mode()
+	if !ok || v != 1 || c != 4 {
+		t.Errorf("mode = %d,%d,%v", v, c, ok)
+	}
+	if h.String() != "1:4 3:2 5:1" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestIntHistogramEmpty(t *testing.T) {
+	h := NewIntHistogram()
+	if _, _, ok := h.Mode(); ok {
+		t.Error("empty histogram has a mode")
+	}
+	if h.Proportion(1) != 0 {
+		t.Error("empty histogram proportion nonzero")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(0.5) // bucket 0
+	h.Add(9.5) // bucket 4
+	h.Add(-3)  // clamps to 0
+	h.Add(42)  // clamps to 4
+	h.Add(5)   // bucket 2
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	want := []int64{2, 0, 1, 0, 2}
+	for i, w := range want {
+		if h.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], w)
+		}
+	}
+	if c := h.BucketCenter(2); c != 5 {
+		t.Errorf("center(2) = %v", c)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,243 @@
+// Package stats provides the statistical machinery the experiment
+// harness relies on: summary statistics, quantiles, binomial confidence
+// intervals, histograms, least-squares fits (including log-log scaling
+// exponents), chi-square goodness of fit, and empirical CDF distances.
+// Everything is plain, allocation-conscious stdlib Go.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator); 0 for n < 2
+	Min, Max float64
+}
+
+// Summarize computes a Summary with Welford's online algorithm.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	var m, m2 float64
+	for _, x := range xs {
+		s.N++
+		d := x - m
+		m += d / float64(s.N)
+		m2 += d * (x - m)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = m
+	if s.N >= 2 {
+		s.Variance = m2 / float64(s.N-1)
+	}
+	if s.N == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Stddev returns the sample standard deviation.
+func (s Summary) Stddev() float64 { return math.Sqrt(s.Variance) }
+
+// Stderr returns the standard error of the mean (0 for empty samples).
+func (s Summary) Stderr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.N))
+}
+
+// Mean is a convenience over Summarize.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// WilsonCI returns the Wilson score interval for a binomial proportion
+// with successes out of trials at the given z (1.96 for 95%).
+func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	centre := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = centre - half
+	hi = centre + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// BinomialZ returns the z-score of observing successes out of trials
+// when the true proportion is p0. |z| > 3 at reasonable trial counts
+// flags a significant deviation; statistical tests in this repository
+// use generous thresholds (4-5) to keep flake probability negligible.
+func BinomialZ(successes, trials int, p0 float64) float64 {
+	if trials == 0 || p0 <= 0 || p0 >= 1 {
+		return 0
+	}
+	n := float64(trials)
+	return (float64(successes) - n*p0) / math.Sqrt(n*p0*(1-p0))
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares and returns the
+// intercept a, slope b, and coefficient of determination R².
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: LinearFit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: LinearFit needs at least 2 points")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: LinearFit degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2, nil
+}
+
+// PowerLawFit fits y = C·x^e on log-log scale and returns the exponent
+// e, prefactor C, and R² of the log-log fit. All inputs must be > 0.
+func PowerLawFit(xs, ys []float64) (exponent, prefactor, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || i >= len(ys) || ys[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: PowerLawFit requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b, r2, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return b, math.Exp(a), r2, nil
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts (same length; expected entries must be positive), and
+// the degrees of freedom len-1.
+func ChiSquare(observed []int64, expected []float64) (stat float64, dof int, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: ChiSquare length mismatch")
+	}
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: ChiSquare expected[%d] not positive", i)
+		}
+		d := float64(observed[i]) - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat, len(observed) - 1, nil
+}
+
+// KSDistance returns the two-sided Kolmogorov–Smirnov distance between
+// the empirical CDF of xs and the reference CDF function.
+func KSDistance(xs []float64, cdf func(float64) float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: KSDistance on empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var maxD float64
+	for i, x := range sorted {
+		f := cdf(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if d := math.Abs(f - lo); d > maxD {
+			maxD = d
+		}
+		if d := math.Abs(f - hi); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}
+
+// KS2Sample returns the two-sample Kolmogorov–Smirnov distance between
+// the empirical CDFs of xs and ys.
+func KS2Sample(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, fmt.Errorf("stats: KS2Sample on empty sample")
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var maxD float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !approx(s.Mean, 5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sample variance with n-1: Σ(x-5)² = 32, /7.
+	if !approx(s.Variance, 32.0/7, 1e-12) {
+		t.Errorf("variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !approx(s.Stderr(), s.Stddev()/math.Sqrt(8), 1e-12) {
+		t.Errorf("stderr = %v", s.Stderr())
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	e := Summarize(nil)
+	if e.N != 0 || e.Mean != 0 || e.Variance != 0 || e.Min != 0 || e.Max != 0 {
+		t.Errorf("empty summary = %+v", e)
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Variance != 0 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 accepted")
+	}
+	med, err := Median([]float64{5})
+	if err != nil || med != 5 {
+		t.Errorf("Median singleton = %v, %v", med, err)
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("Wilson CI [%v,%v] excludes 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("Wilson CI [%v,%v] too wide", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 100, 1.96)
+	if lo != 0 || hi < 0.01 || hi > 0.1 {
+		t.Errorf("Wilson CI for 0/100 = [%v,%v]", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("Wilson CI for 0 trials = [%v,%v]", lo, hi)
+	}
+}
+
+func TestBinomialZ(t *testing.T) {
+	// 60/100 at p0=0.5: z = 10/5 = 2.
+	if z := BinomialZ(60, 100, 0.5); !approx(z, 2, 1e-12) {
+		t.Errorf("z = %v, want 2", z)
+	}
+	if z := BinomialZ(10, 0, 0.5); z != 0 {
+		t.Errorf("zero trials z = %v", z)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a, 3, 1e-12) || !approx(b, 2, 1e-12) || !approx(r2, 1, 1e-12) {
+		t.Errorf("fit a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 3·x².
+	xs := []float64{1, 2, 4, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	e, c, r2, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(e, 2, 1e-10) || !approx(c, 3, 1e-9) || !approx(r2, 1, 1e-12) {
+		t.Errorf("fit e=%v c=%v r2=%v", e, c, r2)
+	}
+	if _, _, _, err := PowerLawFit([]float64{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("non-positive data accepted")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	stat, dof, err := ChiSquare([]int64{10, 20, 30}, []float64{15, 15, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 25.0/15 + 25.0/15
+	if !approx(stat, want, 1e-12) || dof != 2 {
+		t.Errorf("chi2 = %v dof %d, want %v dof 2", stat, dof, want)
+	}
+	if _, _, err := ChiSquare([]int64{1}, []float64{0}); err == nil {
+		t.Error("zero expected accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestKSDistanceUniform(t *testing.T) {
+	// Perfectly spaced sample against the uniform CDF: distance 1/2n.
+	xs := []float64{0.125, 0.375, 0.625, 0.875}
+	cdf := func(x float64) float64 { return x }
+	d, err := KSDistance(xs, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(d, 0.125, 1e-12) {
+		t.Errorf("KS distance = %v, want 0.125", d)
+	}
+	if _, err := KSDistance(nil, cdf); err == nil {
+		t.Error("empty sample accepted")
+	}
+}

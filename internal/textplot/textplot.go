@@ -1,0 +1,170 @@
+// Package textplot renders small ASCII plots so the benchmark harness
+// can regenerate the paper's "figures" directly in the terminal:
+// scatter/line plots for scaling curves and sparklines for
+// trajectories.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot is a fixed-size character canvas with data-space axes.
+type Plot struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+	// LogX / LogY plot the corresponding axis on a log10 scale
+	// (points must then be positive on that axis).
+	LogX, LogY bool
+
+	series []series
+}
+
+type series struct {
+	marker byte
+	xs, ys []float64
+}
+
+// New returns a plot canvas of the given size (minimum 16×4).
+func New(width, height int) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Plot{Width: width, Height: height}
+}
+
+// Add appends a data series drawn with the given marker character.
+func (p *Plot) Add(marker byte, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("textplot: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	p.series = append(p.series, series{marker: marker, xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)})
+	return nil
+}
+
+func (p *Plot) transform(x, y float64) (float64, float64, bool) {
+	if p.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log10(x)
+	}
+	if p.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log10(y)
+	}
+	return x, y, true
+}
+
+// Render draws the canvas with axis annotations.
+func (p *Plot) Render() string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y   float64
+		marker byte
+	}
+	var pts []pt
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y, ok := p.transform(s.xs[i], s.ys[i])
+			if !ok || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x, y, s.marker})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, q := range pts {
+		col := int((q.x - minX) / (maxX - minX) * float64(p.Width-1))
+		row := p.Height - 1 - int((q.y-minY)/(maxY-minY)*float64(p.Height-1))
+		grid[row][col] = q.marker
+	}
+	yLo, yHi := p.axisLabel(minY, p.LogY), p.axisLabel(maxY, p.LogY)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yHi, labelW)
+		case p.Height - 1:
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	xLo, xHi := p.axisLabel(minX, p.LogX), p.axisLabel(maxX, p.LogX)
+	fmt.Fprintf(&b, "%s  %s%s%s\n",
+		strings.Repeat(" ", labelW), xLo,
+		strings.Repeat(" ", max(1, p.Width-len(xLo)-len(xHi))), xHi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), p.XLabel, p.YLabel)
+	}
+	return b.String()
+}
+
+func (p *Plot) axisLabel(v float64, logged bool) string {
+	if logged {
+		v = math.Pow(10, v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+// Sparkline renders xs as a one-line bar profile using eighth-block
+// characters, for compact trajectory summaries.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if max > min {
+			i = int((x - min) / (max - min) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRenderBasic(t *testing.T) {
+	p := New(40, 8)
+	p.Title = "demo"
+	if err := p.Add('*', []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("want 3 markers, got %d in:\n%s", strings.Count(out, "*"), out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := New(20, 5)
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot rendered %q", out)
+	}
+}
+
+func TestPlotLogAxesSkipNonPositive(t *testing.T) {
+	p := New(30, 6)
+	p.LogX, p.LogY = true, true
+	if err := p.Add('o', []float64{0, 10, 100}, []float64{-1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if strings.Count(out, "o") != 2 {
+		t.Errorf("want 2 markers after filtering, got:\n%s", out)
+	}
+}
+
+func TestPlotLengthMismatch(t *testing.T) {
+	p := New(20, 5)
+	if err := p.Add('x', []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPlotMinimumSize(t *testing.T) {
+	p := New(1, 1)
+	if p.Width < 16 || p.Height < 4 {
+		t.Errorf("minimum size not enforced: %dx%d", p.Width, p.Height)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := New(20, 5)
+	if err := p.Add('#', []float64{1, 2}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if strings.Count(out, "#") == 0 {
+		t.Errorf("constant series lost:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline not empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline %q has wrong length", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	flat := []rune(Sparkline([]float64{2, 2, 2}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", string(flat))
+		}
+	}
+}
