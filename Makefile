@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: help check vet build test race invariants bench bench-engine full-suite
+
+help: ## list targets
+	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-12s %s\n", $$1, $$2}'
+
+check: vet build test race invariants ## tier-1 gate: everything that must stay green
+
+vet: ## static analysis
+	$(GO) vet ./...
+
+build: ## compile every package and command
+	$(GO) build ./...
+
+test: ## full unit/property/integration suite
+	$(GO) test ./...
+
+race: ## race detector over the concurrent packages
+	$(GO) test -race ./internal/core ./internal/sim ./internal/exp
+
+invariants: ## recompute the fast engine's discordance index from scratch after every update
+	$(GO) test -tags divtestinvariants ./internal/core
+
+bench: ## every experiment as a testing.B benchmark, one iteration each
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt)
+	$(GO) run ./cmd/divbench -exp E20 -full
+
+full-suite: ## publication-size experiment suite (minutes)
+	$(GO) run ./cmd/divbench -full

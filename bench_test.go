@@ -12,7 +12,7 @@ import (
 )
 
 // ---------------------------------------------------------------------------
-// Experiment benchmarks: one per entry in the E1–E19 index (DESIGN.md §3).
+// Experiment benchmarks: one per entry in the E1–E20 index (DESIGN.md §3).
 // Each iteration regenerates the experiment's tables at quick sizes and
 // reports the number of paper-claim checks that passed as a metric.
 // Run a single one with e.g. `go test -bench=E1 -benchtime=1x`.
@@ -58,6 +58,7 @@ func BenchmarkE16Synchronous(b *testing.B)        { benchmarkExperiment(b, "E16"
 func BenchmarkE17PushPull(b *testing.B)           { benchmarkExperiment(b, "E17") }
 func BenchmarkE18Zealots(b *testing.B)            { benchmarkExperiment(b, "E18") }
 func BenchmarkE19CoalescingDuality(b *testing.B)  { benchmarkExperiment(b, "E19") }
+func BenchmarkE20FastEngine(b *testing.B)         { benchmarkExperiment(b, "E20") }
 
 // ---------------------------------------------------------------------------
 // Engine micro-benchmarks: the per-step costs that dominate everything
@@ -174,7 +175,7 @@ func TestBenchCoverageOfExperimentIndex(t *testing.T) {
 		"E1": true, "E2": true, "E3": true, "E4": true, "E5": true,
 		"E6": true, "E7": true, "E8": true, "E9": true, "E10": true,
 		"E11": true, "E12": true, "E13": true, "E14": true, "E15": true,
-		"E16": true, "E17": true, "E18": true, "E19": true,
+		"E16": true, "E17": true, "E18": true, "E19": true, "E20": true,
 	}
 	for _, d := range exp.All {
 		if !covered[d.ID] {

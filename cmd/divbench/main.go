@@ -1,5 +1,5 @@
 // Command divbench regenerates the repository's experiment suite
-// E1–E19 (DESIGN.md §3): every theorem, lemma, closed-form probability
+// E1–E20 (DESIGN.md §3): every theorem, lemma, closed-form probability
 // and worked example in the paper gets a table (and, where meaningful,
 // an ASCII figure), together with pass/fail checks comparing the
 // measurement to the paper's claim.
@@ -11,6 +11,7 @@
 //	divbench -exp E1,E9      # a subset
 //	divbench -csv out/       # also write each table as CSV
 //	divbench -seed 7         # change the master seed
+//	divbench -engine naive   # force the reference stepping engine
 //
 // The exit status is nonzero if any check fails.
 package main
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"div/internal/core"
 	"div/internal/exp"
 	"div/internal/sim"
 )
@@ -30,12 +32,17 @@ import (
 func main() {
 	var (
 		full    = flag.Bool("full", false, "publication sizes (slower)")
-		expList = flag.String("exp", "all", "comma-separated experiment IDs (E1..E19) or 'all'")
+		expList = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
 		seed    = flag.Uint64("seed", 0, "master seed (0 = package default)")
 		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
 		par     = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
 	)
 	flag.Parse()
+	if _, err := core.ParseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "divbench:", err)
+		os.Exit(2)
+	}
 
 	defs, err := selectExperiments(*expList)
 	if err != nil {
@@ -49,7 +56,7 @@ func main() {
 		}
 	}
 
-	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par}
+	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine}
 	failures := 0
 	for _, d := range defs {
 		start := time.Now()

@@ -30,19 +30,20 @@ func main() {
 		ruleName  = flag.String("rule", "div", "update rule: div, pull, median, bestofK, loadbalance")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		trials    = flag.Int("trials", 1, "number of independent runs")
+		engName   = flag.String("engine", "auto", "stepping engine: naive, fast, or auto")
 		trace     = flag.Bool("trace", false, "print the opinion-support stage trace (first run only)")
 		series    = flag.Bool("series", false, "print range/weight trajectory sparklines (first run only)")
 		maxSteps  = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
 	)
 	flag.Parse()
 
-	if err := run(*graphSpec, *k, *procName, *ruleName, *seed, *trials, *trace, *series, *maxSteps); err != nil {
+	if err := run(*graphSpec, *k, *procName, *ruleName, *engName, *seed, *trials, *trace, *series, *maxSteps); err != nil {
 		fmt.Fprintln(os.Stderr, "divsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphSpec string, k int, procName, ruleName string, seed uint64, trials int, trace, series bool, maxSteps int64) error {
+func run(graphSpec string, k int, procName, ruleName, engName string, seed uint64, trials int, trace, series bool, maxSteps int64) error {
 	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
 	if err != nil {
 		return err
@@ -55,7 +56,11 @@ func run(graphSpec string, k int, procName, ruleName string, seed uint64, trials
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %v  process: %v  rule: %s  k: %d  seed: %d\n", g, proc, rule.Name(), k, seed)
+	engine, err := core.ParseEngine(engName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %v  process: %v  rule: %s  engine: %v  k: %d  seed: %d\n", g, proc, rule.Name(), engine, k, seed)
 
 	winners := stats.NewIntHistogram()
 	var stepsAll, reduceAll []float64
@@ -69,6 +74,7 @@ func run(graphSpec string, k int, procName, ruleName string, seed uint64, trials
 			Initial:      init,
 			Process:      proc,
 			Rule:         rule,
+			Engine:       engine,
 			Seed:         rng.SplitMix64(trialSeed),
 			MaxSteps:     maxSteps,
 			TraceSupport: trace && t == 0,

@@ -170,6 +170,25 @@ const (
 	UntilThreeConsecutive = core.UntilThreeConsecutive
 )
 
+// Engine selects the stepping strategy for Config.Engine. Every engine
+// realizes the same process law; they differ only in speed.
+type Engine = core.Engine
+
+const (
+	// EngineNaive simulates every scheduler draw individually (the
+	// reference implementation and the zero-value default).
+	EngineNaive = core.EngineNaive
+	// EngineFast tracks discordant pairs incrementally and skips runs
+	// of idle draws in one geometric sample (DESIGN.md §6).
+	EngineFast = core.EngineFast
+	// EngineAuto switches between the two at runtime as discordance
+	// falls and rebounds; the best default for long consensus runs.
+	EngineAuto = core.EngineAuto
+)
+
+// ParseEngine parses "naive", "fast", or "auto".
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
 // Run executes one asynchronous voting process.
 func Run(cfg Config) (Result, error) { return core.Run(cfg) }
 

@@ -31,6 +31,12 @@ func (Pull) Step(s *core.State, _ *rand.Rand, v, w int) {
 	s.SetOpinion(v, s.Opinion(w))
 }
 
+// Target implements core.PairwiseRule: pull voting is a pure function
+// of the scheduled pair, so it is eligible for the fast engine.
+func (Pull) Target(xv, xw int) int { return xw }
+
+var _ core.PairwiseRule = Pull{}
+
 // Median is the median dynamics of Doerr et al. (SPAA'11): the
 // updating vertex samples a second independent neighbour u and replaces
 // its opinion with median(X_v, X_w, X_u). On the complete graph the

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"div/internal/graph"
+)
+
+// This file implements the fast stepping engine. The observation behind
+// it is the paper's own: once opinions are locally similar, almost
+// every scheduler invocation draws a pair (v, w) with X_v == X_w and
+// changes nothing — on expanders the Θ(n²)-step final stage is
+// dominated by exactly these idle interactions. For any PairwiseRule
+// the state can only change on a *discordant* draw (X_v ≠ X_w), the
+// idle draws are exchangeable, and the number of idle draws before the
+// next discordant one is Geometric(p) with
+//
+//	p = P[discordant draw | state]
+//	  = D/2m                   (edge process, D = #discordant arcs)
+//	  = (1/n) Σ_v diff(v)/d(v) (vertex process, diff(v) = #discordant
+//	                            neighbours of v)
+//
+// so the engine samples that geometric length directly, advances the
+// step counter past the idle steps without simulating them, and then
+// draws the active pair from the exact conditional law
+//
+//	P[(v,w) | discordant] ∝ 1/2m       (edge)   — uniform discordant arc
+//	P[(v,w) | discordant] ∝ 1/(n·d(v)) (vertex) — discordant arc ∝ 1/d(v)
+//
+// which preserves the joint distribution of the full trajectory,
+// including the stopping times (support can only change on active
+// steps) and the observer call sites (skips are bounded by the next
+// ObserveEvery boundary, and the truncated geometric is memoryless, so
+// re-drawing after an idle boundary visit is lawful). DESIGN.md §6
+// gives the argument in full.
+//
+// Bookkeeping is a swap-remove array of the currently discordant
+// *edges* (each stored once, as its canonical arc — the direction with
+// tail < head) with a position index, so an opinion change repairs it
+// in O(d(v)) with O(1) work per incident edge — no log factor. The
+// conditional pair draw picks a uniform discordant edge and orients it
+// with a fair coin, which is exactly the uniform discordant *arc* for
+// the edge process; the vertex process needs arc (v,w) with
+// probability ∝ 1/d(v) and gets it from the same draw by exact integer
+// rejection (accept with probability d_min/d(tail): the accepted law
+// is ∝ (1/E)·(1/2)·d_min/d(v) ∝ 1/d(v)), which accepts immediately on
+// regular graphs and costs d_max/d_min expected redraws in general.
+// Everything except the geometric length uses exact integer
+// arithmetic: the active-mass numerator scales 1/d(v) by L = lcm of
+// the distinct degrees, so no floating-point bias enters the
+// conditional law. The geometric length itself is drawn by float64
+// inversion, whose relative error (≲2⁻⁵²) is far below the resolution
+// of any statistical test.
+
+// FastState augments a State with an incrementally maintained index of
+// the discordant edges: the list of all currently discordant edges
+// (keyed by canonical arc) for O(1) sampling, a position index, and
+// the exact rational active mass. All bookkeeping is updated in
+// O(d(v)) when X_v changes and is untouched by idle steps.
+type FastState struct {
+	s    *State
+	g    *graph.Graph
+	proc Process
+
+	base  []int64 // base[v]: first arc index of v (prefix degree sums)
+	adj   []int32 // adj[a]: head vertex of arc a (the graph's own storage)
+	tails []int32 // tails[a]: tail vertex of arc a
+	rev   []int32 // rev[a]: index of the reverse arc of a, or -1 (lazy)
+
+	list []int32 // discordant edges as canonical arcs (tail < head), unordered
+	pos  []int32 // pos[a]: index of canonical arc a in list, or -1
+
+	unit   []int64 // active-mass weight of arcs with tail v: 1 (edge) or L/d(v) (vertex)
+	num    int64   // Σ_{discordant arcs a} unit[tail(a)]
+	den    int64   // P[active] = num/den: 2m (edge) or n·L (vertex)
+	minDeg int64   // rejection acceptance scale for the vertex process
+	reject bool    // vertex process on an irregular graph: rejection needed
+}
+
+// maxDegreeLCM bounds the least common multiple of the distinct degrees
+// for the vertex process's exact integer weights: the active-mass
+// numerator is at most 2m·L/d_min ≤ n²·L, which must stay inside int64.
+const maxDegreeLCM = int64(1) << 30
+
+// NewFastState builds the discordance index for s under the given
+// process in O(n + m). It errors when the vertex
+// process's degree-lcm scaling would overflow (wildly irregular
+// graphs); callers fall back to the naive engine in that case.
+func NewFastState(s *State, proc Process) (*FastState, error) {
+	g := s.Graph()
+	n := g.N()
+	arcs := int(g.DegreeSum())
+	f := &FastState{
+		s:     s,
+		g:     g,
+		proc:  proc,
+		base:  make([]int64, n+1),
+		adj:   g.Arcs(),
+		tails: g.ArcTails(),
+		rev:   make([]int32, arcs),
+		pos:   make([]int32, arcs),
+		unit:  make([]int64, n),
+	}
+	for a := range f.rev {
+		f.rev[a] = -1
+	}
+	for v := 0; v < n; v++ {
+		f.base[v+1] = f.base[v] + int64(g.Degree(v))
+	}
+	switch proc {
+	case EdgeProcess:
+		for v := range f.unit {
+			f.unit[v] = 1
+		}
+		f.den = g.DegreeSum()
+	case VertexProcess:
+		l := int64(1)
+		for v := 0; v < n; v++ {
+			d := int64(g.Degree(v))
+			l = l / gcd64(l, d) * d
+			if l > maxDegreeLCM {
+				return nil, fmt.Errorf("core: fast engine: vertex-process degree lcm exceeds %d on this degree sequence; use the auto engine, which falls back to naive stepping", maxDegreeLCM)
+			}
+		}
+		for v := 0; v < n; v++ {
+			f.unit[v] = l / int64(g.Degree(v))
+		}
+		f.den = int64(n) * l
+		f.minDeg = int64(g.MinDegree())
+		f.reject = !g.IsRegular()
+	default:
+		return nil, fmt.Errorf("core: unknown process %v", proc)
+	}
+	f.Reset()
+	return f, nil
+}
+
+// revArc returns the index of the reverse arc of a = (v, w), computing
+// and memoizing it (in both directions) on first use: neighbour lists
+// are sorted, so the reverse arc is found by binary search for v among
+// w's neighbours. Laziness matters for short runs deep in the final
+// stage, where only the few boundary edges are ever touched and an
+// eager O(arcs) pairing pass would dominate the setup cost.
+func (f *FastState) revArc(a, v, w int32) int32 {
+	if r := f.rev[a]; r >= 0 {
+		return r
+	}
+	nb := f.g.Neighbors(int(w))
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nb[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r := int32(f.base[w] + int64(lo))
+	f.rev[a] = r
+	f.rev[r] = a
+	return r
+}
+
+// Reset rebuilds the discordant-arc list and active mass against the
+// wrapped State's *current* opinions, reusing the structural arrays —
+// a single O(arcs) pass with no allocation. The hybrid engine calls
+// this when re-entering fast mode after a naive stretch during which
+// the index went stale.
+func (f *FastState) Reset() {
+	f.list = f.list[:0]
+	f.num = 0
+	for a := range f.adj {
+		u, w := f.tails[a], f.adj[a]
+		if u < w && f.s.opinions[u] != f.s.opinions[w] {
+			f.pos[a] = int32(len(f.list))
+			f.list = append(f.list, int32(a))
+			f.num += f.unit[u] + f.unit[w]
+		} else {
+			f.pos[a] = -1
+		}
+	}
+}
+
+// State returns the wrapped State.
+func (f *FastState) State() *State { return f.s }
+
+// ActiveMass returns the probability that one scheduler invocation is
+// active (draws a discordant pair) as the exact rational num/den.
+func (f *FastState) ActiveMass() (num, den int64) {
+	return f.num, f.den
+}
+
+// insert adds the edge with canonical arc a to the discordant list.
+// The edge contributes both of its arcs' weights to the active mass.
+func (f *FastState) insert(a int32) {
+	f.pos[a] = int32(len(f.list))
+	f.list = append(f.list, a)
+	f.num += f.unit[f.tails[a]] + f.unit[f.adj[a]]
+}
+
+// remove deletes the edge with canonical arc a by swap-remove.
+func (f *FastState) remove(a int32) {
+	p := f.pos[a]
+	last := f.list[len(f.list)-1]
+	f.list[p] = last
+	f.pos[last] = p
+	f.list = f.list[:len(f.list)-1]
+	f.pos[a] = -1
+	f.num -= f.unit[f.tails[a]] + f.unit[f.adj[a]]
+}
+
+// SetOpinion sets X_v = x through the wrapped State and repairs the
+// discordant-edge index in O(d(v)): each incident edge toggles in and
+// out of the list as the endpoints' relation changes.
+func (f *FastState) SetOpinion(v, x int) {
+	old := f.s.opinions[v]
+	if int32(x) == old {
+		return
+	}
+	f.s.SetOpinion(v, x)
+	nx := f.s.opinions[v]
+	nb := f.g.Neighbors(v)
+	baseV := f.base[v]
+	for i, wi := range nb {
+		xw := f.s.opinions[wi]
+		wasDisc := xw != old
+		isDisc := xw != nx
+		if wasDisc == isDisc {
+			continue
+		}
+		a := int32(baseV + int64(i))
+		if int32(v) > wi {
+			a = f.revArc(a, int32(v), wi) // canonical arc has tail < head
+		}
+		if isDisc {
+			f.insert(a)
+		} else {
+			f.remove(a)
+		}
+	}
+	fastCheckInvariants(f)
+}
+
+// sampleDiscordant draws the next active ordered pair (v, w) from the
+// exact conditional law of the process given that the draw is
+// discordant. It must only be called when ActiveMass() > 0. A uniform
+// discordant edge with a fair orientation coin is the uniform
+// discordant arc, which is the edge process's conditional law; for the
+// vertex process arc (v, w) must carry probability ∝ 1/d(v), realized
+// by integer rejection on the same draw: accept with probability
+// d_min/d(tail). On regular graphs no rejection draw is spent.
+func (f *FastState) sampleDiscordant(r *rand.Rand) (v, w int) {
+	for {
+		idx := r.Int64N(2 * int64(len(f.list)))
+		a := f.list[idx>>1]
+		tail, head := f.tails[a], f.adj[a]
+		if idx&1 == 1 {
+			tail, head = head, tail
+		}
+		if f.reject {
+			if d := int64(f.g.Degree(int(tail))); d > f.minDeg && r.Int64N(d) >= f.minDeg {
+				continue
+			}
+		}
+		return int(tail), int(head)
+	}
+}
+
+// CheckDiscordance recomputes the discordant-edge index from scratch and
+// returns an error describing the first inconsistency with the
+// incrementally maintained one. The divtestinvariants build tag
+// arranges for this to run after every opinion update
+// (fast_invariants_on.go); tests also call it directly.
+func (f *FastState) CheckDiscordance() error {
+	var num int64
+	count := 0
+	for a := range f.adj {
+		u, w := f.tails[a], f.adj[a]
+		if r := f.rev[a]; r >= 0 && (f.tails[r] != w || f.adj[r] != u) {
+			return fmt.Errorf("core: arc %d (%d→%d) has wrong reverse arc %d (%d→%d)",
+				a, u, w, r, f.tails[r], f.adj[r])
+		}
+		disc := u < w && f.s.opinions[u] != f.s.opinions[w]
+		if got := f.pos[a] >= 0; got != disc {
+			return fmt.Errorf("core: arc %d (%d→%d) listed=%v, want discordant canonical=%v",
+				a, u, w, got, disc)
+		}
+		if disc {
+			if p := f.pos[a]; int(p) >= len(f.list) || f.list[p] != int32(a) {
+				return fmt.Errorf("core: arc %d position index broken (pos=%d)", a, f.pos[a])
+			}
+			num += f.unit[u] + f.unit[w]
+			count++
+		}
+	}
+	if count != len(f.list) {
+		return fmt.Errorf("core: discordant list has %d arcs, want %d", len(f.list), count)
+	}
+	if num != f.num {
+		return fmt.Errorf("core: active mass numerator %d, recomputed %d", f.num, num)
+	}
+	return nil
+}
+
+// geomSkip draws the number of idle scheduler invocations before the
+// next active one: K ~ Geometric(p) on {0, 1, 2, …} with p = num/den
+// and P[K = k] = (1-p)^k·p, truncated at limit (a return of limit means
+// "no active draw within the next limit invocations", which has
+// probability (1-p)^limit — exactly the tail mass, so truncating and
+// re-drawing later is lawful by memorylessness).
+func geomSkip(r *rand.Rand, num, den, limit int64) int64 {
+	if num >= den {
+		return 0
+	}
+	lq := math.Log1p(-float64(num) / float64(den)) // ln(1-p) < 0
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	k := math.Log(u) / lq
+	if k >= float64(limit) {
+		return limit
+	}
+	return int64(k)
+}
+
+// loop is the fast engine's replacement for the naive per-step loop in
+// run.go: identical observable behaviour, idle steps skipped in bulk.
+func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
+	s := e.s
+	prevVersion := s.SupportVersion()
+	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
+		// The farthest this iteration may advance: never past MaxSteps,
+		// and never past the next observer boundary (idle steps do not
+		// change the state, but the naive engine still invokes the
+		// observer there, so boundaries must be visited).
+		limit := e.maxSteps - s.Steps()
+		if e.observer != nil {
+			if toBoundary := e.observeEvery - s.Steps()%e.observeEvery; toBoundary < limit {
+				limit = toBoundary
+			}
+		}
+		num, den := f.ActiveMass()
+		k := limit // no discordant pair anywhere: every draw is idle
+		if num > 0 {
+			k = geomSkip(e.r, num, den, limit)
+		}
+		if k < limit {
+			// Next active draw lands inside the window: account for the
+			// k skipped idle steps plus the active one, then apply it.
+			s.addSteps(k + 1)
+			v, w := f.sampleDiscordant(e.r)
+			f.SetOpinion(v, rule.Target(int(s.opinions[v]), int(s.opinions[w])))
+			if s.SupportVersion() != prevVersion {
+				e.onSupport()
+				prevVersion = s.SupportVersion()
+			}
+		} else {
+			// All idle up to the cap: jump straight to it. Memorylessness
+			// of the geometric makes the fresh draw next iteration exact.
+			s.addSteps(limit)
+		}
+		if e.observer != nil && s.Steps()%e.observeEvery == 0 {
+			if !e.observer(s) {
+				e.res.Aborted = true
+			}
+		}
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,8 @@
+//go:build !divtestinvariants
+
+package core
+
+// fastCheckInvariants compiles to a no-op unless the divtestinvariants
+// build tag is set (fast_invariants_on.go), so the fast engine's hot
+// path carries no checking overhead in normal builds and benchmarks.
+func fastCheckInvariants(*FastState) {}

@@ -1,0 +1,17 @@
+//go:build divtestinvariants
+
+package core
+
+// With the divtestinvariants build tag, every FastState opinion update
+// re-derives the discordance bookkeeping from scratch and panics on the
+// first divergence from the incremental aggregates. O(n + m) per update
+// — run `go test -tags divtestinvariants ./internal/core` (the Makefile
+// `invariants` target) to exercise it; never enable it for benchmarks.
+func fastCheckInvariants(f *FastState) {
+	if err := f.CheckDiscordance(); err != nil {
+		panic(err)
+	}
+	if err := f.s.CheckInvariants(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+// The hybrid engine behind EngineAuto: run the naive per-invocation
+// loop while discordance is high (where it is unbeatable — an idle draw
+// costs a couple of array reads) and switch to the skip-sampling fast
+// loop when idle draws dominate. The two regimes are real: a k-opinion
+// run starts with most draws discordant, where the fast engine's O(d(v))
+// bookkeeping per active step is pure overhead, and ends in the long
+// two-adjacent-opinion final stage where almost every draw is idle and
+// skip-sampling wins by orders of magnitude.
+//
+// Switching preserves the process law exactly. Each engine realizes the
+// correct conditional trajectory law *from any state*, and the decision
+// to switch is measurable with respect to the past (the naive→fast
+// trigger looks at realized draws, the fast→naive trigger at the
+// current state's exact discordance mass), i.e. it is a stopping time —
+// so the concatenated trajectory has the same joint distribution as
+// either pure engine, stopping times and observer call sites included.
+//
+// Cost model. A naive draw costs ~1 unit; one fast active iteration
+// costs ~hybridCostRatio·(d̄/3 + 4) units (O(d̄) arc toggles plus the
+// constant geometric-skip and sampling overhead; measured on a
+// 10k-vertex 16-regular graph a naive draw is ~25ns and a fast active
+// iteration ~200–280ns ≈ 9 draws ≈ d̄/3 + 4). Skip-sampling therefore
+// pays when the expected draws per active step, 1/p, exceed that:
+//
+//	enter fast: windowed active fraction < 1 / (2·R·(d̄/3 + 4))
+//	exit fast:  exact p_active        > 1 / (R·(d̄/3 + 4))
+//
+// with R = hybridCostRatio. The factor-2 gap is hysteresis; entry uses
+// a cheap per-window counter, exit the exact mass the fast state
+// already maintains. Because the minority-size random walk of a final
+// stage re-crosses any fixed threshold many times, two further guards
+// keep transition costs amortized: the FastState is built once and
+// re-entered via an O(arcs) Reset (structural arrays are reused), and
+// each fast→naive exit starts an exponentially growing cooldown
+// (1, 2, 4, … windows, capped) before the next entry is considered.
+// On dense graphs (K_n: d̄ ≈ n) the thresholds become correspondingly
+// extreme, which is exactly right: there the fast engine only wins when
+// discordance is truly microscopic.
+
+var (
+	// hybridWindow is the number of naive draws per idle-fraction
+	// sample. A package-level var so tests can shrink it to exercise
+	// switching on small graphs.
+	hybridWindow = int64(4096)
+	// hybridCostRatio scales the modelled cost of one fast active
+	// iteration, in units of naive draws, relative to the baseline
+	// d̄/3 + 4 (see hybridCostUnits). 1 matches measurement on random
+	// regular graphs; raising it makes Auto more reluctant to leave
+	// naive stepping.
+	hybridCostRatio = int64(1)
+	// hybridMaxCooldown caps the exponential re-entry backoff, in
+	// windows, so a long run can still return to fast mode reasonably
+	// promptly after a burst of discordance.
+	hybridMaxCooldown = int64(256)
+)
+
+// hybridCostUnits returns d̄/3 + 4: the modelled cost of one fast-engine
+// active iteration in units of naive draws (O(d̄) arc toggles dominate
+// for dense graphs, constant skip/sample overhead for sparse ones).
+func hybridCostUnits(g interface {
+	N() int
+	DegreeSum() int64
+}) int64 {
+	n := int64(g.N())
+	if n < 1 {
+		return 2
+	}
+	u := g.DegreeSum()/n/3 + 4
+	if u < 2 {
+		u = 2
+	}
+	return u
+}
+
+// hybridLoop alternates between the naive and fast loop bodies under
+// the switching policy above. rule is the run's rule, already checked
+// to be a PairwiseRule; proc is needed to build the FastState on the
+// first naive→fast transition (later transitions Reset it in place).
+func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
+	s := e.s
+	costUnits := hybridCostRatio * hybridCostUnits(s.Graph())
+	enterScale := 2 * costUnits // active·enterScale < window ⇒ enter
+	exitScale := costUnits      // num·exitScale > den ⇒ exit
+	fastDisabled := e.observer != nil && e.observeEvery < 8
+
+	var f *FastState
+	inFast := false
+	var cooldown int64       // windows left before entry may be considered
+	nextCooldown := int64(1) // doubles on every fast→naive exit
+	prevVersion := s.SupportVersion()
+	var windowDraws, windowActive int64
+
+	// Initial probe: a run that *starts* deep in the idle-dominated
+	// regime (a final-stage or near-consensus state) should not pay a
+	// full naive window before the first switching decision. Estimate
+	// the active fraction from a few hundred uniform arcs — a function
+	// of the current state and independent coin flips, so entering here
+	// is as lawful a stopping time as the windowed trigger — and build
+	// the fast index straight away when it is clearly below threshold.
+	if !fastDisabled {
+		if arcs := s.Graph().DegreeSum(); arcs > 0 {
+			const probes = 512
+			active := int64(0)
+			for i := 0; i < probes; i++ {
+				v, w := s.Graph().EdgeAt(int(e.r.Int64N(arcs)))
+				if s.opinions[v] != s.opinions[w] {
+					active++
+				}
+			}
+			if active*enterScale < probes {
+				if fs, err := NewFastState(s, proc); err != nil {
+					fastDisabled = true
+				} else if f = fs; f.num*exitScale <= f.den {
+					inFast = true
+				}
+			}
+		}
+	}
+	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
+		if !inFast {
+			// Naive mode: one scheduler invocation, plus window accounting.
+			v, w := e.sched.Pair(e.r)
+			s.countStep()
+			active := s.opinions[v] != s.opinions[w]
+			e.rule.Step(s, e.r, v, w)
+			if s.SupportVersion() != prevVersion {
+				e.onSupport()
+				prevVersion = s.SupportVersion()
+			}
+			if e.observer != nil && s.Steps()%e.observeEvery == 0 {
+				if !e.observer(s) {
+					e.res.Aborted = true
+				}
+			}
+			if active {
+				windowActive++
+			}
+			if windowDraws++; windowDraws >= hybridWindow {
+				switch {
+				case cooldown > 0:
+					cooldown--
+				case !fastDisabled && windowActive*enterScale < windowDraws:
+					if f == nil {
+						fs, err := NewFastState(s, proc)
+						if err != nil {
+							// e.g. degree-lcm overflow: naive-only from here on.
+							fastDisabled = true
+						} else {
+							f = fs
+						}
+					} else {
+						f.Reset()
+					}
+					// The windowed estimate is noisy; trust the exact mass.
+					// If it is already past the exit threshold, entering
+					// would bounce straight back — back off instead.
+					if f != nil && f.num*exitScale > f.den {
+						cooldown = nextCooldown
+						if nextCooldown < hybridMaxCooldown {
+							nextCooldown *= 2
+						}
+					} else {
+						inFast = f != nil
+					}
+				}
+				windowDraws, windowActive = 0, 0
+			}
+			continue
+		}
+		// Fast mode: one skip-sampling iteration (mirrors FastState.loop).
+		limit := e.maxSteps - s.Steps()
+		if e.observer != nil {
+			if toBoundary := e.observeEvery - s.Steps()%e.observeEvery; toBoundary < limit {
+				limit = toBoundary
+			}
+		}
+		num, den := f.ActiveMass()
+		k := limit
+		if num > 0 {
+			k = geomSkip(e.r, num, den, limit)
+		}
+		if k < limit {
+			s.addSteps(k + 1)
+			v, w := f.sampleDiscordant(e.r)
+			f.SetOpinion(v, rule.Target(int(s.opinions[v]), int(s.opinions[w])))
+			if s.SupportVersion() != prevVersion {
+				e.onSupport()
+				prevVersion = s.SupportVersion()
+			}
+			if num, den := f.ActiveMass(); num*exitScale > den {
+				// Discordance rebounded: back to naive stepping, with an
+				// exponentially growing cooldown before the next entry.
+				inFast = false
+				cooldown = nextCooldown
+				if nextCooldown < hybridMaxCooldown {
+					nextCooldown *= 2
+				}
+			}
+		} else {
+			s.addSteps(limit)
+		}
+		if e.observer != nil && s.Steps()%e.observeEvery == 0 {
+			if !e.observer(s) {
+				e.res.Aborted = true
+			}
+		}
+	}
+}

@@ -17,6 +17,19 @@ type Rule interface {
 	Step(s *State, r *rand.Rand, v, w int)
 }
 
+// PairwiseRule marks rules whose update is a pure function of the two
+// scheduled opinions: Step must be equivalent to
+// s.SetOpinion(v, Target(X_v, X_w)) — no extra randomness, no vertex
+// but v rewritten, and agreement a fixed point (Target(x, x) == x).
+// Such rules cannot change the state on a concordant draw, which is
+// exactly the property the fast engine's idle-step skipping relies on
+// (fast.go); Config.Engine Fast/Auto only accelerate PairwiseRules.
+type PairwiseRule interface {
+	Rule
+	// Target returns v's next opinion when v holding xv observes xw.
+	Target(xv, xw int) int
+}
+
 // DIV is the paper's discrete incremental voting rule: on observing a
 // neighbour with a different opinion, move one unit toward it
 // (equation (1)):
@@ -30,14 +43,23 @@ type DIV struct{}
 func (DIV) Name() string { return "div" }
 
 // Step implements Rule.
-func (DIV) Step(s *State, _ *rand.Rand, v, w int) {
-	xv, xw := s.opinions[v], s.opinions[w]
-	switch {
-	case xv < xw:
-		s.SetOpinion(v, int(xv)+1)
-	case xv > xw:
-		s.SetOpinion(v, int(xv)-1)
+func (d DIV) Step(s *State, _ *rand.Rand, v, w int) {
+	xv := int(s.opinions[v])
+	if x := d.Target(xv, int(s.opinions[w])); x != xv {
+		s.SetOpinion(v, x)
 	}
 }
 
-var _ Rule = DIV{}
+// Target implements PairwiseRule.
+func (DIV) Target(xv, xw int) int {
+	switch {
+	case xv < xw:
+		return xv + 1
+	case xv > xw:
+		return xv - 1
+	default:
+		return xv
+	}
+}
+
+var _ PairwiseRule = DIV{}

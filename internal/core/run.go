@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"div/internal/graph"
 	"div/internal/rng"
@@ -36,6 +37,12 @@ type Config struct {
 	Process Process
 	// Rule is the update rule. Default DIV{}.
 	Rule Rule
+	// Engine selects the stepping strategy: EngineNaive (default)
+	// simulates every scheduler invocation, EngineFast skip-samples idle
+	// steps via discordance tracking (fast.go), EngineAuto picks
+	// whichever is expected to be faster. All engines realize the exact
+	// same process distribution.
+	Engine Engine
 	// Seed seeds the run's private PCG stream.
 	Seed uint64
 	// MaxSteps caps the run. 0 means 200·n² steps, far beyond the
@@ -117,6 +124,11 @@ func Run(cfg Config) (Result, error) {
 	}
 	r := rng.New(cfg.Seed)
 
+	mode, fast, err := engineFor(cfg, s, rule)
+	if err != nil {
+		return Result{}, err
+	}
+
 	res := Result{
 		ThreeStep:              -1,
 		TwoAdjacentStep:        -1,
@@ -164,21 +176,28 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	prevVersion := s.SupportVersion()
-	for !res.Aborted && !done() && s.Steps() < maxSteps {
-		v, w := sched.Pair(r)
-		s.countStep()
-		rule.Step(s, r, v, w)
-		if s.SupportVersion() != prevVersion {
+	env := &loopEnv{
+		s:            s,
+		sched:        sched,
+		rule:         rule,
+		r:            r,
+		maxSteps:     maxSteps,
+		observeEvery: observeEvery,
+		observer:     cfg.Observer,
+		res:          &res,
+		done:         done,
+		onSupport: func() {
 			recordMilestones()
 			recordStage()
-			prevVersion = s.SupportVersion()
-		}
-		if cfg.Observer != nil && s.Steps()%observeEvery == 0 {
-			if !cfg.Observer(s) {
-				res.Aborted = true
-			}
-		}
+		},
+	}
+	switch mode {
+	case stepFast:
+		fast.loop(env, rule.(PairwiseRule))
+	case stepHybrid:
+		env.hybridLoop(rule.(PairwiseRule), cfg.Process)
+	default:
+		env.naiveLoop()
 	}
 
 	res.Steps = s.Steps()
@@ -189,6 +208,45 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Stages = stages
 	return res, nil
+}
+
+// loopEnv carries the per-run context shared by the stepping engines:
+// the naive per-invocation loop below and the skip-sampling fast loop
+// in fast.go. Both loops have identical observable behaviour — the same
+// trajectory law, stopping times, milestone recording, and observer
+// call sites.
+type loopEnv struct {
+	s            *State
+	sched        *Scheduler
+	rule         Rule
+	r            *rand.Rand
+	maxSteps     int64
+	observeEvery int64
+	observer     func(*State) bool
+	res          *Result
+	done         func() bool
+	onSupport    func() // milestone + stage recording on support change
+}
+
+// naiveLoop is the reference engine: every scheduler invocation is
+// simulated individually, including the idle ones.
+func (e *loopEnv) naiveLoop() {
+	s := e.s
+	prevVersion := s.SupportVersion()
+	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
+		v, w := e.sched.Pair(e.r)
+		s.countStep()
+		e.rule.Step(s, e.r, v, w)
+		if s.SupportVersion() != prevVersion {
+			e.onSupport()
+			prevVersion = s.SupportVersion()
+		}
+		if e.observer != nil && s.Steps()%e.observeEvery == 0 {
+			if !e.observer(s) {
+				e.res.Aborted = true
+			}
+		}
+	}
 }
 
 func nan() float64 {

@@ -260,6 +260,11 @@ func (s *State) SetOpinion(v int, x int) {
 // countStep increments the step counter; called by the schedulers.
 func (s *State) countStep() { s.steps++ }
 
+// addSteps advances the step counter by k ≥ 1 scheduler invocations at
+// once; the fast engine uses it to account for skipped idle steps
+// (fast.go) without simulating them.
+func (s *State) addSteps(k int64) { s.steps += k }
+
 // CheckInvariants recomputes every aggregate from scratch and returns
 // an error describing the first inconsistency, for tests and debugging.
 func (s *State) CheckInvariants() error {

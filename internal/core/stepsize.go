@@ -27,25 +27,34 @@ func (r IncrementalStep) Name() string {
 
 // Step implements Rule.
 func (r IncrementalStep) Step(s *State, _ *rand.Rand, v, w int) {
+	xv := s.Opinion(v)
+	if x := r.Target(xv, s.Opinion(w)); x != xv {
+		s.SetOpinion(v, x)
+	}
+}
+
+// Target implements PairwiseRule.
+func (r IncrementalStep) Target(xv, xw int) int {
 	step := r.S
 	if step < 1 {
 		step = 1
 	}
-	xv, xw := s.Opinion(v), s.Opinion(w)
 	switch {
 	case xv < xw:
 		nw := xv + step
 		if nw > xw {
 			nw = xw
 		}
-		s.SetOpinion(v, nw)
+		return nw
 	case xv > xw:
 		nw := xv - step
 		if nw < xw {
 			nw = xw
 		}
-		s.SetOpinion(v, nw)
+		return nw
+	default:
+		return xv
 	}
 }
 
-var _ Rule = IncrementalStep{}
+var _ PairwiseRule = IncrementalStep{}

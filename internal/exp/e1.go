@@ -67,6 +67,7 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 					return 0, err
 				}
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: init,
 					Process: core.VertexProcess,

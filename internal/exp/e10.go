@@ -81,6 +81,7 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 			winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0xa00+10*si+pi)), p.Parallelism,
 				func(trial int, seed uint64) (float64, error) {
 					res, err := core.Run(core.Config{
+						Engine:  p.coreEngine(),
 						Graph:   sc.g,
 						Initial: sc.init,
 						Process: proc,

@@ -81,6 +81,7 @@ func E13LambdaKThreshold(p Params) (*Report, error) {
 					st := core.MustState(g, init)
 					c := st.WeightedAverage()
 					res, err := core.Run(core.Config{
+						Engine:   p.coreEngine(),
 						Graph:    g,
 						Initial:  init,
 						Process:  core.VertexProcess,

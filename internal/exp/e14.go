@@ -46,6 +46,7 @@ func E14Distributed(p Params) (*Report, error) {
 				return 0, err
 			}
 			res, err := core.Run(core.Config{
+				Engine:  p.coreEngine(),
 				Graph:   g,
 				Initial: init,
 				Process: core.VertexProcess,

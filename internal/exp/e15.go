@@ -71,6 +71,7 @@ func E15StepSizeAblation(p Params) (*Report, error) {
 					return out{}, err
 				}
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

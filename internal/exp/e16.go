@@ -72,6 +72,7 @@ func E16Synchronous(p Params) (*Report, error) {
 				return refOut{}, err
 			}
 			res, err := core.Run(core.Config{
+				Engine:  p.coreEngine(),
 				Graph:   g,
 				Initial: init,
 				Process: core.VertexProcess,

@@ -80,6 +80,7 @@ func E17PushPull(p Params) (*Report, error) {
 		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1700+ri)), p.Parallelism,
 			func(trial int, seed uint64) (float64, error) {
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: init,
 					Process: core.VertexProcess,

@@ -58,6 +58,7 @@ func E18Zealots(p Params) (*Report, error) {
 					return out{}, err
 				}
 				res, err := core.Run(core.Config{
+					Engine:   p.coreEngine(),
 					Graph:    g,
 					Initial:  init,
 					Process:  core.VertexProcess,
@@ -116,6 +117,7 @@ func E18Zealots(p Params) (*Report, error) {
 	var finalRanges []float64
 	for trial := 0; trial < p.pick(20, 60); trial++ {
 		res, err := core.Run(core.Config{
+			Engine:   p.coreEngine(),
 			Graph:    g,
 			Initial:  init,
 			Process:  core.VertexProcess,

@@ -48,6 +48,7 @@ func E19CoalescingDuality(p Params) (*Report, error) {
 		consT, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1900+gi)), p.Parallelism,
 			func(trial int, seed uint64) (float64, error) {
 				res, err := core.Run(core.Config{
+					Engine:   p.coreEngine(),
 					Graph:    g,
 					Initial:  init,
 					Process:  core.VertexProcess,

@@ -40,6 +40,7 @@ func E2ReductionTime(p Params) (*Report, error) {
 			func(trial int, seed uint64) (float64, error) {
 				r := rng.New(seed)
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: core.ExtremesOpinions(n, k, r),
 					Process: core.VertexProcess,
@@ -111,6 +112,7 @@ func E2ReductionTime(p Params) (*Report, error) {
 			func(trial int, seed uint64) (float64, error) {
 				r := rng.New(seed)
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: core.ExtremesOpinions(n, kk, r),
 					Process: core.VertexProcess,

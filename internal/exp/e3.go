@@ -67,6 +67,7 @@ func E3Martingale(p Params) (*Report, error) {
 				init := core.UniformOpinions(n, k, r)
 				var w0, w1 float64
 				_, err := core.Run(core.Config{
+					Engine:   p.coreEngine(),
 					Graph:    g,
 					Initial:  init,
 					Process:  proc,

@@ -117,6 +117,7 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 		wins, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x400+si)), p.Parallelism,
 			func(trial int, seed uint64) (int, error) {
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   sc.g,
 					Initial: sc.initial,
 					Process: sc.proc,

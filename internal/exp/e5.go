@@ -39,6 +39,7 @@ func E5Concentration(p Params) (*Report, error) {
 			first := true
 			var wEnd int64
 			_, err := core.Run(core.Config{
+				Engine:   p.coreEngine(),
 				Graph:    g,
 				Initial:  init,
 				Process:  core.EdgeProcess,

@@ -47,6 +47,7 @@ func E6StageEvolution(p Params) (*Report, error) {
 				return outcome{}, err
 			}
 			res, err := core.Run(core.Config{
+				Engine:       p.coreEngine(),
 				Graph:        g,
 				Initial:      init,
 				Process:      core.VertexProcess,
@@ -133,6 +134,7 @@ func E6StageEvolution(p Params) (*Report, error) {
 		return nil, err
 	}
 	res, err := core.Run(core.Config{
+		Engine:       p.coreEngine(),
 		Graph:        g,
 		Initial:      init,
 		Process:      core.VertexProcess,

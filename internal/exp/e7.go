@@ -59,6 +59,7 @@ func E7ModeMedianMean(p Params) (*Report, error) {
 					return 0, err
 				}
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

@@ -50,6 +50,7 @@ func E8LoadBalancing(p Params) (*Report, error) {
 				c := float64(s0) / float64(n)
 				var sEnd int64
 				res, err := core.Run(core.Config{
+					Engine:  p.coreEngine(),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

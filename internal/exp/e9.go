@@ -57,6 +57,7 @@ func E9PathCounterexample(p Params) (*Report, error) {
 					rng.Shuffle(r, init)
 				}
 				res, err := core.Run(core.Config{
+					Engine:   p.coreEngine(),
 					Graph:    g,
 					Initial:  init,
 					Process:  core.VertexProcess,

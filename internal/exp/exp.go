@@ -1,6 +1,7 @@
-// Package exp implements the repository's experiment suite E1–E19: one
+// Package exp implements the repository's experiment suite E1–E20: one
 // experiment per theorem, lemma, closed-form probability, or worked
-// example in the paper (plus the E14 distributed-deployment extension).
+// example in the paper (plus the E14 distributed-deployment extension
+// and the E20 fast-engine benchmark).
 // DESIGN.md §3 is the index. Each experiment produces text tables (and
 // the scaling ones ASCII figures), together with named pass/fail checks
 // asserted by the integration tests, so "paper claim vs. measured"
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"div/internal/core"
 	"div/internal/sim"
 )
 
@@ -27,13 +29,31 @@ type Params struct {
 	Seed uint64
 	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
 	Parallelism int
+	// Engine selects the core stepping engine ("naive", "fast",
+	// "auto"); empty means "auto". Experiments pass it through to every
+	// core.Run so `divbench -engine` applies suite-wide.
+	Engine string
 }
 
 func (p Params) withDefaults() Params {
 	if p.Seed == 0 {
 		p.Seed = 0x5eed
 	}
+	if p.Engine == "" {
+		p.Engine = "auto"
+	}
 	return p
+}
+
+// coreEngine resolves the Engine string, defaulting to EngineAuto on
+// empty or unparseable values (experiments validate the flag at the
+// CLI boundary; here a bad value must not abort a suite run).
+func (p Params) coreEngine() core.Engine {
+	e, err := core.ParseEngine(p.Engine)
+	if err != nil {
+		return core.EngineAuto
+	}
+	return e
 }
 
 // pick returns quick in Quick mode and full otherwise.
@@ -112,6 +132,7 @@ var All = []Def{
 	{"E17", "push vs pull: which average survives", E17PushPull},
 	{"E18", "zealots / stubborn vertices (extension)", E18Zealots},
 	{"E19", "pull voting ↔ coalescing walks duality", E19CoalescingDuality},
+	{"E20", "fast engine speedup (discordance tracking)", E20FastEngine},
 }
 
 // ByID returns the experiment definition with the given ID.

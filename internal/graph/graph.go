@@ -143,6 +143,12 @@ func (g *Graph) EdgeAt(arc int) (tail, head int) {
 	return tail, head
 }
 
+// Arcs returns the flat 2M-length adjacency array: entry a is the head
+// vertex of directed arc a (arc indices follow Neighbors order,
+// vertex-major). The slice is the graph's own storage — callers must
+// not modify it.
+func (g *Graph) Arcs() []int32 { return g.adj }
+
 // ArcTails returns a 2M-length array mapping each directed-arc index to
 // its tail vertex, for O(1) EdgeAt lookups in hot loops.
 func (g *Graph) ArcTails() []int32 {

@@ -1,13 +1,14 @@
 // Package sim is the experiment harness: it fans Monte-Carlo trials
 // across a worker pool with deterministic per-trial seeds, aggregates
 // results, and renders the tables that regenerate the paper's claims
-// (see DESIGN.md §3 for the experiment index E1–E19).
+// (see DESIGN.md §3 for the experiment index E1–E20).
 package sim
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"div/internal/rng"
@@ -20,7 +21,11 @@ type TrialFunc[T any] func(trial int, seed uint64) (T, error)
 
 // Trials runs fn for trial = 0..trials-1 in parallel and returns the
 // results indexed by trial. Parallelism 0 means GOMAXPROCS. The first
-// error aborts outstanding work and is returned.
+// error aborts outstanding work and is returned. A panic inside fn is
+// recovered and surfaced the same way (with the trial index and stack
+// attached) instead of tearing down the whole process from a worker
+// goroutine — a single bad trial out of thousands should fail the
+// experiment, not lose every other experiment sharing the run.
 func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]) ([]T, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("sim: negative trial count %d", trials)
@@ -59,6 +64,14 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 			firstErr = fmt.Errorf("sim: trial %d: %w", t, err)
 		}
 	}
+	run := func(t int, seed uint64) (res T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return fn(t, seed)
+	}
 	for p := 0; p < parallelism; p++ {
 		wg.Add(1)
 		go func() {
@@ -68,7 +81,7 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 				if !ok {
 					return
 				}
-				res, err := fn(t, rng.DeriveSeed(baseSeed, uint64(t)))
+				res, err := run(t, rng.DeriveSeed(baseSeed, uint64(t)))
 				if err != nil {
 					fail(t, err)
 					return

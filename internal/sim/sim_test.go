@@ -145,3 +145,31 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", b.String(), want)
 	}
 }
+
+func TestTrialsRecoversPanic(t *testing.T) {
+	_, err := Trials(8, 1, 4, func(trial int, seed uint64) (int, error) {
+		if trial == 3 {
+			panic("boom in trial")
+		}
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("Trials returned nil error for a panicking trial")
+	}
+	for _, want := range []string{"trial 3", "panic", "boom in trial"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if !strings.Contains(err.Error(), "sim_test.go") {
+		t.Errorf("error does not carry the panicking site's stack:\n%v", err)
+	}
+}
+
+func TestTrialsRecoversPanicSerial(t *testing.T) {
+	if _, err := Trials(4, 1, 1, func(trial int, seed uint64) (int, error) {
+		panic(trial)
+	}); err == nil || !strings.Contains(err.Error(), "trial 0") {
+		t.Fatalf("serial panic not surfaced as first error: %v", err)
+	}
+}

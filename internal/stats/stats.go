@@ -217,7 +217,13 @@ func KSDistance(xs []float64, cdf func(float64) float64) (float64, error) {
 }
 
 // KS2Sample returns the two-sample Kolmogorov–Smirnov distance between
-// the empirical CDFs of xs and ys.
+// the empirical CDFs of xs and ys. Ties are handled exactly: both
+// empirical CDFs only jump *at* sample values, so the distance is
+// evaluated after consuming every observation equal to the current
+// value from both samples. (Evaluating mid-tie-block would compare one
+// CDF mid-jump against the other pre-jump and inflate the distance by
+// up to the largest atom's probability mass, which matters for the
+// discrete step-count distributions this is applied to.)
 func KS2Sample(xs, ys []float64) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, fmt.Errorf("stats: KS2Sample on empty sample")
@@ -228,10 +234,22 @@ func KS2Sample(xs, ys []float64) (float64, error) {
 	sort.Float64s(b)
 	var maxD float64
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
+	for i < len(a) || j < len(b) {
+		var x float64
+		switch {
+		case i >= len(a):
+			x = b[j]
+		case j >= len(b):
+			x = a[i]
+		case a[i] <= b[j]:
+			x = a[i]
+		default:
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
 			i++
-		} else {
+		}
+		for j < len(b) && b[j] == x {
 			j++
 		}
 		d := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
