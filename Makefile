@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help check vet build test race invariants bench bench-engine full-suite
+.PHONY: help check vet build test race invariants bench bench-engine full-suite cover trace-artifact
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-12s %s\n", $$1, $$2}'
@@ -21,6 +21,14 @@ race: ## race detector over the concurrent packages
 
 invariants: ## recompute the fast engine's discordance index from scratch after every update
 	$(GO) test -tags divtestinvariants ./internal/core
+
+cover: ## coverage profile + HTML report (cover.out, cover.html)
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	$(GO) tool cover -func=cover.out | tail -1
+
+trace-artifact: ## regenerate results/observability.txt (traced dissenter run)
+	./scripts/trace_artifact.sh
 
 bench: ## every experiment as a testing.B benchmark, one iteration each
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

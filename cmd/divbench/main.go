@@ -12,13 +12,20 @@
 //	divbench -csv out/       # also write each table as CSV
 //	divbench -seed 7         # change the master seed
 //	divbench -engine naive   # force the reference stepping engine
+//	divbench -metrics        # print the aggregated metrics snapshot on exit
+//	divbench -trace t.jsonl  # write a JSONL probe trace of every core run
+//	divbench -pprof :6060    # serve /debug/pprof/ + /debug/vars while running
 //
-// The exit status is nonzero if any check fails.
+// The exit status is nonzero if any check fails; failing checks are
+// repeated in a consolidated FAILED block at the end so they cannot
+// scroll away in -full output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,17 +33,21 @@ import (
 
 	"div/internal/core"
 	"div/internal/exp"
+	"div/internal/obs"
 	"div/internal/sim"
 )
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "publication sizes (slower)")
-		expList = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
-		seed    = flag.Uint64("seed", 0, "master seed (0 = package default)")
-		csvDir  = flag.String("csv", "", "directory to write per-table CSV files into")
-		par     = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
-		engine  = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
+		full      = flag.Bool("full", false, "publication sizes (slower)")
+		expList   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
+		seed      = flag.Uint64("seed", 0, "master seed (0 = package default)")
+		csvDir    = flag.String("csv", "", "directory to write per-table CSV files into")
+		par       = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
+		metrics   = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
+		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
 	)
 	flag.Parse()
 	if _, err := core.ParseEngine(*engine); err != nil {
@@ -55,15 +66,44 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *pprofAddr != "" {
+		obs.Default.PublishExpvar("div_metrics")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "divbench: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: serving /debug/pprof/ and /debug/vars on http://%s\n", *pprofAddr)
+	}
 
 	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine}
-	failures := 0
+	var makers []obs.ProbeMaker
+	var tw *obs.TraceWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		makers = append(makers, tw.Probe)
+	}
+	if *metrics {
+		makers = append(makers, obs.ConstMaker(obs.MetricsProbe(obs.Default)))
+	}
+	params.Probe = obs.MultiMaker(makers...)
+
+	// failed collects every failing check and experiment error for the
+	// consolidated summary block: a single FAIL in -full output scrolls
+	// away long before the run ends.
+	var failed []string
 	for _, d := range defs {
 		start := time.Now()
 		rep, err := d.Run(params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, err)
-			failures++
+			failed = append(failed, fmt.Sprintf("%s: experiment error: %v", d.ID, err))
 			continue
 		}
 		fmt.Printf("\n######## %s — %s (%v)\n\n", rep.ID, rep.Name, time.Since(start).Round(time.Millisecond))
@@ -86,7 +126,7 @@ func main() {
 			mark := "PASS"
 			if !c.Pass {
 				mark = "FAIL"
-				failures++
+				failed = append(failed, fmt.Sprintf("%s: %s — %s", rep.ID, c.Name, c.Detail))
 			}
 			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
 		}
@@ -94,8 +134,25 @@ func main() {
 			fmt.Printf("  note: %s\n", n)
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "\n%d failure(s)\n", failures)
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "divbench: trace:", err)
+			failed = append(failed, fmt.Sprintf("trace: %v", err))
+		} else {
+			fmt.Printf("\ntrace: %d events -> %s\n", tw.Events(), *traceFile)
+		}
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nFAILED: %d check(s)\n", len(failed))
+		for _, f := range failed {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
 		os.Exit(1)
 	}
 }

@@ -5,18 +5,23 @@
 //
 //	divsim -graph complete:200 -k 5
 //	divsim -graph regular:500,16 -k 9 -process edge -trials 100
-//	divsim -graph path:30 -k 3 -trace
+//	divsim -graph path:30 -k 3 -trace-stages
 //	divsim -graph complete:150 -rule median -k 9
 //	divsim -graph complete:120 -rule loadbalance -process edge -k 16
+//	divsim -graph regular:10000,8 -dissenters 20 -trace run.jsonl -metrics
+//	divsim -graph regular:2000,8 -trials 50 -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"div/internal/cli"
 	"div/internal/core"
+	"div/internal/obs"
 	"div/internal/rng"
 	"div/internal/stats"
 	"div/internal/textplot"
@@ -24,26 +29,47 @@ import (
 
 func main() {
 	var (
-		graphSpec = flag.String("graph", "complete:100", "graph spec (complete:N, regular:N,D, gnp:N,P, ws:N,D,B, ba:N,M, path:N, cycle:N, star:N, torus:R,C, hypercube:D, …)")
-		k         = flag.Int("k", 5, "opinions are drawn uniformly from {1..k}")
-		procName  = flag.String("process", "vertex", "scheduler: vertex or edge")
-		ruleName  = flag.String("rule", "div", "update rule: div, pull, median, bestofK, loadbalance")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		trials    = flag.Int("trials", 1, "number of independent runs")
-		engName   = flag.String("engine", "auto", "stepping engine: naive, fast, or auto")
-		trace     = flag.Bool("trace", false, "print the opinion-support stage trace (first run only)")
-		series    = flag.Bool("series", false, "print range/weight trajectory sparklines (first run only)")
-		maxSteps  = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
+		graphSpec  = flag.String("graph", "complete:100", "graph spec (complete:N, regular:N,D, gnp:N,P, ws:N,D,B, ba:N,M, path:N, cycle:N, star:N, torus:R,C, hypercube:D, …)")
+		k          = flag.Int("k", 5, "opinions are drawn uniformly from {1..k}")
+		dissenters = flag.Int("dissenters", 0, "two-opinion split initial profile: N vertices at 2, the rest at 1 (overrides -k; the E20 final-stage workload)")
+		procName   = flag.String("process", "vertex", "scheduler: vertex or edge")
+		ruleName   = flag.String("rule", "div", "update rule: div, pull, median, bestofK, loadbalance")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 1, "number of independent runs")
+		engName    = flag.String("engine", "auto", "stepping engine: naive, fast, or auto")
+		trace      = flag.Bool("trace-stages", false, "print the opinion-support stage trace (first run only)")
+		series     = flag.Bool("series", false, "print range/weight/discordance trajectory sparklines (first run only)")
+		maxSteps   = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
+		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every run to this file")
+		metrics    = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	if err := run(*graphSpec, *k, *procName, *ruleName, *engName, *seed, *trials, *trace, *series, *maxSteps); err != nil {
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	if err := run(*graphSpec, *k, *dissenters, *procName, *ruleName, *engName, *seed, *trials,
+		*trace, *series, *maxSteps, *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "divsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphSpec string, k int, procName, ruleName, engName string, seed uint64, trials int, trace, series bool, maxSteps int64) error {
+// servePprof publishes the metrics registry as the expvar "div_metrics"
+// variable and serves /debug/pprof/ and /debug/vars in the background.
+func servePprof(addr string) {
+	obs.Default.PublishExpvar("div_metrics")
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "divsim: pprof:", err)
+		}
+	}()
+	fmt.Printf("pprof: serving /debug/pprof/ and /debug/vars on http://%s\n", addr)
+}
+
+func run(graphSpec string, k, dissenters int, procName, ruleName, engName string, seed uint64, trials int,
+	trace, series bool, maxSteps int64, traceFile string, metrics bool) error {
 	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
 	if err != nil {
 		return err
@@ -60,14 +86,42 @@ func run(graphSpec string, k int, procName, ruleName, engName string, seed uint6
 	if err != nil {
 		return err
 	}
+	if dissenters > 0 {
+		k = 2
+	}
 	fmt.Printf("graph: %v  process: %v  rule: %s  engine: %v  k: %d  seed: %d\n", g, proc, rule.Name(), engine, k, seed)
+
+	// Probe sinks: a JSONL trace writer and/or the metrics registry.
+	// Trials run serially, so a seeded trace is byte-identical across
+	// invocations.
+	var tw *obs.TraceWriter
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+	}
+	var metricsProbe obs.Probe
+	if metrics {
+		metricsProbe = obs.MetricsProbe(obs.Default)
+	}
 
 	winners := stats.NewIntHistogram()
 	var stepsAll, reduceAll []float64
 	for t := 0; t < trials; t++ {
 		trialSeed := rng.DeriveSeed(seed, uint64(t))
 		r := rng.New(trialSeed)
-		init := core.UniformOpinions(g.N(), k, r)
+		var init []int
+		if dissenters > 0 {
+			init, err = core.TwoOpinionSplit(g.N(), dissenters, r)
+			if err != nil {
+				return err
+			}
+		} else {
+			init = core.UniformOpinions(g.N(), k, r)
+		}
 		var rec *core.Recorder
 		cfg := core.Config{
 			Graph:        g,
@@ -79,6 +133,14 @@ func run(graphSpec string, k int, procName, ruleName, engName string, seed uint6
 			MaxSteps:     maxSteps,
 			TraceSupport: trace && t == 0,
 		}
+		var probes []obs.Probe
+		if tw != nil {
+			probes = append(probes, tw.Probe(t, cfg.Seed))
+		}
+		if metricsProbe != nil {
+			probes = append(probes, metricsProbe)
+		}
+		cfg.Probe = obs.Multi(probes...)
 		if series && t == 0 {
 			rec = &core.Recorder{}
 			cfg.Observer = rec.Observe
@@ -94,6 +156,8 @@ func run(graphSpec string, k int, procName, ruleName, engName string, seed uint6
 				g.N(), textplot.Sparkline(downsample(rec.RangeFloat(), width)))
 			fmt.Printf("weight S(t) trajectory:\n  %s\n",
 				textplot.Sparkline(downsample(rec.SumFloat(), width)))
+			fmt.Printf("discordant-edge trajectory:\n  %s\n",
+				textplot.Sparkline(downsample(rec.DiscordanceFloat(), width)))
 		}
 		if t == 0 {
 			fmt.Printf("initial: simple average %.4f, degree-weighted average %.4f\n",
@@ -125,6 +189,18 @@ func run(graphSpec string, k int, procName, ruleName, engName string, seed uint6
 		fmt.Printf("winners over %d trials: %s\n", trials, winners)
 		fmt.Printf("mean steps to consensus: %.0f; mean steps to two adjacent: %.0f\n",
 			stats.Mean(stepsAll), stats.Mean(reduceAll))
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", tw.Events(), traceFile)
+	}
+	if metrics {
+		fmt.Println("metrics:")
+		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -39,12 +39,14 @@
 package div
 
 import (
+	"io"
 	"math/rand/v2"
 
 	"div/internal/baseline"
 	"div/internal/core"
 	"div/internal/graph"
 	"div/internal/netsim"
+	"div/internal/obs"
 	"div/internal/rng"
 	"div/internal/spectral"
 )
@@ -248,3 +250,51 @@ type (
 // RunDistributed executes the message-passing protocol. With zero
 // latency it is exactly the vertex process (Poisson thinning).
 func RunDistributed(cfg NetConfig) (NetResult, error) { return netsim.Run(cfg) }
+
+// Observability: a probe receives semantic engine events (step
+// batches, engine switches, discordance mass, stage transitions, run
+// completion) via Config.Probe; a nil probe costs one predictable
+// branch per step, and a non-nil probe never perturbs the trajectory.
+// See DESIGN.md §7.
+type (
+	// Probe is the structured run-event interface.
+	Probe = obs.Probe
+	// ProbeMaker builds a per-run probe from (trial, seed) context.
+	ProbeMaker = obs.ProbeMaker
+	// StepBatch aggregates a contiguous span of steps.
+	StepBatch = obs.StepBatch
+	// EngineSwitch reports a hybrid naive⇄fast transition.
+	EngineSwitch = obs.EngineSwitch
+	// DiscordanceEvent samples the discordant-arc mass.
+	DiscordanceEvent = obs.Discordance
+	// StageEvent reports a support-set change.
+	StageEvent = obs.Stage
+	// DoneEvent reports run completion.
+	DoneEvent = obs.Done
+	// TraceWriter streams probe events as JSONL.
+	TraceWriter = obs.TraceWriter
+	// TraceEvent is one decoded JSONL trace line.
+	TraceEvent = obs.Event
+	// MetricsRegistry is a process-local metrics registry.
+	MetricsRegistry = obs.Registry
+)
+
+// Metrics is the process-wide default metrics registry that the
+// harness, netsim, and MetricsProbe(Metrics) aggregate into; snapshot
+// it with Metrics.Snapshot().WriteText or publish it over expvar with
+// Metrics.PublishExpvar.
+var Metrics = obs.Default
+
+// NewTraceWriter wraps w in a JSONL trace sink; attach per-run probes
+// with TraceWriter.Probe(trial, seed) and flush with Close.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// ReadTrace decodes a JSONL trace produced by TraceWriter.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
+
+// MetricsProbe returns a probe that aggregates run events into reg's
+// counters and histograms; it is safe to share across concurrent runs.
+func MetricsProbe(reg *MetricsRegistry) Probe { return obs.MetricsProbe(reg) }
+
+// MultiProbe fans events out to several probes, dropping nils.
+func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"div/internal/graph"
+	"div/internal/obs"
 )
 
 // This file implements the fast stepping engine. The observation behind
@@ -77,6 +78,8 @@ type FastState struct {
 	den    int64   // P[active] = num/den: 2m (edge) or n·L (vertex)
 	minDeg int64   // rejection acceptance scale for the vertex process
 	reject bool    // vertex process on an irregular graph: rejection needed
+
+	countFn func() int64 // O(1) discordant-edge count for State.DiscordantEdges
 }
 
 // maxDegreeLCM bounds the least common multiple of the distinct degrees
@@ -133,9 +136,24 @@ func NewFastState(s *State, proc Process) (*FastState, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown process %v", proc)
 	}
+	f.countFn = func() int64 { return int64(len(f.list)) }
 	f.Reset()
 	return f, nil
 }
+
+// attachDiscordance makes the wrapped State's DiscordantEdges read the
+// index's exact O(1) count. Only valid while every opinion update goes
+// through f.SetOpinion; detachDiscordance must be called before the
+// hybrid engine resumes naive stepping (which bypasses the index and
+// lets it go stale).
+func (f *FastState) attachDiscordance() { f.s.discordFn = f.countFn }
+
+// detachDiscordance reverts State.DiscordantEdges to the O(m) recount.
+func (f *FastState) detachDiscordance() { f.s.discordFn = nil }
+
+// DiscordantEdges returns the exact number of currently discordant
+// edges maintained by the index.
+func (f *FastState) DiscordantEdges() int64 { return int64(len(f.list)) }
 
 // revArc returns the index of the reverse arc of a = (v, w), computing
 // and memoizing it (in both directions) on first use: neighbour lists
@@ -326,10 +344,26 @@ func geomSkip(r *rand.Rand, num, den, limit int64) int64 {
 	return int64(k)
 }
 
+// emitFastCadence samples the exact discordance mass into the probe
+// and flushes the current step batch. Called on the observeEvery
+// cadence while a fast index is authoritative; probe must be non-nil.
+func (e *loopEnv) emitFastCadence(f *FastState) {
+	num, den := f.ActiveMass()
+	e.probe.Discordance(obs.Discordance{
+		Step:    e.s.Steps(),
+		Edges:   f.DiscordantEdges(),
+		MassNum: num,
+		MassDen: den,
+	})
+	e.flushBatch(obs.RegimeFast)
+	e.advanceEmit()
+}
+
 // loop is the fast engine's replacement for the naive per-step loop in
 // run.go: identical observable behaviour, idle steps skipped in bulk.
 func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
 	s := e.s
+	f.attachDiscordance()
 	prevVersion := s.SupportVersion()
 	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
 		// The farthest this iteration may advance: never past MaxSteps,
@@ -351,6 +385,10 @@ func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
 			// Next active draw lands inside the window: account for the
 			// k skipped idle steps plus the active one, then apply it.
 			s.addSteps(k + 1)
+			if e.probe != nil {
+				e.batch.Skipped += k
+				e.batch.Active++
+			}
 			v, w := f.sampleDiscordant(e.r)
 			f.SetOpinion(v, rule.Target(int(s.opinions[v]), int(s.opinions[w])))
 			if s.SupportVersion() != prevVersion {
@@ -361,6 +399,12 @@ func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
 			// All idle up to the cap: jump straight to it. Memorylessness
 			// of the geometric makes the fresh draw next iteration exact.
 			s.addSteps(limit)
+			if e.probe != nil {
+				e.batch.Skipped += limit
+			}
+		}
+		if e.probe != nil && s.Steps() >= e.nextEmit {
+			e.emitFastCadence(f)
 		}
 		if e.observer != nil && s.Steps()%e.observeEvery == 0 {
 			if !e.observer(s) {
@@ -368,6 +412,7 @@ func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
 			}
 		}
 	}
+	e.flushBatch(obs.RegimeFast)
 }
 
 func gcd64(a, b int64) int64 {

@@ -1,5 +1,7 @@
 package core
 
+import "div/internal/obs"
+
 // The hybrid engine behind EngineAuto: run the naive per-invocation
 // loop while discordance is high (where it is unbeatable — an idle draw
 // costs a couple of array reads) and switch to the skip-sampling fast
@@ -114,6 +116,17 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 					fastDisabled = true
 				} else if f = fs; f.num*exitScale <= f.den {
 					inFast = true
+					f.attachDiscordance()
+					if e.probe != nil {
+						e.probe.EngineSwitch(obs.EngineSwitch{
+							Step:    s.Steps(),
+							From:    obs.RegimeNaive,
+							To:      obs.RegimeFast,
+							Reason:  obs.SwitchProbe,
+							MassNum: f.num,
+							MassDen: f.den,
+						})
+					}
 				}
 			}
 		}
@@ -124,6 +137,17 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 			v, w := e.sched.Pair(e.r)
 			s.countStep()
 			active := s.opinions[v] != s.opinions[w]
+			if e.probe != nil {
+				if active {
+					e.batch.Active++
+				} else {
+					e.batch.Idle++
+				}
+				if s.Steps() >= e.nextEmit {
+					e.flushBatch(obs.RegimeNaive)
+					e.advanceEmit()
+				}
+			}
 			e.rule.Step(s, e.r, v, w)
 			if s.SupportVersion() != prevVersion {
 				e.onSupport()
@@ -161,8 +185,22 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 						if nextCooldown < hybridMaxCooldown {
 							nextCooldown *= 2
 						}
-					} else {
-						inFast = f != nil
+					} else if f != nil {
+						inFast = true
+						f.attachDiscordance()
+						if e.probe != nil {
+							e.flushBatch(obs.RegimeNaive)
+							e.probe.EngineSwitch(obs.EngineSwitch{
+								Step:         s.Steps(),
+								From:         obs.RegimeNaive,
+								To:           obs.RegimeFast,
+								Reason:       obs.SwitchWindow,
+								WindowDraws:  windowDraws,
+								WindowActive: windowActive,
+								MassNum:      f.num,
+								MassDen:      f.den,
+							})
+						}
 					}
 				}
 				windowDraws, windowActive = 0, 0
@@ -183,6 +221,10 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 		}
 		if k < limit {
 			s.addSteps(k + 1)
+			if e.probe != nil {
+				e.batch.Skipped += k
+				e.batch.Active++
+			}
 			v, w := f.sampleDiscordant(e.r)
 			f.SetOpinion(v, rule.Target(int(s.opinions[v]), int(s.opinions[w])))
 			if s.SupportVersion() != prevVersion {
@@ -193,18 +235,42 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 				// Discordance rebounded: back to naive stepping, with an
 				// exponentially growing cooldown before the next entry.
 				inFast = false
+				f.detachDiscordance()
 				cooldown = nextCooldown
 				if nextCooldown < hybridMaxCooldown {
 					nextCooldown *= 2
 				}
+				if e.probe != nil {
+					e.flushBatch(obs.RegimeFast)
+					e.probe.EngineSwitch(obs.EngineSwitch{
+						Step:     s.Steps(),
+						From:     obs.RegimeFast,
+						To:       obs.RegimeNaive,
+						Reason:   obs.SwitchRebound,
+						MassNum:  num,
+						MassDen:  den,
+						Cooldown: cooldown,
+					})
+				}
 			}
 		} else {
 			s.addSteps(limit)
+			if e.probe != nil {
+				e.batch.Skipped += limit
+			}
+		}
+		if e.probe != nil && inFast && s.Steps() >= e.nextEmit {
+			e.emitFastCadence(f)
 		}
 		if e.observer != nil && s.Steps()%e.observeEvery == 0 {
 			if !e.observer(s) {
 				e.res.Aborted = true
 			}
 		}
+	}
+	if inFast {
+		e.flushBatch(obs.RegimeFast)
+	} else {
+		e.flushBatch(obs.RegimeNaive)
 	}
 }

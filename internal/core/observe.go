@@ -5,8 +5,23 @@ package core
 // Config.ObserveEvery period) and read the series after the run. It
 // captures exactly the quantities the paper's analysis tracks — the
 // conserved weights S(t) and Z(t), the opinion range and support size,
-// and the π masses of the two extreme opinions (the objects of
-// Lemma 10).
+// the π masses of the two extreme opinions (the objects of Lemma 10),
+// and the discordant-edge count (the potential of the paper's
+// final-stage analysis).
+//
+// Sampling cadence under skip-sampling engines: the fast and hybrid
+// engines never simulate idle steps individually, but they cap every
+// geometric skip at the next ObserveEvery boundary, so an observer is
+// invoked at exactly the same step numbers as under EngineNaive —
+// samples land on multiples of ObserveEvery regardless of engine
+// (probe_test.go asserts this). The boundary visit is lawful because
+// the truncated geometric is memoryless (DESIGN.md §6). The cost model
+// differs, though: under naive stepping a sample is O(1) except for
+// Discordance, which recounts in O(m); under fast stepping Discordance
+// is O(1) from the engine's live index, but each boundary visit bounds
+// the skip length, so a very small ObserveEvery erodes the fast
+// engine's advantage (the hybrid engine refuses fast mode entirely
+// when ObserveEvery < 8 for exactly this reason).
 type Recorder struct {
 	// Steps[i] is the step count at sample i.
 	Steps []int64
@@ -21,6 +36,10 @@ type Recorder struct {
 	// PiMin[i] and PiMax[i] are π(A_min) and π(A_max): the stationary
 	// masses of the smallest and largest surviving opinions.
 	PiMin, PiMax []float64
+	// Discordance[i] is the number of discordant edges at sample i —
+	// O(1) to read while a fast engine's index is live, an O(m) recount
+	// under EngineNaive (see State.DiscordantEdges).
+	Discordance []int64
 }
 
 // Observe implements the Config.Observer signature; it never aborts.
@@ -32,6 +51,7 @@ func (rec *Recorder) Observe(s *State) bool {
 	rec.DegSum = append(rec.DegSum, s.DegSum())
 	rec.PiMin = append(rec.PiMin, s.PiMass(s.Min()))
 	rec.PiMax = append(rec.PiMax, s.PiMass(s.Max()))
+	rec.Discordance = append(rec.Discordance, s.DiscordantEdges())
 	return true
 }
 
@@ -51,6 +71,15 @@ func (rec *Recorder) SumFloat() []float64 {
 func (rec *Recorder) RangeFloat() []float64 {
 	out := make([]float64, len(rec.Range))
 	for i, v := range rec.Range {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// DiscordanceFloat returns the Discordance series as float64s.
+func (rec *Recorder) DiscordanceFloat() []float64 {
+	out := make([]float64, len(rec.Discordance))
+	for i, v := range rec.Discordance {
 		out[i] = float64(v)
 	}
 	return out

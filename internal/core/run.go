@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"div/internal/graph"
+	"div/internal/obs"
 	"div/internal/rng"
 )
 
@@ -54,8 +55,18 @@ type Config struct {
 	// once at step 0) with the live state. Returning false aborts the
 	// run early (Result.Aborted is set).
 	Observer func(s *State) bool
-	// ObserveEvery is the observer period in steps. Default n.
+	// ObserveEvery is the observer period in steps. Default n. It also
+	// sets the cadence of the Probe's step-batch and discordance
+	// events.
 	ObserveEvery int64
+	// Probe, when non-nil, receives structured engine events: step
+	// batches, hybrid engine switches, discordance-mass samples, stage
+	// transitions, and the final resolution (package internal/obs). A
+	// nil Probe costs nothing — emission sites reduce to one
+	// predictable branch per simulated step — and a non-nil Probe never
+	// consumes randomness or alters control flow, so the realized
+	// trajectory of a seeded run is identical with and without it.
+	Probe obs.Probe
 	// TraceSupport records a Stage whenever the set of present opinions
 	// changes (the paper's {1,2,5}→{1,2,4}→… evolution).
 	TraceSupport bool
@@ -184,11 +195,22 @@ func Run(cfg Config) (Result, error) {
 		maxSteps:     maxSteps,
 		observeEvery: observeEvery,
 		observer:     cfg.Observer,
+		probe:        cfg.Probe,
+		nextEmit:     observeEvery,
 		res:          &res,
 		done:         done,
 		onSupport: func() {
 			recordMilestones()
 			recordStage()
+			if cfg.Probe != nil {
+				cfg.Probe.Stage(obs.Stage{
+					Step:        s.Steps(),
+					Support:     s.SupportSize(),
+					Min:         s.Min(),
+					Max:         s.Max(),
+					TwoAdjacent: s.Range() <= 1,
+				})
+			}
 		},
 	}
 	switch mode {
@@ -207,6 +229,14 @@ func Run(cfg Config) (Result, error) {
 		res.Consensus = true
 	}
 	res.Stages = stages
+	if cfg.Probe != nil {
+		cfg.Probe.Done(obs.Done{
+			Step:      res.Steps,
+			Winner:    res.Winner,
+			Consensus: res.Consensus,
+			Aborted:   res.Aborted,
+		})
+	}
 	return res, nil
 }
 
@@ -223,9 +253,32 @@ type loopEnv struct {
 	maxSteps     int64
 	observeEvery int64
 	observer     func(*State) bool
+	probe        obs.Probe // nil = no instrumentation, zero overhead
+	batch        obs.StepBatch
+	nextEmit     int64 // next step boundary for batch/discordance events
 	res          *Result
 	done         func() bool
 	onSupport    func() // milestone + stage recording on support change
+}
+
+// flushBatch emits the step batch accumulated since the last flush,
+// attributed to the given engine regime, and starts a new batch at the
+// current step. No-op when no probe is attached or no steps elapsed.
+func (e *loopEnv) flushBatch(regime string) {
+	to := e.s.Steps()
+	if e.probe == nil || to == e.batch.FromStep {
+		return
+	}
+	e.batch.ToStep = to
+	e.batch.Engine = regime
+	e.probe.StepBatch(e.batch)
+	e.batch = obs.StepBatch{FromStep: to}
+}
+
+// advanceEmit aligns the next probe-event boundary past the current
+// step (multiples of observeEvery, the same cadence observers use).
+func (e *loopEnv) advanceEmit() {
+	e.nextEmit = (e.s.Steps()/e.observeEvery + 1) * e.observeEvery
 }
 
 // naiveLoop is the reference engine: every scheduler invocation is
@@ -236,6 +289,17 @@ func (e *loopEnv) naiveLoop() {
 	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
 		v, w := e.sched.Pair(e.r)
 		s.countStep()
+		if e.probe != nil {
+			if s.opinions[v] != s.opinions[w] {
+				e.batch.Active++
+			} else {
+				e.batch.Idle++
+			}
+			if s.Steps() >= e.nextEmit {
+				e.flushBatch(obs.RegimeNaive)
+				e.advanceEmit()
+			}
+		}
 		e.rule.Step(s, e.r, v, w)
 		if s.SupportVersion() != prevVersion {
 			e.onSupport()
@@ -247,6 +311,7 @@ func (e *loopEnv) naiveLoop() {
 			}
 		}
 	}
+	e.flushBatch(obs.RegimeNaive)
 }
 
 func nan() float64 {

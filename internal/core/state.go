@@ -40,6 +40,12 @@ type State struct {
 	steps    int64
 	support  int    // number of indices with counts[i] > 0
 	supVer   uint64 // bumped whenever any cell transitions 0↔1 vertex
+
+	// discordFn, when non-nil, returns the exact number of discordant
+	// edges in O(1) from an engine-maintained index (fast.go). Nil means
+	// DiscordantEdges falls back to an O(m) recount. Engines attach and
+	// detach it as their index becomes authoritative or goes stale.
+	discordFn func() int64
 }
 
 // NewState builds a State over g with the given initial opinions
@@ -255,6 +261,28 @@ func (s *State) SetOpinion(v int, x int) {
 	for s.maxIdx > s.minIdx && s.counts[s.maxIdx] == 0 {
 		s.maxIdx--
 	}
+}
+
+// DiscordantEdges returns the number of edges {u,w} with X_u ≠ X_w —
+// the discordant-edge count driving the paper's potential analysis and
+// the fast engine's skip-sampling. When a fast engine's incremental
+// index is live the count is O(1); otherwise (EngineNaive, or the
+// hybrid engine's naive stretches) it is recomputed in O(m). Observers
+// sampling it every ObserveEvery steps therefore cost O(m·Steps/
+// ObserveEvery) extra under naive stepping and nothing measurable under
+// fast stepping.
+func (s *State) DiscordantEdges() int64 {
+	if s.discordFn != nil {
+		return s.discordFn()
+	}
+	tails, heads := s.g.ArcTails(), s.g.Arcs()
+	var c int64
+	for a := range heads {
+		if u, w := tails[a], heads[a]; u < w && s.opinions[u] != s.opinions[w] {
+			c++
+		}
+	}
+	return c
 }
 
 // countStep increments the step counter; called by the schedulers.

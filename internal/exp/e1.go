@@ -68,6 +68,7 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 				}
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: init,
 					Process: core.VertexProcess,

@@ -82,6 +82,7 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 				func(trial int, seed uint64) (float64, error) {
 					res, err := core.Run(core.Config{
 						Engine:  p.coreEngine(),
+						Probe:   p.probeFor(trial, seed),
 						Graph:   sc.g,
 						Initial: sc.init,
 						Process: proc,

@@ -82,6 +82,7 @@ func E13LambdaKThreshold(p Params) (*Report, error) {
 					c := st.WeightedAverage()
 					res, err := core.Run(core.Config{
 						Engine:   p.coreEngine(),
+						Probe:    p.probeFor(trial, seed),
 						Graph:    g,
 						Initial:  init,
 						Process:  core.VertexProcess,

@@ -47,6 +47,7 @@ func E14Distributed(p Params) (*Report, error) {
 			}
 			res, err := core.Run(core.Config{
 				Engine:  p.coreEngine(),
+				Probe:   p.probeFor(trial, seed),
 				Graph:   g,
 				Initial: init,
 				Process: core.VertexProcess,

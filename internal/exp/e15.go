@@ -72,6 +72,7 @@ func E15StepSizeAblation(p Params) (*Report, error) {
 				}
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

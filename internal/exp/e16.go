@@ -73,6 +73,7 @@ func E16Synchronous(p Params) (*Report, error) {
 			}
 			res, err := core.Run(core.Config{
 				Engine:  p.coreEngine(),
+				Probe:   p.probeFor(trial, seed),
 				Graph:   g,
 				Initial: init,
 				Process: core.VertexProcess,

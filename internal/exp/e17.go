@@ -81,6 +81,7 @@ func E17PushPull(p Params) (*Report, error) {
 			func(trial int, seed uint64) (float64, error) {
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: init,
 					Process: core.VertexProcess,

@@ -59,6 +59,7 @@ func E18Zealots(p Params) (*Report, error) {
 				}
 				res, err := core.Run(core.Config{
 					Engine:   p.coreEngine(),
+					Probe:    p.probeFor(trial, rng.DeriveSeed(p.Seed, uint64(0x1860+trial))),
 					Graph:    g,
 					Initial:  init,
 					Process:  core.VertexProcess,
@@ -118,6 +119,7 @@ func E18Zealots(p Params) (*Report, error) {
 	for trial := 0; trial < p.pick(20, 60); trial++ {
 		res, err := core.Run(core.Config{
 			Engine:   p.coreEngine(),
+			Probe:    p.probeFor(trial, rng.DeriveSeed(p.Seed, uint64(0x1860+trial))),
 			Graph:    g,
 			Initial:  init,
 			Process:  core.VertexProcess,

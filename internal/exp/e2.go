@@ -41,6 +41,7 @@ func E2ReductionTime(p Params) (*Report, error) {
 				r := rng.New(seed)
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: core.ExtremesOpinions(n, k, r),
 					Process: core.VertexProcess,
@@ -113,6 +114,7 @@ func E2ReductionTime(p Params) (*Report, error) {
 				r := rng.New(seed)
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: core.ExtremesOpinions(n, kk, r),
 					Process: core.VertexProcess,

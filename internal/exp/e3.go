@@ -68,6 +68,7 @@ func E3Martingale(p Params) (*Report, error) {
 				var w0, w1 float64
 				_, err := core.Run(core.Config{
 					Engine:   p.coreEngine(),
+					Probe:    p.probeFor(trial, seed),
 					Graph:    g,
 					Initial:  init,
 					Process:  proc,

@@ -118,6 +118,7 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 			func(trial int, seed uint64) (int, error) {
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   sc.g,
 					Initial: sc.initial,
 					Process: sc.proc,

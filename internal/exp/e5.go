@@ -40,6 +40,7 @@ func E5Concentration(p Params) (*Report, error) {
 			var wEnd int64
 			_, err := core.Run(core.Config{
 				Engine:   p.coreEngine(),
+				Probe:    p.probeFor(trial, seed),
 				Graph:    g,
 				Initial:  init,
 				Process:  core.EdgeProcess,

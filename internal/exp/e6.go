@@ -48,6 +48,7 @@ func E6StageEvolution(p Params) (*Report, error) {
 			}
 			res, err := core.Run(core.Config{
 				Engine:       p.coreEngine(),
+				Probe:        p.probeFor(trial, seed),
 				Graph:        g,
 				Initial:      init,
 				Process:      core.VertexProcess,
@@ -135,6 +136,7 @@ func E6StageEvolution(p Params) (*Report, error) {
 	}
 	res, err := core.Run(core.Config{
 		Engine:       p.coreEngine(),
+		Probe:        p.probeFor(trials, rng.DeriveSeed(p.Seed, 0x602)),
 		Graph:        g,
 		Initial:      init,
 		Process:      core.VertexProcess,

@@ -60,6 +60,7 @@ func E7ModeMedianMean(p Params) (*Report, error) {
 				}
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

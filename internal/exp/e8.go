@@ -51,6 +51,7 @@ func E8LoadBalancing(p Params) (*Report, error) {
 				var sEnd int64
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
+					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
 					Initial: init,
 					Process: core.EdgeProcess,

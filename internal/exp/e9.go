@@ -58,6 +58,7 @@ func E9PathCounterexample(p Params) (*Report, error) {
 				}
 				res, err := core.Run(core.Config{
 					Engine:   p.coreEngine(),
+					Probe:    p.probeFor(trial, seed),
 					Graph:    g,
 					Initial:  init,
 					Process:  core.VertexProcess,

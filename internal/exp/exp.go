@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"div/internal/core"
+	"div/internal/obs"
 	"div/internal/sim"
 )
 
@@ -33,6 +34,12 @@ type Params struct {
 	// "auto"); empty means "auto". Experiments pass it through to every
 	// core.Run so `divbench -engine` applies suite-wide.
 	Engine string
+	// Probe, when non-nil, is invoked once per core.Run with that run's
+	// trial index and derived seed, and the returned probe is attached
+	// to the run's Config (nil keeps the engine's zero-cost fast path).
+	// Experiments pass it through every Config so `divbench -trace`
+	// and `-metrics` see the whole suite.
+	Probe obs.ProbeMaker
 }
 
 func (p Params) withDefaults() Params {
@@ -54,6 +61,15 @@ func (p Params) coreEngine() core.Engine {
 		return core.EngineAuto
 	}
 	return e
+}
+
+// probeFor builds the probe for one core run; nil when no maker is
+// installed, preserving the engine's nil-probe fast path.
+func (p Params) probeFor(trial int, seed uint64) obs.Probe {
+	if p.Probe == nil {
+		return nil
+	}
+	return p.Probe(trial, seed)
 }
 
 // pick returns quick in Quick mode and full otherwise.

@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/obs"
+	"div/internal/rng"
+)
+
+// swapMetrics points the package at a fresh registry for one test.
+func swapMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	old := Metrics
+	reg := obs.NewRegistry()
+	Metrics = reg
+	t.Cleanup(func() { Metrics = old })
+	return reg
+}
+
+func TestResultMessageAccounting(t *testing.T) {
+	reg := swapMetrics(t)
+	g := graph.Complete(30)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(30, 4, rng.New(7)),
+		Latency:         0.5,
+		Seed:            8,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests+res.Responses != res.Messages {
+		t.Fatalf("Requests %d + Responses %d != Messages %d", res.Requests, res.Responses, res.Messages)
+	}
+	if res.Requests < res.Responses {
+		t.Fatalf("more responses (%d) than requests (%d)", res.Responses, res.Requests)
+	}
+	if res.QueueHighWater < g.N() {
+		// n armed clocks alone occupy the queue at t=0.
+		t.Fatalf("QueueHighWater = %d, below the %d armed clocks", res.QueueHighWater, g.N())
+	}
+	if res.MeanStaleness <= 0 {
+		t.Fatalf("MeanStaleness = %v with latency 0.5", res.MeanStaleness)
+	}
+	if got := reg.Gauge("netsim_queue_highwater").Value(); got != int64(res.QueueHighWater) {
+		t.Fatalf("gauge highwater %d != result %d", got, res.QueueHighWater)
+	}
+	if got := reg.Counter("netsim_requests_total").Value(); got != res.Requests {
+		t.Fatalf("requests counter %d != result %d", got, res.Requests)
+	}
+	if got := reg.Counter("netsim_responses_total").Value(); got != res.Responses {
+		t.Fatalf("responses counter %d != result %d", got, res.Responses)
+	}
+	if got := reg.Counter("netsim_firings_total").Value(); got != res.Firings {
+		t.Fatalf("firings counter %d != result %d", got, res.Firings)
+	}
+	st := reg.Histogram("netsim_staleness_micro")
+	if st.Count() == 0 {
+		t.Fatal("staleness histogram empty with latency 0.5")
+	}
+	// Mean agreement between Result (in firing periods) and the
+	// histogram (in millionths of a period), up to integer truncation.
+	if mean := float64(st.Sum()) / float64(st.Count()) / 1e6; mean < res.MeanStaleness*0.99-1e-6 || mean > res.MeanStaleness*1.01+1e-6 {
+		t.Fatalf("histogram mean staleness %v vs result %v", mean, res.MeanStaleness)
+	}
+}
+
+func TestZeroLatencyHasZeroStaleness(t *testing.T) {
+	swapMetrics(t)
+	g := graph.Complete(20)
+	res, err := Run(Config{
+		Graph:           g,
+		Initial:         core.UniformOpinions(20, 3, rng.New(3)),
+		Seed:            4,
+		StopOnConsensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStaleness != 0 {
+		t.Fatalf("MeanStaleness = %v with zero latency", res.MeanStaleness)
+	}
+}
+
+func TestQueueHighWaterAcrossRuns(t *testing.T) {
+	reg := swapMetrics(t)
+	// The gauge keeps the max across runs (SetMax): a big run followed
+	// by a small one must not lower it.
+	for _, n := range []int{60, 10} {
+		g := graph.Complete(n)
+		if _, err := Run(Config{
+			Graph:           g,
+			Initial:         core.UniformOpinions(n, 3, rng.New(uint64(n))),
+			Latency:         1,
+			Seed:            uint64(n),
+			StopOnConsensus: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Gauge("netsim_queue_highwater").Value(); got < 60 {
+		t.Fatalf("cross-run high-water gauge = %d, want ≥ 60", got)
+	}
+}

@@ -25,8 +25,20 @@ import (
 	"fmt"
 
 	"div/internal/graph"
+	"div/internal/obs"
 	"div/internal/rng"
 )
+
+// Metrics is the registry runs aggregate into (obs.Default unless a
+// test swaps it): the event-queue high-water mark across runs
+// (netsim_queue_highwater), message counters by kind
+// (netsim_firings_total, netsim_requests_total,
+// netsim_responses_total, netsim_dropped_total), and the staleness
+// histogram netsim_staleness_micro: the request-to-apply latency of
+// each completed pull, in millionths of a firing period (the delay
+// that makes an observed opinion stale relative to the paper's
+// instantaneous model).
+var Metrics = obs.Default
 
 // eventKind discriminates queue entries.
 type eventKind uint8
@@ -42,9 +54,10 @@ type event struct {
 	at      float64
 	seq     uint64 // tie-break for determinism
 	kind    eventKind
-	node    int // the node the event happens at
-	peer    int // the counterparty (requester for evReq, responder for evResp)
-	opinion int // carried opinion (evResp)
+	node    int     // the node the event happens at
+	peer    int     // the counterparty (requester for evReq, responder for evResp)
+	opinion int     // carried opinion (evResp)
+	t0      float64 // when the originating pull fired (staleness accounting)
 }
 
 // eventQueue is a min-heap on (at, seq).
@@ -108,8 +121,18 @@ type Result struct {
 	Firings int64
 	// Messages counts all network messages sent (requests + responses).
 	Messages int64
+	// Requests and Responses split Messages by kind.
+	Requests, Responses int64
 	// Dropped counts messages lost in transit.
 	Dropped int64
+	// QueueHighWater is the maximum length the event queue reached —
+	// the simulator's memory bound and, physically, the peak number of
+	// in-flight messages plus armed clocks.
+	QueueHighWater int
+	// MeanStaleness is the mean request-to-apply latency of completed
+	// pulls, in firing periods (0 when no pull completed; exactly 0
+	// with zero configured latency).
+	MeanStaleness float64
 	// FinalMin/FinalMax bound the surviving node opinions.
 	FinalMin, FinalMax int
 	// InitialAverage and InitialWeightedAverage mirror core.Result.
@@ -119,14 +142,18 @@ type Result struct {
 
 // sim is the live run state.
 type sim struct {
-	cfg      Config
-	g        *graph.Graph
-	opinions []int
-	counts   map[int]int // opinion -> node count
-	respBy   map[int]int // opinion -> in-flight responses carrying it
-	respAll  int         // total in-flight responses
-	q        eventQueue
-	seq      uint64
+	cfg       Config
+	g         *graph.Graph
+	opinions  []int
+	counts    map[int]int // opinion -> node count
+	respBy    map[int]int // opinion -> in-flight responses carrying it
+	respAll   int         // total in-flight responses
+	q         eventQueue
+	seq       uint64
+	highWater int
+
+	staleSum float64 // Σ request-to-apply latencies
+	staleN   int64
 }
 
 // Run executes the distributed protocol to stable consensus or MaxTime.
@@ -172,7 +199,7 @@ func Run(cfg Config) (Result, error) {
 	res.InitialWeightedAverage = float64(degSum) / float64(g.DegreeSum())
 
 	for v := 0; v < n; v++ {
-		s.push(rng.Exponential(r, 1), evFire, v, -1, 0)
+		s.push(rng.Exponential(r, 1), evFire, v, -1, 0, 0)
 	}
 	latency := func() float64 {
 		if cfg.Latency == 0 {
@@ -180,6 +207,12 @@ func Run(cfg Config) (Result, error) {
 		}
 		return rng.Exponential(r, 1/cfg.Latency)
 	}
+
+	fires := Metrics.Counter("netsim_firings_total")
+	reqs := Metrics.Counter("netsim_requests_total")
+	resps := Metrics.Counter("netsim_responses_total")
+	drops := Metrics.Counter("netsim_dropped_total")
+	stale := Metrics.Histogram("netsim_staleness_micro")
 
 	now := 0.0
 	for s.q.Len() > 0 {
@@ -192,32 +225,42 @@ func Run(cfg Config) (Result, error) {
 		switch ev.kind {
 		case evFire:
 			res.Firings++
+			fires.Inc()
 			v := ev.node
 			w := g.Neighbor(v, r.IntN(g.Degree(v)))
 			res.Messages++
+			res.Requests++
+			reqs.Inc()
 			if rng.Bernoulli(r, cfg.Loss) {
 				res.Dropped++ // the pull silently fails
+				drops.Inc()
 			} else {
-				s.push(now+latency(), evReq, w, v, 0)
+				s.push(now+latency(), evReq, w, v, 0, now)
 			}
-			s.push(now+rng.Exponential(r, 1), evFire, v, -1, 0)
+			s.push(now+rng.Exponential(r, 1), evFire, v, -1, 0, 0)
 		case evReq:
 			// ev.node responds to requester ev.peer with its opinion.
 			res.Messages++
+			res.Responses++
+			resps.Inc()
 			if rng.Bernoulli(r, cfg.Loss) {
 				res.Dropped++
+				drops.Inc()
 				break
 			}
 			op := s.opinions[ev.node]
 			s.respBy[op]++
 			s.respAll++
-			s.push(now+latency(), evResp, ev.peer, ev.node, op)
+			s.push(now+latency(), evResp, ev.peer, ev.node, op, ev.t0)
 		case evResp:
 			s.respBy[ev.opinion]--
 			if s.respBy[ev.opinion] == 0 {
 				delete(s.respBy, ev.opinion)
 			}
 			s.respAll--
+			s.staleSum += now - ev.t0
+			s.staleN++
+			stale.Observe(int64((now - ev.t0) * 1e6))
 			v := ev.node
 			xv, xw := s.opinions[v], ev.opinion
 			nw := xv
@@ -258,13 +301,21 @@ func (s *sim) stableConsensus() bool {
 	return false
 }
 
-func (s *sim) push(at float64, kind eventKind, node, peer, opinion int) {
+func (s *sim) push(at float64, kind eventKind, node, peer, opinion int, t0 float64) {
 	s.seq++
-	heap.Push(&s.q, event{at: at, seq: s.seq, kind: kind, node: node, peer: peer, opinion: opinion})
+	heap.Push(&s.q, event{at: at, seq: s.seq, kind: kind, node: node, peer: peer, opinion: opinion, t0: t0})
+	if len(s.q) > s.highWater {
+		s.highWater = len(s.q)
+	}
 }
 
 func (s *sim) finish(res Result, now float64) Result {
 	res.Time = now
+	res.QueueHighWater = s.highWater
+	if s.staleN > 0 {
+		res.MeanStaleness = s.staleSum / float64(s.staleN)
+	}
+	Metrics.Gauge("netsim_queue_highwater").SetMax(int64(s.highWater))
 	min, max := s.opinions[0], s.opinions[0]
 	for _, x := range s.opinions {
 		if x < min {

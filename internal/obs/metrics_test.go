@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax(5) lowered gauge to %d", got)
+	}
+	g.SetMax(99)
+	if got := g.Value(); got != 99 {
+		t.Fatalf("SetMax(99) left gauge at %d", got)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hw")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				g.SetMax(i*8 + int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 999*8+7 {
+		t.Fatalf("concurrent SetMax = %d, want %d", got, 999*8+7)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// Observations chosen to pin the log₂ bucket layout: v ≤ 0 falls in
+	// bucket 0, v in [2^(i-1), 2^i) in bucket i.
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 1 << 20} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != -5+1+2+3+4+1<<20 {
+		t.Fatalf("sum = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("%d histograms in snapshot", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.Max != 1<<20 {
+		t.Fatalf("max = %d, want 2^20", hs.Max)
+	}
+	want := map[int64]int64{0: 2, 1: 1, 2: 2, 4: 1, 1 << 20: 1} // bucket lo -> count
+	var total int64
+	for _, b := range hs.Buckets {
+		total += b.Count
+		if c, ok := want[b.Lo]; ok {
+			if b.Count != c {
+				t.Errorf("bucket lo=%d count = %d, want %d", b.Lo, b.Count, c)
+			}
+			delete(want, b.Lo)
+		}
+		if b.Hi <= b.Lo && b.Lo > 0 {
+			t.Errorf("bucket [%d,%d) is empty-ranged", b.Lo, b.Hi)
+		}
+	}
+	if total != 7 {
+		t.Fatalf("bucket counts sum to %d, want 7", total)
+	}
+	for lo := range want {
+		t.Errorf("expected a bucket starting at %d", lo)
+	}
+	if mean := hs.Mean(); math.Abs(mean-float64(hs.Sum)/7) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramTopBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	maxInt64 := int64(^uint64(0) >> 1)
+	h.Observe(maxInt64)
+	snap := r.Snapshot()
+	b := snap.Histograms[0].Buckets
+	top := b[len(b)-1]
+	if top.Count != 1 || top.Hi < top.Lo {
+		t.Fatalf("top bucket %+v cannot hold MaxInt64", top)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register in non-sorted order; snapshots must sort by name so
+	// WriteText output is byte-stable.
+	r.Counter("zeta").Inc()
+	r.Counter("alpha").Inc()
+	r.Gauge("mid").Set(3)
+	r.Histogram("hist").Observe(9)
+
+	var a, b strings.Builder
+	if err := r.Snapshot().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two WriteText snapshots differ")
+	}
+	if !strings.Contains(a.String(), "alpha") || strings.Index(a.String(), "alpha") > strings.Index(a.String(), "zeta") {
+		t.Fatalf("counters not sorted:\n%s", a.String())
+	}
+
+	var js strings.Builder
+	if err := r.Snapshot().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if len(decoded.Counters) != 2 || decoded.Counters[0].Name != "alpha" {
+		t.Fatalf("decoded snapshot counters = %+v", decoded.Counters)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	g := r.Gauge("g")
+	g.Set(5)
+	h := r.Histogram("h")
+	h.Observe(5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+	// Handles stay live after Reset.
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("counter handle detached by Reset")
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pub_c").Add(3)
+	r.PublishExpvar("test_obs_metrics")
+	v := expvar.Get("test_obs_metrics")
+	if v == nil {
+		t.Fatal("expvar variable not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar payload is not a JSON snapshot: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Fatalf("expvar snapshot = %+v", snap)
+	}
+	// Publishing twice must not panic (expvar.Publish panics on
+	// duplicate names; the registry must guard it).
+	r.PublishExpvar("test_obs_metrics")
+}

@@ -1,0 +1,22 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry of atomic counters, gauges, and log-bucketed
+// histograms with a deterministic snapshot (metrics.go); a structured
+// run-probe interface that the core stepping engines feed with semantic
+// events — step batches, hybrid engine switches, discordance-mass
+// samples, stage transitions, and winner resolution (probe.go); and a
+// JSONL trace sink that serializes probe events with trial/seed context
+// for offline analysis (trace.go).
+//
+// The package imports nothing but the standard library and is imported
+// by every layer that emits telemetry (core, sim, netsim, the
+// commands). Two invariants make it safe to leave wired in
+// permanently:
+//
+//   - A nil Probe costs nothing. Emission sites are guarded by a single
+//     predictable `probe != nil` branch; no event structs are built and
+//     no counters maintained unless a probe is attached.
+//   - A non-nil Probe never perturbs the run. Probes observe the
+//     engines' decisions but never touch the RNG or the control flow,
+//     so attaching one to a seeded run leaves the realized trajectory
+//     byte-identical to the unobserved run.
+package obs

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event kind tags used in the JSONL trace's "ev" field.
+const (
+	KindStepBatch   = "batch"
+	KindSwitch      = "switch"
+	KindDiscordance = "discordance"
+	KindStage       = "stage"
+	KindDone        = "done"
+)
+
+// Event is one line of a JSONL trace: a tagged union of the probe
+// event types, stamped with the run context (trial index and seed) so
+// traces from multi-trial commands remain attributable. Exactly one
+// payload pointer is non-nil, matching Kind.
+type Event struct {
+	Kind        string        `json:"ev"`
+	Trial       int           `json:"trial"`
+	Seed        uint64        `json:"seed"`
+	StepBatch   *StepBatch    `json:"batch,omitempty"`
+	Switch      *EngineSwitch `json:"switch,omitempty"`
+	Discordance *Discordance  `json:"discordance,omitempty"`
+	Stage       *Stage        `json:"stage,omitempty"`
+	Done        *Done         `json:"done,omitempty"`
+}
+
+// TraceWriter serializes probe events to an io.Writer as JSON Lines.
+// Writes are buffered and mutex-serialized, so one writer may be
+// shared by probes on concurrent runs (each line stays intact; under
+// parallelism the interleaving of lines across trials is
+// scheduler-dependent, while a serial run's trace is byte-identical
+// across invocations). Encoding errors are sticky: the first one is
+// kept and returned by Close/Err, and later writes are dropped.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	events int64
+	err    error
+}
+
+// NewTraceWriter wraps w in a buffered JSONL event sink.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event line.
+func (t *TraceWriter) Write(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Events returns the number of events written so far.
+func (t *TraceWriter) Events() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write error, if any.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes the buffer and returns the first error seen. It does
+// not close the underlying writer (the caller owns the file handle).
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Probe returns a Probe that serializes every event into the trace,
+// stamped with the given trial index and seed. Create one per run.
+func (t *TraceWriter) Probe(trial int, seed uint64) Probe {
+	return &traceProbe{t: t, trial: trial, seed: seed}
+}
+
+type traceProbe struct {
+	t     *TraceWriter
+	trial int
+	seed  uint64
+}
+
+func (p *traceProbe) event(kind string) Event {
+	return Event{Kind: kind, Trial: p.trial, Seed: p.seed}
+}
+
+func (p *traceProbe) StepBatch(b StepBatch) {
+	ev := p.event(KindStepBatch)
+	ev.StepBatch = &b
+	p.t.Write(ev)
+}
+
+func (p *traceProbe) EngineSwitch(sw EngineSwitch) {
+	ev := p.event(KindSwitch)
+	ev.Switch = &sw
+	p.t.Write(ev)
+}
+
+func (p *traceProbe) Discordance(d Discordance) {
+	ev := p.event(KindDiscordance)
+	ev.Discordance = &d
+	p.t.Write(ev)
+}
+
+func (p *traceProbe) Stage(st Stage) {
+	ev := p.event(KindStage)
+	ev.Stage = &st
+	p.t.Write(ev)
+}
+
+func (p *traceProbe) Done(d Done) {
+	ev := p.event(KindDone)
+	ev.Done = &d
+	p.t.Write(ev)
+}
+
+// ReadTrace decodes a JSONL trace back into events, validating that
+// each line's payload matches its kind tag. It is the inverse of
+// TraceWriter up to JSON number formatting (which is canonical for the
+// integer fields used here, so write→read→write round-trips bytes).
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for line := 1; ; line++ {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		var want bool
+		switch ev.Kind {
+		case KindStepBatch:
+			want = ev.StepBatch != nil
+		case KindSwitch:
+			want = ev.Switch != nil
+		case KindDiscordance:
+			want = ev.Discordance != nil
+		case KindStage:
+			want = ev.Stage != nil
+		case KindDone:
+			want = ev.Done != nil
+		default:
+			return out, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, ev.Kind)
+		}
+		if !want {
+			return out, fmt.Errorf("obs: trace line %d: kind %q with missing payload", line, ev.Kind)
+		}
+		out = append(out, ev)
+	}
+}

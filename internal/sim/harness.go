@@ -10,9 +10,21 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
+	"div/internal/obs"
 	"div/internal/rng"
 )
+
+// Metrics is the registry the harness aggregates into (obs.Default
+// unless a test swaps it): per-trial wall-time histograms
+// (sim_trial_micros), trial counters (sim_trials_total,
+// sim_trial_errors_total), the current pool width (sim_workers), and
+// the worker-utilization of the last batch in permille
+// (sim_worker_utilization_permille = Σ trial time / (wall · workers) ·
+// 1000 — 1000 means every worker was busy the whole batch, low values
+// mean the pool was starved by stragglers).
+var Metrics = obs.Default
 
 // TrialFunc computes one trial. The trial index and a derived seed are
 // supplied; the function must draw all randomness from the seed so
@@ -46,7 +58,14 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 		firstErr error
 		next     int
 		wg       sync.WaitGroup
+
+		trialMicros = Metrics.Histogram("sim_trial_micros")
+		trialsTotal = Metrics.Counter("sim_trials_total")
+		trialErrors = Metrics.Counter("sim_trial_errors_total")
+		busyNanos   int64 // Σ per-trial wall time, for utilization
 	)
+	Metrics.Gauge("sim_workers").Set(int64(parallelism))
+	batchStart := time.Now()
 	take := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -81,8 +100,16 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 				if !ok {
 					return
 				}
+				trialStart := time.Now()
 				res, err := run(t, rng.DeriveSeed(baseSeed, uint64(t)))
+				elapsed := time.Since(trialStart)
+				trialMicros.Observe(elapsed.Microseconds())
+				trialsTotal.Inc()
+				mu.Lock()
+				busyNanos += elapsed.Nanoseconds()
+				mu.Unlock()
 				if err != nil {
+					trialErrors.Inc()
 					fail(t, err)
 					return
 				}
@@ -91,6 +118,10 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 		}()
 	}
 	wg.Wait()
+	if wall := time.Since(batchStart).Nanoseconds(); wall > 0 {
+		util := 1000 * busyNanos / (wall * int64(parallelism))
+		Metrics.Gauge("sim_worker_utilization_permille").Set(util)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

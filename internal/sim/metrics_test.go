@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"div/internal/obs"
+)
+
+func swapMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	old := Metrics
+	reg := obs.NewRegistry()
+	Metrics = reg
+	t.Cleanup(func() { Metrics = old })
+	return reg
+}
+
+func TestTrialsMetrics(t *testing.T) {
+	reg := swapMetrics(t)
+	const trials = 12
+	_, err := Trials(trials, 1, 3, func(trial int, seed uint64) (int, error) {
+		time.Sleep(time.Millisecond)
+		return trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim_trials_total").Value(); got != trials {
+		t.Fatalf("sim_trials_total = %d, want %d", got, trials)
+	}
+	if got := reg.Counter("sim_trial_errors_total").Value(); got != 0 {
+		t.Fatalf("sim_trial_errors_total = %d", got)
+	}
+	if got := reg.Gauge("sim_workers").Value(); got != 3 {
+		t.Fatalf("sim_workers = %d, want 3", got)
+	}
+	h := reg.Histogram("sim_trial_micros")
+	if h.Count() != trials {
+		t.Fatalf("trial-time histogram count = %d, want %d", h.Count(), trials)
+	}
+	if h.Sum() < trials*1000 {
+		t.Fatalf("trial-time histogram sum = %dµs, below %d sleeps of 1ms", h.Sum(), trials)
+	}
+	util := reg.Gauge("sim_worker_utilization_permille").Value()
+	if util <= 0 || util > 1100 { // small scheduling slack above 1000
+		t.Fatalf("worker utilization = %d‰, outside (0, 1100]", util)
+	}
+}
+
+func TestTrialsMetricsOnError(t *testing.T) {
+	reg := swapMetrics(t)
+	boom := errors.New("boom")
+	_, err := Trials(8, 1, 2, func(trial int, seed uint64) (int, error) {
+		if trial == 3 {
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := reg.Counter("sim_trial_errors_total").Value(); got == 0 {
+		t.Fatal("error counter not incremented")
+	}
+}
