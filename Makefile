@@ -33,8 +33,9 @@ trace-artifact: ## regenerate results/observability.txt (traced dissenter run)
 bench: ## every experiment as a testing.B benchmark, one iteration each
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt)
+bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt) and the perf matrix (BENCH_engine.json)
 	$(GO) run ./cmd/divbench -exp E20 -full
+	$(GO) run ./cmd/divbench -bench-json BENCH_engine.json -full
 
 full-suite: ## publication-size experiment suite (minutes)
 	$(GO) run ./cmd/divbench -full

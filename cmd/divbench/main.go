@@ -15,6 +15,11 @@
 //	divbench -metrics        # print the aggregated metrics snapshot on exit
 //	divbench -trace t.jsonl  # write a JSONL probe trace of every core run
 //	divbench -pprof :6060    # serve /debug/pprof/ + /debug/vars while running
+//	divbench -bench-json BENCH_engine.json
+//	                         # run only the engine perf matrix and write it
+//	                         # as JSON (per-step ns, allocs, trials/sec per
+//	                         # engine×process×graph-family; -full for the
+//	                         # tracked sizes)
 //
 // The exit status is nonzero if any check fails; failing checks are
 // repeated in a consolidated FAILED block at the end so they cannot
@@ -48,11 +53,19 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
+		benchJSON = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
 	)
 	flag.Parse()
 	if _, err := core.ParseEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "divbench:", err)
 		os.Exit(2)
+	}
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine}); err != nil {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	defs, err := selectExperiments(*expList)
@@ -155,6 +168,35 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// runBenchJSON runs the engine perf matrix and writes BENCH_engine.json,
+// echoing the headline E2 numbers to stdout.
+func runBenchJSON(path string, params exp.Params) error {
+	start := time.Now()
+	rep, err := exp.BenchEngine(params)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d rows -> %s (%v)\n", len(rep.Rows), path, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("bench: E2 point n=%d: %.1f trials/sec reused, %.1f fresh, %.1f ns/step (baseline n=%d: %.1f trials/sec)\n",
+		rep.E2.N, rep.E2.TrialsPerSecReused, rep.E2.TrialsPerSecFresh, rep.E2.NsPerStepReused,
+		rep.Baseline.N, rep.Baseline.TrialsPerSec)
+	if rep.E2.SpeedupVsBaseline > 0 {
+		fmt.Printf("bench: E2 speedup vs pre-pipeline baseline: %.2fx\n", rep.E2.SpeedupVsBaseline)
+	}
+	return nil
 }
 
 func selectExperiments(list string) ([]exp.Def, error) {

@@ -82,7 +82,7 @@ func engineFor(cfg Config, s *State, rule Rule) (stepMode, *FastState, error) {
 		if _, ok := rule.(PairwiseRule); !ok {
 			return 0, nil, fmt.Errorf("core: fast engine requires a PairwiseRule, got %q", rule.Name())
 		}
-		fs, err := NewFastState(s, cfg.Process)
+		fs, err := newFastStateFor(cfg.Scratch, s, cfg.Process)
 		return stepFast, fs, err
 	case EngineAuto:
 		if _, ok := rule.(PairwiseRule); !ok {

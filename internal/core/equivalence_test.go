@@ -52,16 +52,23 @@ type eqSample struct {
 }
 
 // gatherEq runs `trials` independent k=3 runs of one engine and
-// collects the winner and the stopping times.
-func gatherEq(t *testing.T, g *graph.Graph, proc Process, engine Engine, baseSeed uint64, trials int) eqSample {
+// collects the winner and the stopping times. With a non-nil sc every
+// trial reuses the same per-worker Scratch, exactly as the sim harness
+// does — the reused-scratch arms sample through that pipeline.
+func gatherEq(t *testing.T, g *graph.Graph, proc Process, engine Engine, baseSeed uint64, trials int, sc *Scratch) eqSample {
 	t.Helper()
 	n := g.N()
 	counts := []int{n / 3, n / 3, n - 2*(n/3)}
 	var smp eqSample
 	for trial := 0; trial < trials; trial++ {
 		seed := rng.DeriveSeed(baseSeed, uint64(trial))
-		r := rng.New(seed)
-		init, err := BlockOpinions(n, counts, r)
+		var init []int
+		var err error
+		if sc != nil {
+			init, err = BlockOpinionsInto(sc.Initial(), counts, sc.Rand(seed))
+		} else {
+			init, err = BlockOpinions(n, counts, rng.New(seed))
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,6 +79,7 @@ func gatherEq(t *testing.T, g *graph.Graph, proc Process, engine Engine, baseSee
 			Engine:   engine,
 			Seed:     rng.SplitMix64(seed),
 			MaxSteps: 4 << 20,
+			Scratch:  sc,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -160,8 +168,8 @@ func TestEngineDistributionEquivalence(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%v", name, proc), func(t *testing.T) {
 				t.Parallel()
 				base := rng.DeriveSeed(0xd15c0, uint64(len(name))*131+uint64(g.N())*7+uint64(proc))
-				naive := gatherEq(t, g, proc, EngineNaive, rng.DeriveSeed(base, 1), trials)
-				fast := gatherEq(t, g, proc, EngineFast, rng.DeriveSeed(base, 2), trials)
+				naive := gatherEq(t, g, proc, EngineNaive, rng.DeriveSeed(base, 1), trials, nil)
+				fast := gatherEq(t, g, proc, EngineFast, rng.DeriveSeed(base, 2), trials, nil)
 
 				stat, df := chi2TwoSample(naive.winners, fast.winners)
 				if df > 0 {
@@ -212,8 +220,8 @@ func TestHybridSwitchingEquivalence(t *testing.T) {
 		for _, proc := range []Process{VertexProcess, EdgeProcess} {
 			t.Run(fmt.Sprintf("%s/%v", name, proc), func(t *testing.T) {
 				base := rng.DeriveSeed(0xa070, uint64(len(name))*131+uint64(g.N())*7+uint64(proc))
-				naive := gatherEq(t, g, proc, EngineNaive, rng.DeriveSeed(base, 1), trials)
-				auto := gatherEq(t, g, proc, EngineAuto, rng.DeriveSeed(base, 2), trials)
+				naive := gatherEq(t, g, proc, EngineNaive, rng.DeriveSeed(base, 1), trials, nil)
+				auto := gatherEq(t, g, proc, EngineAuto, rng.DeriveSeed(base, 2), trials, nil)
 
 				stat, df := chi2TwoSample(naive.winners, auto.winners)
 				if df > 0 {
@@ -235,6 +243,55 @@ func TestHybridSwitchingEquivalence(t *testing.T) {
 					}
 					if d > ksCrit {
 						t.Errorf("%s KS distance %.4f > %.4f (α=0.001): hybrid disagrees with naive", series.label, d, ksCrit)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScratchReuseDistributionEquivalence holds the reused-scratch
+// trial pipeline to the same α = 0.001 standard: a fast-engine sample
+// drawn through one dirtied Scratch (as TrialsWorker's workers do) must
+// match the naive engine's fresh-allocation law in winners and stopping
+// times. The byte-identity test (scratch_test.go) proves reuse cannot
+// change any trajectory; this arm guards the whole statistical pipeline
+// around it — seed plumbing, profile regeneration, engine-state resets.
+func TestScratchReuseDistributionEquivalence(t *testing.T) {
+	trials := eqTrials(t)
+	for name, g := range testGraphs(t) {
+		for _, proc := range []Process{VertexProcess, EdgeProcess} {
+			name, g, proc := name, g, proc
+			t.Run(fmt.Sprintf("%s/%v", name, proc), func(t *testing.T) {
+				t.Parallel()
+				base := rng.DeriveSeed(0x5c7a7c, uint64(len(name))*131+uint64(g.N())*7+uint64(proc))
+				naive := gatherEq(t, g, proc, EngineNaive, rng.DeriveSeed(base, 1), trials, nil)
+				reused := gatherEq(t, g, proc, EngineFast, rng.DeriveSeed(base, 2), trials, NewScratch(g))
+
+				stat, df := chi2TwoSample(naive.winners, reused.winners)
+				if df > 0 {
+					crit, ok := chi2Crit001[df]
+					if !ok {
+						t.Fatalf("no critical value for df=%d", df)
+					}
+					if stat > crit {
+						t.Errorf("winner χ²(%d) = %.2f > %.2f (α=0.001): reused scratch disagrees", df, stat, crit)
+					}
+				}
+				ksCrit := ks2Crit001 * math.Sqrt(float64(2*trials)/float64(trials*trials))
+				for _, series := range []struct {
+					label  string
+					na, re []float64
+				}{
+					{"consensus steps", naive.steps, reused.steps},
+					{"two-adjacent step", naive.twoAdj, reused.twoAdj},
+				} {
+					d, err := stats.KS2Sample(series.na, series.re)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d > ksCrit {
+						t.Errorf("%s KS distance %.4f > %.4f (α=0.001): reused scratch disagrees", series.label, d, ksCrit)
 					}
 				}
 			})

@@ -43,17 +43,30 @@ import (
 // in O(d(v)) with O(1) work per incident edge — no log factor. The
 // conditional pair draw picks a uniform discordant edge and orients it
 // with a fair coin, which is exactly the uniform discordant *arc* for
-// the edge process; the vertex process needs arc (v,w) with
-// probability ∝ 1/d(v) and gets it from the same draw by exact integer
-// rejection (accept with probability d_min/d(tail): the accepted law
-// is ∝ (1/E)·(1/2)·d_min/d(v) ∝ 1/d(v)), which accepts immediately on
-// regular graphs and costs d_max/d_min expected redraws in general.
-// Everything except the geometric length uses exact integer
+// the edge process; on regular graphs the vertex process's conditional
+// law coincides with it (all degrees equal), so the same single draw
+// serves. On irregular graphs arc (v,w) must carry probability
+// ∝ 1/d(v), realized by a *degree-bucketed* draw over the discordant
+// arcs (both orientations listed): arcs are partitioned by
+// b = ⌊log2 d(tail)⌋, a linear walk over the ≤ 33 exact integer bucket
+// masses picks a bucket, a uniform arc is drawn inside it, and a
+// single rejection against the bucket's weight bound L>>b (every unit
+// L/d with d ∈ [2^b, 2^(b+1)) is an integer in (L/2^(b+1), L/2^b], so
+// it accepts with probability > 1/2) corrects within-bucket degree
+// variation. Expected draw cost is therefore O(log d_max) regardless
+// of the degree sequence — the old tail-rejection loop cost
+// d_max/d_min expected redraws, degenerating on stars and power-law
+// graphs. Everything except the geometric length uses exact integer
 // arithmetic: the active-mass numerator scales 1/d(v) by L = lcm of
 // the distinct degrees, so no floating-point bias enters the
 // conditional law. The geometric length itself is drawn by float64
 // inversion, whose relative error (≲2⁻⁵²) is far below the resolution
 // of any statistical test.
+//
+// All structural arrays (tails, reverse arcs, units, degree buckets)
+// come from the graph's shared ArcIndex, so constructing a FastState
+// allocates only the per-trial mutable arrays, and Reset() reuses even
+// those.
 
 // FastState augments a State with an incrementally maintained index of
 // the discordant edges: the list of all currently discordant edges
@@ -63,21 +76,31 @@ import (
 type FastState struct {
 	s    *State
 	g    *graph.Graph
+	idx  *graph.ArcIndex
 	proc Process
 
-	base  []int64 // base[v]: first arc index of v (prefix degree sums)
 	adj   []int32 // adj[a]: head vertex of arc a (the graph's own storage)
-	tails []int32 // tails[a]: tail vertex of arc a
-	rev   []int32 // rev[a]: index of the reverse arc of a, or -1 (lazy)
+	tails []int32 // tails[a]: tail vertex of arc a (shared ArcIndex)
+	rev   []int32 // rev[a]: index of the reverse arc of a (shared ArcIndex)
 
 	list []int32 // discordant edges as canonical arcs (tail < head), unordered
 	pos  []int32 // pos[a]: index of canonical arc a in list, or -1
 
-	unit   []int64 // active-mass weight of arcs with tail v: 1 (edge) or L/d(v) (vertex)
-	num    int64   // Σ_{discordant arcs a} unit[tail(a)]
-	den    int64   // P[active] = num/den: 2m (edge) or n·L (vertex)
-	minDeg int64   // rejection acceptance scale for the vertex process
-	reject bool    // vertex process on an irregular graph: rejection needed
+	unit []int64 // active-mass weight of arcs with tail v: 1 (edge) or L/d(v) (vertex)
+	num  int64   // Σ_{discordant arcs a} unit[tail(a)]
+	den  int64   // P[active] = num/den: 2m (edge) or n·L (vertex)
+
+	// Degree-bucketed discordant-arc structure, maintained only for the
+	// vertex process on irregular graphs (bucketed == true). Both
+	// orientations of every discordant edge are listed, arc a under
+	// bucket vb[tails[a]].
+	bucketed bool
+	vb       []uint8   // vb[v] = ⌊log2 d(v)⌋ (shared ArcIndex)
+	bpos     []int32   // bpos[a]: index of arc a in its bucket list, or -1
+	barc     [][]int32 // barc[b]: discordant arcs whose tail is in bucket b
+	bmass    []int64   // bmass[b] = Σ_{a ∈ barc[b]} unit[tails[a]]
+	bub      []int64   // bub[b] = L>>b: per-bucket weight upper bound
+	draws    int64     // sampler draw attempts, flushed to sampler_bucket_draws_total
 
 	countFn func() int64 // O(1) discordant-edge count for State.DiscordantEdges
 }
@@ -85,54 +108,62 @@ type FastState struct {
 // maxDegreeLCM bounds the least common multiple of the distinct degrees
 // for the vertex process's exact integer weights: the active-mass
 // numerator is at most 2m·L/d_min ≤ n²·L, which must stay inside int64.
-const maxDegreeLCM = int64(1) << 30
+// It aliases the graph package's cap, where the units are computed.
+const maxDegreeLCM = graph.MaxDegreeLCM
+
+// bucketDrawsTotal counts sampler draw attempts (including rejected
+// ones) of the degree-bucketed discordant sampler across all runs.
+var bucketDrawsTotal = obs.Default.Counter("sampler_bucket_draws_total")
 
 // NewFastState builds the discordance index for s under the given
-// process in O(n + m). It errors when the vertex
-// process's degree-lcm scaling would overflow (wildly irregular
-// graphs); callers fall back to the naive engine in that case.
+// process. The arc-level structure (tails, reverse arcs, degree LCM,
+// unit weights, degree buckets) comes from the graph's shared
+// ArcIndex, so only the mutable per-trial arrays are allocated here.
+// It errors when the vertex process's degree-lcm scaling would
+// overflow (wildly irregular graphs); callers fall back to the naive
+// engine in that case.
 func NewFastState(s *State, proc Process) (*FastState, error) {
 	g := s.Graph()
-	n := g.N()
+	idx := g.ArcIndex()
 	arcs := int(g.DegreeSum())
 	f := &FastState{
 		s:     s,
 		g:     g,
+		idx:   idx,
 		proc:  proc,
-		base:  make([]int64, n+1),
 		adj:   g.Arcs(),
-		tails: g.ArcTails(),
-		rev:   make([]int32, arcs),
+		tails: idx.Tails(),
+		rev:   idx.Rev(),
 		pos:   make([]int32, arcs),
-		unit:  make([]int64, n),
-	}
-	for a := range f.rev {
-		f.rev[a] = -1
-	}
-	for v := 0; v < n; v++ {
-		f.base[v+1] = f.base[v] + int64(g.Degree(v))
 	}
 	switch proc {
 	case EdgeProcess:
-		for v := range f.unit {
-			f.unit[v] = 1
-		}
+		f.unit = idx.UnitOnes()
 		f.den = g.DegreeSum()
 	case VertexProcess:
-		l := int64(1)
-		for v := 0; v < n; v++ {
-			d := int64(g.Degree(v))
-			l = l / gcd64(l, d) * d
-			if l > maxDegreeLCM {
-				return nil, fmt.Errorf("core: fast engine: vertex-process degree lcm exceeds %d on this degree sequence; use the auto engine, which falls back to naive stepping", maxDegreeLCM)
+		units, lcm, ok := idx.VertexUnits()
+		if !ok {
+			return nil, fmt.Errorf("core: fast engine: vertex-process degree lcm exceeds %d on this degree sequence; use the auto engine, which falls back to naive stepping", maxDegreeLCM)
+		}
+		f.unit = units
+		f.den = int64(g.N()) * lcm
+		if !g.IsRegular() {
+			f.bucketed = true
+			f.vb = idx.DegreeBuckets()
+			nb := 0
+			for _, b := range f.vb {
+				if int(b)+1 > nb {
+					nb = int(b) + 1
+				}
+			}
+			f.bpos = make([]int32, arcs)
+			f.barc = make([][]int32, nb)
+			f.bmass = make([]int64, nb)
+			f.bub = make([]int64, nb)
+			for b := range f.bub {
+				f.bub[b] = lcm >> uint(b)
 			}
 		}
-		for v := 0; v < n; v++ {
-			f.unit[v] = l / int64(g.Degree(v))
-		}
-		f.den = int64(n) * l
-		f.minDeg = int64(g.MinDegree())
-		f.reject = !g.IsRegular()
 	default:
 		return nil, fmt.Errorf("core: unknown process %v", proc)
 	}
@@ -155,46 +186,28 @@ func (f *FastState) detachDiscordance() { f.s.discordFn = nil }
 // edges maintained by the index.
 func (f *FastState) DiscordantEdges() int64 { return int64(len(f.list)) }
 
-// revArc returns the index of the reverse arc of a = (v, w), computing
-// and memoizing it (in both directions) on first use: neighbour lists
-// are sorted, so the reverse arc is found by binary search for v among
-// w's neighbours. Laziness matters for short runs deep in the final
-// stage, where only the few boundary edges are ever touched and an
-// eager O(arcs) pairing pass would dominate the setup cost.
-func (f *FastState) revArc(a, v, w int32) int32 {
-	if r := f.rev[a]; r >= 0 {
-		return r
-	}
-	nb := f.g.Neighbors(int(w))
-	lo, hi := 0, len(nb)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if nb[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	r := int32(f.base[w] + int64(lo))
-	f.rev[a] = r
-	f.rev[r] = a
-	return r
-}
-
-// Reset rebuilds the discordant-arc list and active mass against the
-// wrapped State's *current* opinions, reusing the structural arrays —
-// a single O(arcs) pass with no allocation. The hybrid engine calls
-// this when re-entering fast mode after a naive stretch during which
-// the index went stale.
+// Reset rebuilds the discordant-arc list, bucket structure, and active
+// mass against the wrapped State's *current* opinions, reusing every
+// array — O(arcs) with no allocation in steady state. The hybrid
+// engine calls this when re-entering fast mode after a naive stretch
+// during which the index went stale; Scratch reuse calls it after
+// ResetTo installs a fresh initial configuration.
 func (f *FastState) Reset() {
 	f.list = f.list[:0]
 	f.num = 0
+	if f.bucketed {
+		for b := range f.barc {
+			f.barc[b] = f.barc[b][:0]
+			f.bmass[b] = 0
+		}
+		for a := range f.bpos {
+			f.bpos[a] = -1
+		}
+	}
 	for a := range f.adj {
 		u, w := f.tails[a], f.adj[a]
 		if u < w && f.s.opinions[u] != f.s.opinions[w] {
-			f.pos[a] = int32(len(f.list))
-			f.list = append(f.list, int32(a))
-			f.num += f.unit[u] + f.unit[w]
+			f.insert(int32(a))
 		} else {
 			f.pos[a] = -1
 		}
@@ -211,11 +224,17 @@ func (f *FastState) ActiveMass() (num, den int64) {
 }
 
 // insert adds the edge with canonical arc a to the discordant list.
-// The edge contributes both of its arcs' weights to the active mass.
+// The edge contributes both of its arcs' weights to the active mass,
+// and both arcs join their tails' degree buckets when bucketing is on.
 func (f *FastState) insert(a int32) {
 	f.pos[a] = int32(len(f.list))
 	f.list = append(f.list, a)
-	f.num += f.unit[f.tails[a]] + f.unit[f.adj[a]]
+	u, w := f.tails[a], f.adj[a]
+	f.num += f.unit[u] + f.unit[w]
+	if f.bucketed {
+		f.bucketInsert(a, u)
+		f.bucketInsert(f.rev[a], w)
+	}
 }
 
 // remove deletes the edge with canonical arc a by swap-remove.
@@ -226,7 +245,35 @@ func (f *FastState) remove(a int32) {
 	f.pos[last] = p
 	f.list = f.list[:len(f.list)-1]
 	f.pos[a] = -1
-	f.num -= f.unit[f.tails[a]] + f.unit[f.adj[a]]
+	u, w := f.tails[a], f.adj[a]
+	f.num -= f.unit[u] + f.unit[w]
+	if f.bucketed {
+		f.bucketRemove(a, u)
+		f.bucketRemove(f.rev[a], w)
+	}
+}
+
+// bucketInsert files arc a (with the given tail) under its tail's
+// degree bucket.
+func (f *FastState) bucketInsert(a, tail int32) {
+	b := f.vb[tail]
+	f.bpos[a] = int32(len(f.barc[b]))
+	f.barc[b] = append(f.barc[b], a)
+	f.bmass[b] += f.unit[tail]
+}
+
+// bucketRemove removes arc a (with the given tail) from its bucket by
+// swap-remove.
+func (f *FastState) bucketRemove(a, tail int32) {
+	b := f.vb[tail]
+	lst := f.barc[b]
+	p := f.bpos[a]
+	last := lst[len(lst)-1]
+	lst[p] = last
+	f.bpos[last] = p
+	f.barc[b] = lst[:len(lst)-1]
+	f.bpos[a] = -1
+	f.bmass[b] -= f.unit[tail]
 }
 
 // SetOpinion sets X_v = x through the wrapped State and repairs the
@@ -240,7 +287,7 @@ func (f *FastState) SetOpinion(v, x int) {
 	f.s.SetOpinion(v, x)
 	nx := f.s.opinions[v]
 	nb := f.g.Neighbors(v)
-	baseV := f.base[v]
+	baseV := f.idx.FirstArc(v)
 	for i, wi := range nb {
 		xw := f.s.opinions[wi]
 		wasDisc := xw != old
@@ -250,7 +297,7 @@ func (f *FastState) SetOpinion(v, x int) {
 		}
 		a := int32(baseV + int64(i))
 		if int32(v) > wi {
-			a = f.revArc(a, int32(v), wi) // canonical arc has tail < head
+			a = f.rev[a] // canonical arc has tail < head
 		}
 		if isDisc {
 			f.insert(a)
@@ -265,38 +312,65 @@ func (f *FastState) SetOpinion(v, x int) {
 // exact conditional law of the process given that the draw is
 // discordant. It must only be called when ActiveMass() > 0. A uniform
 // discordant edge with a fair orientation coin is the uniform
-// discordant arc, which is the edge process's conditional law; for the
-// vertex process arc (v, w) must carry probability ∝ 1/d(v), realized
-// by integer rejection on the same draw: accept with probability
-// d_min/d(tail). On regular graphs no rejection draw is spent.
+// discordant arc, which is the conditional law of the edge process and
+// of the vertex process on regular graphs. The irregular vertex
+// process needs arc (v,w) with probability ∝ 1/d(v) and gets it from
+// the degree buckets: pick bucket b with probability bmass[b]/num
+// (exact integers), a uniform arc within it, and accept with
+// probability unit[tail]/bub[b] ≥ 1/2 — the accepted law is
+// ∝ (bmass[b]/num)·(1/|barc[b]|)·(unit/bub[b]) ∝ unit ∝ 1/d(v).
 func (f *FastState) sampleDiscordant(r *rand.Rand) (v, w int) {
-	for {
+	if !f.bucketed {
 		idx := r.Int64N(2 * int64(len(f.list)))
 		a := f.list[idx>>1]
 		tail, head := f.tails[a], f.adj[a]
 		if idx&1 == 1 {
 			tail, head = head, tail
 		}
-		if f.reject {
-			if d := int64(f.g.Degree(int(tail))); d > f.minDeg && r.Int64N(d) >= f.minDeg {
-				continue
-			}
-		}
 		return int(tail), int(head)
+	}
+	x := r.Int64N(f.num)
+	b := 0
+	for x >= f.bmass[b] {
+		x -= f.bmass[b]
+		b++
+	}
+	lst := f.barc[b]
+	ub := f.bub[b]
+	for {
+		f.draws++
+		a := lst[r.Int64N(int64(len(lst)))]
+		tail := f.tails[a]
+		u := f.unit[tail]
+		if u >= ub || r.Int64N(ub) < u {
+			return int(tail), int(f.adj[a])
+		}
+	}
+}
+
+// flushSamplerMetrics publishes the accumulated bucketed-sampler draw
+// attempts to the process-wide registry. Called once per loop exit so
+// the hot path touches only the local counter.
+func (f *FastState) flushSamplerMetrics() {
+	if f.draws != 0 {
+		bucketDrawsTotal.Add(f.draws)
+		f.draws = 0
 	}
 }
 
 // CheckDiscordance recomputes the discordant-edge index from scratch and
 // returns an error describing the first inconsistency with the
-// incrementally maintained one. The divtestinvariants build tag
-// arranges for this to run after every opinion update
-// (fast_invariants_on.go); tests also call it directly.
+// incrementally maintained one, including the degree-bucket structure
+// when bucketing is on. The divtestinvariants build tag arranges for
+// this to run after every opinion update (fast_invariants_on.go);
+// tests also call it directly.
 func (f *FastState) CheckDiscordance() error {
 	var num int64
 	count := 0
+	bucketArcs := 0
 	for a := range f.adj {
 		u, w := f.tails[a], f.adj[a]
-		if r := f.rev[a]; r >= 0 && (f.tails[r] != w || f.adj[r] != u) {
+		if r := f.rev[a]; f.tails[r] != w || f.adj[r] != u {
 			return fmt.Errorf("core: arc %d (%d→%d) has wrong reverse arc %d (%d→%d)",
 				a, u, w, r, f.tails[r], f.adj[r])
 		}
@@ -312,12 +386,52 @@ func (f *FastState) CheckDiscordance() error {
 			num += f.unit[u] + f.unit[w]
 			count++
 		}
+		if f.bucketed {
+			adisc := f.s.opinions[u] != f.s.opinions[w] // either orientation
+			if got := f.bpos[a] >= 0; got != adisc {
+				return fmt.Errorf("core: arc %d (%d→%d) bucketed=%v, want discordant=%v",
+					a, u, w, got, adisc)
+			}
+			if adisc {
+				b := f.vb[u]
+				if p := f.bpos[a]; int(p) >= len(f.barc[b]) || f.barc[b][p] != int32(a) {
+					return fmt.Errorf("core: arc %d bucket position broken (bucket=%d bpos=%d)", a, b, f.bpos[a])
+				}
+				bucketArcs++
+			}
+		}
 	}
 	if count != len(f.list) {
 		return fmt.Errorf("core: discordant list has %d arcs, want %d", len(f.list), count)
 	}
 	if num != f.num {
 		return fmt.Errorf("core: active mass numerator %d, recomputed %d", f.num, num)
+	}
+	if f.bucketed {
+		if bucketArcs != 2*len(f.list) {
+			return fmt.Errorf("core: buckets hold %d arcs, want %d", bucketArcs, 2*len(f.list))
+		}
+		var bnum int64
+		for b := range f.barc {
+			var m int64
+			for _, a := range f.barc[b] {
+				if f.vb[f.tails[a]] != uint8(b) {
+					return fmt.Errorf("core: arc %d in bucket %d, tail bucket %d", a, b, f.vb[f.tails[a]])
+				}
+				if f.unit[f.tails[a]] > f.bub[b] {
+					return fmt.Errorf("core: arc %d unit %d exceeds bucket %d bound %d",
+						a, f.unit[f.tails[a]], b, f.bub[b])
+				}
+				m += f.unit[f.tails[a]]
+			}
+			if m != f.bmass[b] {
+				return fmt.Errorf("core: bucket %d mass %d, recomputed %d", b, f.bmass[b], m)
+			}
+			bnum += m
+		}
+		if bnum != f.num {
+			return fmt.Errorf("core: bucket masses sum to %d, active mass %d", bnum, f.num)
+		}
 	}
 	return nil
 }
@@ -413,11 +527,5 @@ func (f *FastState) loop(e *loopEnv, rule PairwiseRule) {
 		}
 	}
 	e.flushBatch(obs.RegimeFast)
-}
-
-func gcd64(a, b int64) int64 {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
+	f.flushSamplerMetrics()
 }

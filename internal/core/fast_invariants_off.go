@@ -6,3 +6,9 @@ package core
 // build tag is set (fast_invariants_on.go), so the fast engine's hot
 // path carries no checking overhead in normal builds and benchmarks.
 func fastCheckInvariants(*FastState) {}
+
+// invariantChecksEnabled reports whether this build re-derives the
+// discordance bookkeeping after every update (divtestinvariants). The
+// allocation-regression tests skip themselves under it: the O(n + m)
+// checking pass allocates by design.
+const invariantChecksEnabled = false

@@ -15,3 +15,9 @@ func fastCheckInvariants(f *FastState) {
 		panic(err)
 	}
 }
+
+// invariantChecksEnabled reports whether this build re-derives the
+// discordance bookkeeping after every update (divtestinvariants). The
+// allocation-regression tests skip themselves under it: the O(n + m)
+// checking pass allocates by design.
+const invariantChecksEnabled = true

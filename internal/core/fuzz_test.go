@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"div/internal/graph"
@@ -80,31 +81,35 @@ func FuzzFastEngine(f *testing.F) {
 		}
 
 		for _, engine := range []Engine{EngineNaive, EngineFast} {
-			res, err := Run(Config{
-				Graph:        g,
-				Initial:      init,
-				Process:      proc,
-				Engine:       engine,
-				Seed:         seed,
-				MaxSteps:     1 << 22,
-				ObserveEvery: 3,
-				Observer: func(s *State) bool {
-					if err := s.CheckInvariants(); err != nil {
-						t.Errorf("%v: state invariants: %v", engine, err)
-						return false
-					}
-					if s.Sum() < int64(min0)*int64(n) || s.Sum() > int64(max0)*int64(n) {
-						t.Errorf("%v: S(t)=%d escaped [%d,%d]", engine, s.Sum(), int64(min0)*int64(n), int64(max0)*int64(n))
-						return false
-					}
-					ds := g.DegreeSum()
-					if s.DegSum() < int64(min0)*ds || s.DegSum() > int64(max0)*ds {
-						t.Errorf("%v: Z-mass %d escaped [%d,%d]", engine, s.DegSum(), int64(min0)*ds, int64(max0)*ds)
-						return false
-					}
-					return true
-				},
-			})
+			runOnce := func(seed uint64, sc *Scratch) (Result, error) {
+				return Run(Config{
+					Graph:        g,
+					Initial:      init,
+					Process:      proc,
+					Engine:       engine,
+					Seed:         seed,
+					MaxSteps:     1 << 22,
+					Scratch:      sc,
+					ObserveEvery: 3,
+					Observer: func(s *State) bool {
+						if err := s.CheckInvariants(); err != nil {
+							t.Errorf("%v: state invariants: %v", engine, err)
+							return false
+						}
+						if s.Sum() < int64(min0)*int64(n) || s.Sum() > int64(max0)*int64(n) {
+							t.Errorf("%v: S(t)=%d escaped [%d,%d]", engine, s.Sum(), int64(min0)*int64(n), int64(max0)*int64(n))
+							return false
+						}
+						ds := g.DegreeSum()
+						if s.DegSum() < int64(min0)*ds || s.DegSum() > int64(max0)*ds {
+							t.Errorf("%v: Z-mass %d escaped [%d,%d]", engine, s.DegSum(), int64(min0)*ds, int64(max0)*ds)
+							return false
+						}
+						return true
+					},
+				})
+			}
+			res, err := runOnce(seed, nil)
 			if err != nil {
 				t.Fatalf("%v: Run: %v", engine, err)
 			}
@@ -126,6 +131,21 @@ func FuzzFastEngine(f *testing.F) {
 			if res.ThreeStep > res.TwoAdjacentStep || res.TwoAdjacentStep > res.Steps {
 				t.Errorf("%v: stopping times out of order: three=%d twoAdj=%d steps=%d",
 					engine, res.ThreeStep, res.TwoAdjacentStep, res.Steps)
+			}
+
+			// Reused-scratch replay: dirty a Scratch with an unrelated
+			// trial, then re-run the same seed through it. Reuse must be
+			// invisible — the Result is byte-identical to the fresh run.
+			sc := NewScratch(g)
+			if _, err := runOnce(seed+1, sc); err != nil {
+				t.Fatalf("%v: dirtying run: %v", engine, err)
+			}
+			res2, err := runOnce(seed, sc)
+			if err != nil {
+				t.Fatalf("%v: reused run: %v", engine, err)
+			}
+			if !reflect.DeepEqual(res, res2) {
+				t.Errorf("%v: reused-scratch result diverged\nfresh:  %+v\nreused: %+v", engine, res, res2)
 			}
 		}
 	})

@@ -112,7 +112,7 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 				}
 			}
 			if active*enterScale < probes {
-				if fs, err := NewFastState(s, proc); err != nil {
+				if fs, err := newFastStateFor(e.scratch, s, proc); err != nil {
 					fastDisabled = true
 				} else if f = fs; f.num*exitScale <= f.den {
 					inFast = true
@@ -131,7 +131,13 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 			}
 		}
 	}
-	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
+	// As in naiveLoop, the stop condition is only re-evaluated when the
+	// support set changed (it is a predicate on the support set, which
+	// only moves on simulated active steps), and the default DIV rule is
+	// dispatched statically.
+	doneNow := e.done()
+	_, isDIV := rule.(DIV)
+	for !e.res.Aborted && !doneNow && s.Steps() < e.maxSteps {
 		if !inFast {
 			// Naive mode: one scheduler invocation, plus window accounting.
 			v, w := e.sched.Pair(e.r)
@@ -148,10 +154,15 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 					e.advanceEmit()
 				}
 			}
-			e.rule.Step(s, e.r, v, w)
+			if isDIV {
+				DIV{}.Step(s, e.r, v, w)
+			} else {
+				e.rule.Step(s, e.r, v, w)
+			}
 			if s.SupportVersion() != prevVersion {
 				e.onSupport()
 				prevVersion = s.SupportVersion()
+				doneNow = e.done()
 			}
 			if e.observer != nil && s.Steps()%e.observeEvery == 0 {
 				if !e.observer(s) {
@@ -167,7 +178,7 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 					cooldown--
 				case !fastDisabled && windowActive*enterScale < windowDraws:
 					if f == nil {
-						fs, err := NewFastState(s, proc)
+						fs, err := newFastStateFor(e.scratch, s, proc)
 						if err != nil {
 							// e.g. degree-lcm overflow: naive-only from here on.
 							fastDisabled = true
@@ -230,6 +241,7 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 			if s.SupportVersion() != prevVersion {
 				e.onSupport()
 				prevVersion = s.SupportVersion()
+				doneNow = e.done()
 			}
 			if num, den := f.ActiveMass(); num*exitScale > den {
 				// Discordance rebounded: back to naive stepping, with an
@@ -272,5 +284,8 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 		e.flushBatch(obs.RegimeFast)
 	} else {
 		e.flushBatch(obs.RegimeNaive)
+	}
+	if f != nil {
+		f.flushSamplerMetrics()
 	}
 }

@@ -13,11 +13,17 @@ import (
 // UniformOpinions assigns each vertex an independent uniform opinion
 // from {1, …, k}.
 func UniformOpinions(n, k int, r *rand.Rand) []int {
-	ops := make([]int, n)
-	for v := range ops {
-		ops[v] = 1 + r.IntN(k)
+	return UniformOpinionsInto(make([]int, n), k, r)
+}
+
+// UniformOpinionsInto is UniformOpinions writing into dst (len(dst)
+// vertices), for allocation-free trial reuse with Scratch.Initial. It
+// consumes exactly the randomness of UniformOpinions.
+func UniformOpinionsInto(dst []int, k int, r *rand.Rand) []int {
+	for v := range dst {
+		dst[v] = 1 + r.IntN(k)
 	}
-	return ops
+	return dst
 }
 
 // WeightedOpinions assigns opinions i+1 with probability weights[i]
@@ -40,6 +46,15 @@ func WeightedOpinions(n int, weights []float64, r *rand.Rand) ([]int, error) {
 // Exact counts pin the initial average c exactly, which Theorem 2's
 // winner-split predictions need.
 func BlockOpinions(n int, counts []int, r *rand.Rand) ([]int, error) {
+	return BlockOpinionsInto(make([]int, n), counts, r)
+}
+
+// BlockOpinionsInto is BlockOpinions writing into dst (len(dst)
+// vertices), for allocation-free trial reuse with Scratch.Initial. It
+// consumes exactly the randomness of BlockOpinions: the only random
+// draws are the shuffle's.
+func BlockOpinionsInto(dst []int, counts []int, r *rand.Rand) ([]int, error) {
+	n := len(dst)
 	total := 0
 	for _, c := range counts {
 		if c < 0 {
@@ -50,14 +65,15 @@ func BlockOpinions(n int, counts []int, r *rand.Rand) ([]int, error) {
 	if total != n {
 		return nil, fmt.Errorf("core: BlockOpinions counts sum to %d, want n=%d", total, n)
 	}
-	ops := make([]int, 0, n)
+	idx := 0
 	for i, c := range counts {
 		for j := 0; j < c; j++ {
-			ops = append(ops, i+1)
+			dst[idx] = i + 1
+			idx++
 		}
 	}
-	rng.Shuffle(r, ops)
-	return ops, nil
+	rng.Shuffle(r, dst)
+	return dst, nil
 }
 
 // TwoOpinionSplit places exactly n1 vertices at opinion 1 and the rest
@@ -70,11 +86,34 @@ func TwoOpinionSplit(n, n1 int, r *rand.Rand) ([]int, error) {
 	return BlockOpinions(n, []int{n1, n - n1}, r)
 }
 
+// TwoOpinionSplitInto is TwoOpinionSplit writing into dst (len(dst)
+// vertices), for allocation-free trial reuse with Scratch.Initial.
+// The two-element counts slice still allocates; use a caller-held
+// counts buffer with BlockOpinionsInto to avoid even that.
+func TwoOpinionSplitInto(dst []int, n1 int, r *rand.Rand) ([]int, error) {
+	n := len(dst)
+	if n1 < 0 || n1 > n {
+		return nil, fmt.Errorf("core: TwoOpinionSplit n1=%d out of [0,%d]", n1, n)
+	}
+	return BlockOpinionsInto(dst, []int{n1, n - n1}, r)
+}
+
 // ExtremesOpinions splits vertices between the two extreme opinions 1
 // and k (half each, ties to k), the worst case for the reduction phase:
 // the range must collapse through every intermediate value.
 func ExtremesOpinions(n, k int, r *rand.Rand) []int {
 	ops, err := BlockOpinions(n, extremeCounts(n, k), r)
+	if err != nil {
+		panic(err) // unreachable: counts sum to n by construction
+	}
+	return ops
+}
+
+// ExtremesOpinionsInto is ExtremesOpinions writing into dst (len(dst)
+// vertices), for allocation-free trial reuse with Scratch.Initial. It
+// consumes exactly the randomness of ExtremesOpinions.
+func ExtremesOpinionsInto(dst []int, k int, r *rand.Rand) []int {
+	ops, err := BlockOpinionsInto(dst, extremeCounts(len(dst), k), r)
 	if err != nil {
 		panic(err) // unreachable: counts sum to n by construction
 	}

@@ -42,42 +42,61 @@ type Scheduler struct {
 	arcs     int
 	arcTails []int32
 	heads    []int32
+	complete bool // K_n: draw neighbours arithmetically, no CSR traffic
 	s        *State
 }
 
 // NewScheduler prepares a pair sampler for the given process over the
 // state's graph. The graph must have minimum degree ≥ 1 (every vertex
-// needs a neighbour to observe).
+// needs a neighbour to observe). The arc arrays are the graph's shared
+// storage (ArcIndex), so construction allocates nothing beyond the
+// Scheduler itself.
 func NewScheduler(s *State, p Process) (*Scheduler, error) {
 	g := s.Graph()
 	if g.MinDegree() == 0 {
 		return nil, fmt.Errorf("core: %v process requires min degree >= 1", p)
 	}
-	sc := &Scheduler{process: p, n: g.N(), s: s}
-	if p == EdgeProcess {
+	sc := &Scheduler{process: p, n: g.N(), complete: g.IsComplete(), s: s}
+	if p == EdgeProcess && !sc.complete {
 		sc.arcs = int(g.DegreeSum())
 		sc.arcTails = g.ArcTails()
-		sc.heads = make([]int32, sc.arcs)
-		idx := 0
-		for v := 0; v < g.N(); v++ {
-			for _, w := range g.Neighbors(v) {
-				sc.heads[idx] = w
-				idx++
-			}
-		}
+		sc.heads = g.Arcs()
 	}
 	return sc, nil
 }
 
-// Pair draws one scheduled pair (v, w) according to the process.
+// Pair draws one scheduled pair (v, w) according to the process. On
+// complete graphs the neighbour is computed arithmetically — K_n's
+// sorted neighbour list of v is 0..n-1 with v removed, so the i-th
+// neighbour is i + (i ≥ v) — which consumes exactly the same random
+// variates as the CSR path and returns exactly the same pair, but
+// touches no adjacency memory (on large K_n the CSR lookup is a cache
+// miss per draw and dominates the step cost).
 func (sc *Scheduler) Pair(r *rand.Rand) (v, w int) {
 	switch sc.process {
 	case VertexProcess:
 		v = r.IntN(sc.n)
+		if sc.complete {
+			w = r.IntN(sc.n - 1)
+			if w >= v {
+				w++
+			}
+			return v, w
+		}
 		g := sc.s.Graph()
 		w = g.Neighbor(v, r.IntN(g.Degree(v)))
 		return v, w
 	case EdgeProcess:
+		if sc.complete {
+			arc := r.IntN(sc.n * (sc.n - 1))
+			d := sc.n - 1
+			v = arc / d
+			w = arc % d
+			if w >= v {
+				w++
+			}
+			return v, w
+		}
 		arc := r.IntN(sc.arcs)
 		return int(sc.arcTails[arc]), int(sc.heads[arc])
 	default:

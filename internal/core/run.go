@@ -53,7 +53,10 @@ type Config struct {
 	Stop StopCondition
 	// Observer, when non-nil, is invoked every ObserveEvery steps (and
 	// once at step 0) with the live state. Returning false aborts the
-	// run early (Result.Aborted is set).
+	// run early (Result.Aborted is set). The observer must treat the
+	// state as read-only: all mutation goes through the engines, whose
+	// stop-condition checks assume the support set only changes on
+	// simulated steps.
 	Observer func(s *State) bool
 	// ObserveEvery is the observer period in steps. Default n. It also
 	// sets the cadence of the Probe's step-batch and discordance
@@ -70,6 +73,14 @@ type Config struct {
 	// TraceSupport records a Stage whenever the set of present opinions
 	// changes (the paper's {1,2,5}→{1,2,4}→… evolution).
 	TraceSupport bool
+	// Scratch, when non-nil, supplies reusable per-worker state: the
+	// run resets the scratch's State, FastState, and RNG in place
+	// instead of allocating fresh ones, making repeated trials on the
+	// same graph O(1) allocations each. The scratch must be bound to
+	// the same Graph (NewScratch(cfg.Graph)) and must not be shared
+	// across goroutines; a seeded run produces a byte-identical Result
+	// with and without it.
+	Scratch *Scratch
 }
 
 // Stage is one entry of the support trace: the set of opinions present
@@ -112,7 +123,13 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Graph == nil {
 		return Result{}, fmt.Errorf("core: Config.Graph is required")
 	}
-	s, err := NewState(cfg.Graph, cfg.Initial)
+	var s *State
+	var err error
+	if cfg.Scratch != nil {
+		s, err = cfg.Scratch.stateFor(cfg.Graph, cfg.Initial)
+	} else {
+		s, err = NewState(cfg.Graph, cfg.Initial)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -133,7 +150,12 @@ func Run(cfg Config) (Result, error) {
 	if observeEvery <= 0 {
 		observeEvery = int64(s.N())
 	}
-	r := rng.New(cfg.Seed)
+	var r *rand.Rand
+	if cfg.Scratch != nil {
+		r = cfg.Scratch.Rand(cfg.Seed)
+	} else {
+		r = rng.New(cfg.Seed)
+	}
 
 	mode, fast, err := engineFor(cfg, s, rule)
 	if err != nil {
@@ -189,6 +211,7 @@ func Run(cfg Config) (Result, error) {
 
 	env := &loopEnv{
 		s:            s,
+		scratch:      cfg.Scratch,
 		sched:        sched,
 		rule:         rule,
 		r:            r,
@@ -247,6 +270,7 @@ func Run(cfg Config) (Result, error) {
 // call sites.
 type loopEnv struct {
 	s            *State
+	scratch      *Scratch // nil = allocate engine state per run
 	sched        *Scheduler
 	rule         Rule
 	r            *rand.Rand
@@ -283,10 +307,22 @@ func (e *loopEnv) advanceEmit() {
 
 // naiveLoop is the reference engine: every scheduler invocation is
 // simulated individually, including the idle ones.
+//
+// Two hot-loop refinements keep the per-step cost at a few RNG draws
+// plus the rule application, without changing observable behaviour:
+// the stop condition is only re-evaluated when the support set changed
+// (every StopCondition is a predicate on the support set — range,
+// consensus — so it can only flip on a SupportVersion bump; observers
+// are read-only by the Config.Observer contract), and the default DIV
+// rule is dispatched statically instead of through the Rule interface.
 func (e *loopEnv) naiveLoop() {
 	s := e.s
+	if e.done() {
+		return
+	}
 	prevVersion := s.SupportVersion()
-	for !e.res.Aborted && !e.done() && s.Steps() < e.maxSteps {
+	_, isDIV := e.rule.(DIV)
+	for !e.res.Aborted && s.Steps() < e.maxSteps {
 		v, w := e.sched.Pair(e.r)
 		s.countStep()
 		if e.probe != nil {
@@ -300,8 +336,13 @@ func (e *loopEnv) naiveLoop() {
 				e.advanceEmit()
 			}
 		}
-		e.rule.Step(s, e.r, v, w)
-		if s.SupportVersion() != prevVersion {
+		if isDIV {
+			DIV{}.Step(s, e.r, v, w)
+		} else {
+			e.rule.Step(s, e.r, v, w)
+		}
+		supportChanged := s.SupportVersion() != prevVersion
+		if supportChanged {
 			e.onSupport()
 			prevVersion = s.SupportVersion()
 		}
@@ -309,6 +350,9 @@ func (e *loopEnv) naiveLoop() {
 			if !e.observer(s) {
 				e.res.Aborted = true
 			}
+		}
+		if supportChanged && e.done() {
+			break
 		}
 	}
 	e.flushBatch(obs.RegimeNaive)

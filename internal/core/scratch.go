@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/graph"
+	"div/internal/obs"
+	"div/internal/rng"
+)
+
+// scratchReuseTotal counts trials that ran on a reused (ResetTo'd)
+// scratch State instead of a freshly allocated one.
+var scratchReuseTotal = obs.Default.Counter("core_scratch_reuse_total")
+
+// Scratch is a per-worker arena of reusable simulation state for
+// repeated trials on one graph: the State, the engines' FastState
+// index, the RNG, and an initial-opinion buffer are allocated once and
+// reset in place by each run, so a steady-state trial performs O(1)
+// allocations instead of O(n + m). Wire one into Config.Scratch (the
+// sim harness's TrialsWorker does this per worker goroutine).
+//
+// A Scratch is not safe for concurrent use: it must be owned by a
+// single goroutine, and at most one Run may use it at a time. Reuse is
+// distribution-neutral — a seeded run produces a byte-identical Result
+// on a freshly constructed Scratch and on one dirtied by any number of
+// earlier trials.
+type Scratch struct {
+	g       *graph.Graph
+	state   *State
+	fast    [2]*FastState // indexed by Process (vertex, edge)
+	pcg     *rand.PCG
+	r       *rand.Rand
+	initBuf []int
+}
+
+// NewScratch returns an empty scratch bound to g. State and engine
+// structures are allocated lazily by the first run that needs them.
+func NewScratch(g *graph.Graph) *Scratch {
+	pcg := rand.NewPCG(0, 0)
+	return &Scratch{g: g, pcg: pcg, r: rand.New(pcg)}
+}
+
+// Graph returns the graph this scratch is bound to.
+func (sc *Scratch) Graph() *graph.Graph { return sc.g }
+
+// Rand reseeds the scratch's generator to the given seed and returns
+// it. The resulting stream is identical to rng.New(seed): PCG.Seed
+// installs exactly the state rand.NewPCG would, and rand.Rand holds no
+// state of its own.
+func (sc *Scratch) Rand(seed uint64) *rand.Rand {
+	sc.pcg.Seed(seed, rng.SplitMix64(seed))
+	return sc.r
+}
+
+// Initial returns the scratch's reusable initial-opinion buffer of
+// length g.N(), for use with the *Into initial-profile variants
+// (initial.go). The buffer's contents are whatever the previous trial
+// left there; callers must fill every entry.
+func (sc *Scratch) Initial() []int {
+	if sc.initBuf == nil {
+		sc.initBuf = make([]int, sc.g.N())
+	}
+	return sc.initBuf
+}
+
+// stateFor returns the scratch's State reset to the given initial
+// opinions, allocating it on first use. Run calls this in place of
+// NewState.
+func (sc *Scratch) stateFor(g *graph.Graph, initial []int) (*State, error) {
+	if g != sc.g {
+		return nil, fmt.Errorf("core: Config.Scratch is bound to %v, but Config.Graph is %v", sc.g, g)
+	}
+	if sc.state == nil {
+		s, err := NewState(g, initial)
+		if err != nil {
+			return nil, err
+		}
+		sc.state = s
+		return s, nil
+	}
+	if err := sc.state.ResetTo(initial); err != nil {
+		return nil, err
+	}
+	scratchReuseTotal.Inc()
+	return sc.state, nil
+}
+
+// fastFor returns a FastState for the scratch's State under proc,
+// reusing (and Reset-ing) the one built by an earlier trial when
+// available. A state other than the scratch's own falls through to a
+// fresh NewFastState.
+func (sc *Scratch) fastFor(s *State, proc Process) (*FastState, error) {
+	if s != sc.state || (proc != VertexProcess && proc != EdgeProcess) {
+		return NewFastState(s, proc)
+	}
+	if f := sc.fast[proc]; f != nil {
+		f.Reset()
+		return f, nil
+	}
+	f, err := NewFastState(s, proc)
+	if err != nil {
+		return nil, err
+	}
+	sc.fast[proc] = f
+	return f, nil
+}
+
+// newFastStateFor builds (or reuses, when a scratch is present) the
+// FastState for s under proc: the single construction funnel for the
+// fast and hybrid engines.
+func newFastStateFor(sc *Scratch, s *State, proc Process) (*FastState, error) {
+	if sc != nil {
+		return sc.fastFor(s, proc)
+	}
+	return NewFastState(s, proc)
+}

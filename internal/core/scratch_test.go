@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/stats"
+)
+
+// replayTrial runs one seeded trial, on a fresh state (sc == nil) or on
+// the given scratch, with the support trace enabled so the returned
+// Result pins the whole trajectory's support history, not just the
+// endpoint.
+func replayTrial(t *testing.T, g *graph.Graph, proc Process, engine Engine, seed uint64, sc *Scratch) Result {
+	t.Helper()
+	var init []int
+	if sc != nil {
+		init = UniformOpinionsInto(sc.Initial(), 5, sc.Rand(seed))
+	} else {
+		init = UniformOpinions(g.N(), 5, rng.New(seed))
+	}
+	res, err := Run(Config{
+		Graph:        g,
+		Initial:      init,
+		Process:      proc,
+		Engine:       engine,
+		Seed:         rng.SplitMix64(seed),
+		MaxSteps:     4 << 20,
+		TraceSupport: true,
+		Scratch:      sc,
+	})
+	if err != nil {
+		t.Fatalf("%v/%v: %v", proc, engine, err)
+	}
+	return res
+}
+
+// TestScratchReplayByteIdentical is the reuse contract test: a seeded
+// run on a Scratch dirtied by an unrelated earlier trial must reproduce
+// the fresh-allocation Result exactly — same winner, same step counts,
+// same support trace — for every engine and process. The hybrid knobs
+// are shrunk so EngineAuto genuinely crosses the naive↔fast boundary
+// (and therefore exercises the cached FastState Reset path); not
+// parallel for that reason.
+func TestScratchReplayByteIdentical(t *testing.T) {
+	oldWindow, oldRatio := hybridWindow, hybridCostRatio
+	hybridWindow, hybridCostRatio = 64, 1
+	defer func() { hybridWindow, hybridCostRatio = oldWindow, oldRatio }()
+
+	for name, g := range testGraphs(t) {
+		for _, proc := range []Process{VertexProcess, EdgeProcess} {
+			for _, engine := range []Engine{EngineNaive, EngineFast, EngineAuto} {
+				seed := rng.DeriveSeed(0x5c7a, uint64(len(name))*131+uint64(g.N())*7+uint64(proc)*3+uint64(engine))
+				fresh := replayTrial(t, g, proc, engine, seed, nil)
+				sc := NewScratch(g)
+				replayTrial(t, g, proc, engine, rng.DeriveSeed(seed, 0xd127), sc) // dirty the scratch
+				reused := replayTrial(t, g, proc, engine, seed, sc)
+				if !reflect.DeepEqual(fresh, reused) {
+					t.Errorf("%s/%v/%v: reused-scratch result diverged\nfresh:  %+v\nreused: %+v",
+						name, proc, engine, fresh, reused)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchGraphMismatch: a scratch is bound to its graph; wiring it
+// into a run on a different graph must fail loudly, not corrupt state.
+func TestScratchGraphMismatch(t *testing.T) {
+	sc := NewScratch(graph.Cycle(8))
+	g := graph.Path(8)
+	_, err := Run(Config{
+		Graph:   g,
+		Initial: UniformOpinions(g.N(), 3, rng.New(1)),
+		Process: VertexProcess,
+		Seed:    2,
+		Scratch: sc,
+	})
+	if err == nil {
+		t.Fatal("Run accepted a Scratch bound to a different graph")
+	}
+}
+
+// allocGraphs are the allocation-regression workloads: a star (its
+// irregular degrees force the bucketed vertex sampler), a complete
+// graph (implicit-adjacency scheduler), and a cycle (regular CSR path).
+func allocGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"star":     graph.Star(64),
+		"complete": graph.Complete(32),
+		"cycle":    graph.Cycle(48),
+	}
+}
+
+// TestScratchSteadyStateStepAllocs is the tentpole's acceptance test:
+// with a reused Scratch and no probe, the steady-state step cost of
+// every engine × process is exactly zero allocations. Measured as the
+// difference between fixed-length runs of two lengths, which cancels
+// the per-trial constant.
+func TestScratchSteadyStateStepAllocs(t *testing.T) {
+	if invariantChecksEnabled {
+		t.Skip("divtestinvariants re-derives the index (and allocates) on every update")
+	}
+	const short, long = 4096, 32768
+	for name, g := range allocGraphs() {
+		for _, proc := range []Process{VertexProcess, EdgeProcess} {
+			for _, engine := range []Engine{EngineNaive, EngineFast, EngineAuto} {
+				sc := NewScratch(g)
+				seed := rng.DeriveSeed(0xa110c, uint64(len(name))+uint64(proc)*3+uint64(engine))
+				var trialErr error
+				runFor := func(maxSteps int64) float64 {
+					return testing.AllocsPerRun(3, func() {
+						init := UniformOpinionsInto(sc.Initial(), 5, sc.Rand(seed))
+						if _, err := Run(Config{
+							Graph:    g,
+							Initial:  init,
+							Process:  proc,
+							Engine:   engine,
+							Stop:     UntilMaxSteps,
+							MaxSteps: maxSteps,
+							Seed:     rng.SplitMix64(seed),
+							Scratch:  sc,
+						}); err != nil && trialErr == nil {
+							trialErr = err
+						}
+					})
+				}
+				aShort := runFor(short)
+				aLong := runFor(long)
+				if trialErr != nil {
+					t.Fatalf("%s/%v/%v: %v", name, proc, engine, trialErr)
+				}
+				if aLong != aShort {
+					t.Errorf("%s/%v/%v: %.1f allocs over %d extra steps (%.0f@%d vs %.0f@%d), want 0",
+						name, proc, engine, aLong-aShort, long-short, aLong, long, aShort, short)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchReusedTrialAllocBound: a whole consensus trial on a warm
+// Scratch performs O(1) allocations — a small constant independent of
+// n, m, and the trial length (fresh construction is O(n + m)).
+func TestScratchReusedTrialAllocBound(t *testing.T) {
+	if invariantChecksEnabled {
+		t.Skip("divtestinvariants re-derives the index (and allocates) on every update")
+	}
+	const bound = 32.0
+	for name, g := range allocGraphs() {
+		for _, proc := range []Process{VertexProcess, EdgeProcess} {
+			for _, engine := range []Engine{EngineNaive, EngineFast, EngineAuto} {
+				sc := NewScratch(g)
+				seed := rng.DeriveSeed(0x7a1a1, uint64(len(name))+uint64(proc)*3+uint64(engine))
+				trial := func() {
+					init := UniformOpinionsInto(sc.Initial(), 4, sc.Rand(seed))
+					if _, err := Run(Config{
+						Graph:   g,
+						Initial: init,
+						Process: proc,
+						Engine:  engine,
+						Seed:    rng.SplitMix64(seed),
+						Scratch: sc,
+					}); err != nil {
+						t.Errorf("%s/%v/%v: %v", name, proc, engine, err)
+					}
+				}
+				trial() // warm the scratch
+				if allocs := testing.AllocsPerRun(5, trial); allocs > bound {
+					t.Errorf("%s/%v/%v: %.0f allocs per reused trial, want ≤ %.0f",
+						name, proc, engine, allocs, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestBucketedSamplerDrawBound pins the degree-bucketed sampler's two
+// promises on the star — the old tail-rejection sampler's bad case:
+// (i) the conditional law P[tail = v] ∝ diff(v)/d(v) is exact, and
+// (ii) the draw cost is O(1) attempts. On a power-of-two star every
+// unit equals its bucket bound, so every attempt accepts and the
+// attempt count is exactly the sample count.
+func TestBucketedSamplerDrawBound(t *testing.T) {
+	const n, samples = 513, 20000
+	g := graph.Star(n) // hub degree 512: units 1 (hub) and 512 (leaves)
+	init := make([]int, n)
+	init[0] = 2
+	for v := 1; v < n; v++ {
+		init[v] = 1 // every edge discordant
+	}
+	s, err := NewState(g, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFastState(s, VertexProcess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.bucketed {
+		t.Fatal("star vertex process did not select the bucketed sampler")
+	}
+	r := rng.New(0x57a2)
+	hub := 0
+	for i := 0; i < samples; i++ {
+		v, w := f.sampleDiscordant(r)
+		if v == 0 {
+			hub++
+		}
+		if v != 0 && w != 0 {
+			t.Fatalf("sampled non-edge (%d,%d)", v, w)
+		}
+	}
+	if f.draws != samples {
+		t.Errorf("power-of-two star: %d attempts for %d samples, want equal", f.draws, samples)
+	}
+	// P[tail = hub] = Σ_{hub arcs} unit_hub / num = 512·1/(512·513) = 1/513.
+	if z := stats.BinomialZ(hub, samples, 1.0/float64(n)); math.Abs(z) > 5 {
+		t.Errorf("hub-tail frequency %d/%d vs exact %.5f: z = %.2f", hub, samples, 1.0/float64(n), z)
+	}
+}
+
+// TestBucketedSamplerRejectionLaw exercises the within-bucket rejection
+// branch: K₄ minus an edge puts degrees 2 and 3 in the same bucket
+// (units 3 and 2 against bound 3), so degree-3 tails reject with
+// probability 1/3. With all opinions distinct every neighbour is
+// discordant and the conditional law collapses to P[tail = v] = 1/n
+// exactly; expected attempts per draw are 1.25.
+func TestBucketedSamplerRejectionLaw(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2},
+	})
+	s, err := NewState(g, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFastState(s, VertexProcess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.bucketed {
+		t.Fatal("irregular graph did not select the bucketed sampler")
+	}
+	const samples = 20000
+	r := rng.New(0x4e1)
+	var tails [4]int
+	for i := 0; i < samples; i++ {
+		v, _ := f.sampleDiscordant(r)
+		tails[v]++
+	}
+	for v, c := range tails {
+		if z := stats.BinomialZ(c, samples, 0.25); math.Abs(z) > 5 {
+			t.Errorf("tail %d frequency %d/%d vs exact 0.25: z = %.2f", v, c, samples, z)
+		}
+	}
+	if f.draws > 2*samples {
+		t.Errorf("%d attempts for %d samples, want ≤ %d (expected 1.25·samples)",
+			f.draws, samples, 2*samples)
+	}
+}
+
+// BenchmarkStarVertexFastStep measures the bucketed sampler's per-step
+// cost on a large star under the vertex process — the workload whose
+// old rejection loop degenerated with the degree ratio. Fixed-length
+// runs on a reused scratch isolate the steady-state step cost.
+func BenchmarkStarVertexFastStep(b *testing.B) {
+	g := graph.Star(8192)
+	sc := NewScratch(g)
+	const maxSteps = 1 << 15
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := rng.DeriveSeed(0x57a8, uint64(i))
+		init := UniformOpinionsInto(sc.Initial(), 4, sc.Rand(seed))
+		res, err := Run(Config{
+			Graph:    g,
+			Initial:  init,
+			Process:  VertexProcess,
+			Engine:   EngineFast,
+			Stop:     UntilMaxSteps,
+			MaxSteps: maxSteps,
+			Seed:     rng.SplitMix64(seed),
+			Scratch:  sc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.StopTimer()
+	if steps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+	}
+}

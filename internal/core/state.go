@@ -51,12 +51,26 @@ type State struct {
 // NewState builds a State over g with the given initial opinions
 // (len == g.N()). The graph must be non-empty.
 func NewState(g *graph.Graph, initial []int) (*State, error) {
-	n := g.N()
+	s := &State{g: g}
+	if err := s.ResetTo(initial); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResetTo re-initializes the state in place to the given initial
+// opinions (len == g.N()), reusing the existing arrays whenever the
+// new opinion window fits their capacity — the zero-allocation path
+// behind per-worker Scratch reuse. Step counters, the support version,
+// and any engine-attached discordance index are cleared; after ResetTo
+// the state is indistinguishable from a freshly constructed one.
+func (s *State) ResetTo(initial []int) error {
+	n := s.g.N()
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty graph")
+		return fmt.Errorf("core: empty graph")
 	}
 	if len(initial) != n {
-		return nil, fmt.Errorf("core: %d initial opinions for %d vertices", len(initial), n)
+		return fmt.Errorf("core: %d initial opinions for %d vertices", len(initial), n)
 	}
 	min, max := initial[0], initial[0]
 	for _, x := range initial {
@@ -69,17 +83,26 @@ func NewState(g *graph.Graph, initial []int) (*State, error) {
 	}
 	width := max - min + 1
 	if width > 1<<22 {
-		return nil, fmt.Errorf("core: opinion range %d too wide", width)
+		return fmt.Errorf("core: opinion range %d too wide", width)
 	}
-	s := &State{
-		g:        g,
-		opinions: make([]int32, n),
-		base:     int32(min),
-		counts:   make([]int64, width),
-		degMass:  make([]int64, width),
-		minIdx:   0,
-		maxIdx:   width - 1,
+	if s.opinions == nil {
+		s.opinions = make([]int32, n)
 	}
+	if cap(s.counts) < width {
+		s.counts = make([]int64, width)
+		s.degMass = make([]int64, width)
+	} else {
+		s.counts = s.counts[:width]
+		s.degMass = s.degMass[:width]
+		clear(s.counts)
+		clear(s.degMass)
+	}
+	s.base = int32(min)
+	s.minIdx, s.maxIdx = 0, width-1
+	s.sum, s.degSum, s.steps = 0, 0, 0
+	s.support, s.supVer = 0, 0
+	s.discordFn = nil
+	g := s.g
 	for v, x := range initial {
 		i := x - min
 		s.opinions[v] = int32(x)
@@ -100,7 +123,7 @@ func NewState(g *graph.Graph, initial []int) (*State, error) {
 	for s.counts[s.maxIdx] == 0 {
 		s.maxIdx--
 	}
-	return s, nil
+	return nil
 }
 
 // MustState is NewState that panics on error.

@@ -59,10 +59,11 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E1: λ(%v): %w", g, err)
 		}
-		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x100+gi)), p.Parallelism,
-			func(trial int, seed uint64) (int, error) {
-				r := rng.New(seed)
-				init, err := core.BlockOpinions(n, counts, r)
+		winners, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x100+gi)), p.Parallelism,
+			func() *core.Scratch { return core.NewScratch(g) },
+			func(trial int, seed uint64, sc *core.Scratch) (int, error) {
+				r := sc.Rand(seed)
+				init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
 				if err != nil {
 					return 0, err
 				}
@@ -73,6 +74,7 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 					Initial: init,
 					Process: core.VertexProcess,
 					Seed:    rng.SplitMix64(seed),
+					Scratch: sc,
 				})
 				if err != nil {
 					return 0, err

@@ -36,17 +36,19 @@ func E2ReductionTime(p Params) (*Report, error) {
 	)
 	for i, n := range ns {
 		g := graph.Complete(n)
-		ts, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x200+i)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				r := rng.New(seed)
+		ts, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x200+i)), p.Parallelism,
+			func() *core.Scratch { return core.NewScratch(g) },
+			func(trial int, seed uint64, sc *core.Scratch) (float64, error) {
+				r := sc.Rand(seed)
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
 					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
-					Initial: core.ExtremesOpinions(n, k, r),
+					Initial: core.ExtremesOpinionsInto(sc.Initial(), k, r),
 					Process: core.VertexProcess,
 					Stop:    core.UntilTwoAdjacent,
 					Seed:    rng.SplitMix64(seed),
+					Scratch: sc,
 				})
 				if err != nil {
 					return 0, err
@@ -109,17 +111,19 @@ func E2ReductionTime(p Params) (*Report, error) {
 		"k", "trials", "mean T", "stderr", "T/(k n log n)",
 	)
 	for i, kk := range ks {
-		ts, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x280+i)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				r := rng.New(seed)
+		ts, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x280+i)), p.Parallelism,
+			func() *core.Scratch { return core.NewScratch(g) },
+			func(trial int, seed uint64, sc *core.Scratch) (float64, error) {
+				r := sc.Rand(seed)
 				res, err := core.Run(core.Config{
 					Engine:  p.coreEngine(),
 					Probe:   p.probeFor(trial, seed),
 					Graph:   g,
-					Initial: core.ExtremesOpinions(n, kk, r),
+					Initial: core.ExtremesOpinionsInto(sc.Initial(), kk, r),
 					Process: core.VertexProcess,
 					Stop:    core.UntilTwoAdjacent,
 					Seed:    rng.SplitMix64(seed),
+					Scratch: sc,
 				})
 				if err != nil {
 					return 0, err

@@ -22,6 +22,11 @@ type Graph struct {
 	offsets []int64 // len n+1; neighbours of v are adj[offsets[v]:offsets[v+1]]
 	adj     []int32 // concatenated sorted neighbour lists
 	name    string  // human-readable family label, e.g. "complete(n=100)"
+
+	// arc caches the lazily-built shared ArcIndex. It is a pointer to a
+	// heap cell (not an inline atomic) so WithName's shallow copy shares
+	// the cache instead of copying a lock-bearing value.
+	arc *arcCell
 }
 
 // Edge is an undirected edge between vertices U and V.
@@ -50,6 +55,7 @@ func NewFromEdges(n int, edges []Edge) (*Graph, error) {
 	g := &Graph{
 		offsets: make([]int64, n+1),
 		adj:     make([]int32, 2*len(edges)),
+		arc:     new(arcCell),
 	}
 	for v := 0; v < n; v++ {
 		g.offsets[v+1] = g.offsets[v] + deg[v]
@@ -149,16 +155,11 @@ func (g *Graph) EdgeAt(arc int) (tail, head int) {
 // not modify it.
 func (g *Graph) Arcs() []int32 { return g.adj }
 
-// ArcTails returns a 2M-length array mapping each directed-arc index to
-// its tail vertex, for O(1) EdgeAt lookups in hot loops.
+// ArcTails returns the 2M-length array mapping each directed-arc index
+// to its tail vertex, for O(1) EdgeAt lookups in hot loops. The slice
+// is the shared ArcIndex's storage — callers must not modify it.
 func (g *Graph) ArcTails() []int32 {
-	tails := make([]int32, len(g.adj))
-	for v := 0; v < g.N(); v++ {
-		for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
-			tails[i] = int32(v)
-		}
-	}
-	return tails
+	return g.ArcIndex().Tails()
 }
 
 // Name returns the human-readable family label, or "" if unset.
@@ -211,6 +212,15 @@ func (g *Graph) MaxDegree() int {
 // IsRegular reports whether all vertices share the same degree.
 func (g *Graph) IsRegular() bool {
 	return g.N() == 0 || g.MinDegree() == g.MaxDegree()
+}
+
+// IsComplete reports whether g is the complete graph K_n. A simple
+// graph is complete iff it has n(n-1)/2 edges, so no adjacency scan is
+// needed; schedulers use this to draw neighbours arithmetically
+// instead of through the CSR arrays.
+func (g *Graph) IsComplete() bool {
+	n := int64(g.N())
+	return int64(len(g.adj)) == n*(n-1)
 }
 
 // Stationary returns the stationary distribution π_v = d(v)/2m of the

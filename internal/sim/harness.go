@@ -31,6 +31,14 @@ var Metrics = obs.Default
 // trials are reproducible and order-independent.
 type TrialFunc[T any] func(trial int, seed uint64) (T, error)
 
+// WorkerTrialFunc computes one trial with access to its worker's
+// reusable scratch value W. As with TrialFunc, all randomness must
+// derive from seed; the scratch carries reusable *memory* (e.g. a
+// *core.Scratch), never randomness or results, so trials stay
+// reproducible and order-independent regardless of which worker runs
+// them.
+type WorkerTrialFunc[T, W any] func(trial int, seed uint64, scratch W) (T, error)
+
 // Trials runs fn for trial = 0..trials-1 in parallel and returns the
 // results indexed by trial. Parallelism 0 means GOMAXPROCS. The first
 // error aborts outstanding work and is returned. A panic inside fn is
@@ -39,6 +47,19 @@ type TrialFunc[T any] func(trial int, seed uint64) (T, error)
 // goroutine — a single bad trial out of thousands should fail the
 // experiment, not lose every other experiment sharing the run.
 func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]) ([]T, error) {
+	return TrialsWorker(trials, baseSeed, parallelism,
+		func() struct{} { return struct{}{} },
+		func(trial int, seed uint64, _ struct{}) (T, error) { return fn(trial, seed) })
+}
+
+// TrialsWorker is Trials with a per-worker scratch: newScratch runs
+// once per worker goroutine (lazily, before its first trial) and the
+// returned value is passed to every trial that worker executes. This
+// is the allocation-reuse hook behind the zero-allocation trial
+// pipeline — a worker's core.Scratch amortizes all O(n+m) state across
+// its trials — while keeping the result distribution independent of
+// the worker-to-trial assignment.
+func TrialsWorker[T, W any](trials int, baseSeed uint64, parallelism int, newScratch func() W, fn WorkerTrialFunc[T, W]) ([]T, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("sim: negative trial count %d", trials)
 	}
@@ -83,25 +104,31 @@ func Trials[T any](trials int, baseSeed uint64, parallelism int, fn TrialFunc[T]
 			firstErr = fmt.Errorf("sim: trial %d: %w", t, err)
 		}
 	}
-	run := func(t int, seed uint64) (res T, err error) {
+	run := func(t int, seed uint64, scratch W) (res T, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 			}
 		}()
-		return fn(t, seed)
+		return fn(t, seed, scratch)
 	}
 	for p := 0; p < parallelism; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch W
+			haveScratch := false
 			for {
 				t, ok := take()
 				if !ok {
 					return
 				}
+				if !haveScratch {
+					scratch = newScratch()
+					haveScratch = true
+				}
 				trialStart := time.Now()
-				res, err := run(t, rng.DeriveSeed(baseSeed, uint64(t)))
+				res, err := run(t, rng.DeriveSeed(baseSeed, uint64(t)), scratch)
 				elapsed := time.Since(trialStart)
 				trialMicros.Observe(elapsed.Microseconds())
 				trialsTotal.Inc()
