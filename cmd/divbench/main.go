@@ -12,6 +12,10 @@
 //	divbench -csv out/       # also write each table as CSV
 //	divbench -seed 7         # change the master seed
 //	divbench -engine naive   # force the reference stepping engine
+//	divbench -serial         # pre-scheduler behavior: experiments in
+//	                         # order, sweeps on the per-experiment
+//	                         # worker path (same results, no overlap)
+//	divbench -min-util 100   # fail if pool utilization < 100‰ (10%)
 //	divbench -metrics        # print the aggregated metrics snapshot on exit
 //	divbench -trace t.jsonl  # write a JSONL probe trace of every core run
 //	divbench -pprof :6060    # serve /debug/pprof/ + /debug/vars while running
@@ -21,9 +25,9 @@
 //	                         # engine×process×graph-family; -full for the
 //	                         # tracked sizes)
 //
-// The exit status is nonzero if any check fails; failing checks are
-// repeated in a consolidated FAILED block at the end so they cannot
-// scroll away in -full output.
+// The exit status is nonzero if any check fails or any table/CSV
+// write errors; failures are repeated in a consolidated FAILED block
+// at the end so they cannot scroll away in -full output.
 package main
 
 import (
@@ -38,7 +42,9 @@ import (
 
 	"div/internal/core"
 	"div/internal/exp"
+	"div/internal/graph"
 	"div/internal/obs"
+	"div/internal/sched"
 	"div/internal/sim"
 )
 
@@ -50,6 +56,8 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write per-table CSV files into")
 		par       = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
 		engine    = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
+		serial    = flag.Bool("serial", false, "pre-scheduler behavior: experiments in order, every sweep through the per-experiment worker path (results are byte-identical either way)")
+		minUtil   = flag.Int("min-util", 0, "fail the run if work-stealing pool utilization is below this many permille (scheduled mode only)")
 		metrics   = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
@@ -89,7 +97,7 @@ func main() {
 		fmt.Printf("pprof: serving /debug/pprof/ and /debug/vars on http://%s\n", *pprofAddr)
 	}
 
-	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine}
+	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Serial: *serial}
 	var makers []obs.ProbeMaker
 	var tw *obs.TraceWriter
 	if *traceFile != "" {
@@ -107,28 +115,65 @@ func main() {
 	}
 	params.Probe = obs.MultiMaker(makers...)
 
-	// failed collects every failing check and experiment error for the
-	// consolidated summary block: a single FAIL in -full output scrolls
-	// away long before the run ends.
+	// failed collects every failing check, experiment error, and output
+	// error for the consolidated summary block: a single FAIL in -full
+	// output scrolls away long before the run ends, and Render/CSV
+	// failures must reach the exit status, not just stderr.
 	var failed []string
-	for _, d := range defs {
+
+	// Scheduled mode runs every non-timing experiment concurrently —
+	// their sweeps interleave trials on the shared work-stealing pool —
+	// while output streams strictly in definition order. Timing
+	// experiments (wall-clock tables) and -serial mode run one at a
+	// time at print time.
+	type outcome struct {
+		rep     *exp.Report
+		err     error
+		elapsed time.Duration
+	}
+	runDef := func(d exp.Def) outcome {
 		start := time.Now()
 		rep, err := d.Run(params)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, err)
-			failed = append(failed, fmt.Sprintf("%s: experiment error: %v", d.ID, err))
+		return outcome{rep: rep, err: err, elapsed: time.Since(start)}
+	}
+	results := make([]chan outcome, len(defs))
+	pool := sched.Shared(*par)
+	busy0 := pool.BusyNanos()
+	suiteStart := time.Now()
+	if !*serial {
+		for i, d := range defs {
+			if d.Timing {
+				continue
+			}
+			results[i] = make(chan outcome, 1)
+			go func(ch chan<- outcome, d exp.Def) { ch <- runDef(d) }(results[i], d)
+		}
+	}
+	for i, d := range defs {
+		var o outcome
+		if results[i] != nil {
+			o = <-results[i]
+		} else {
+			o = runDef(d)
+		}
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, o.err)
+			failed = append(failed, fmt.Sprintf("%s: experiment error: %v", d.ID, o.err))
 			continue
 		}
-		fmt.Printf("\n######## %s — %s (%v)\n\n", rep.ID, rep.Name, time.Since(start).Round(time.Millisecond))
+		rep := o.rep
+		fmt.Printf("\n######## %s — %s (%v)\n\n", rep.ID, rep.Name, o.elapsed.Round(time.Millisecond))
 		for ti, tbl := range rep.Tables {
 			if err := tbl.Render(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				failed = append(failed, fmt.Sprintf("%s: table %d render: %v", rep.ID, ti+1, err))
 			}
 			fmt.Println()
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s_table%d.csv", rep.ID, ti+1))
 				if err := writeCSV(path, tbl); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+					failed = append(failed, fmt.Sprintf("%s: csv %s: %v", rep.ID, path, err))
 				}
 			}
 		}
@@ -147,6 +192,21 @@ func main() {
 			fmt.Printf("  note: %s\n", n)
 		}
 	}
+	suiteWall := time.Since(suiteStart)
+
+	fmt.Printf("\nsuite: %d experiment(s) in %v", len(defs), suiteWall.Round(time.Millisecond))
+	if !*serial {
+		util := 0.0
+		if suiteWall > 0 {
+			util = float64(pool.BusyNanos()-busy0) / (float64(pool.Width()) * float64(suiteWall.Nanoseconds()))
+		}
+		fmt.Printf(", pool width %d, utilization %.1f%%", pool.Width(), 100*util)
+		if *minUtil > 0 && int(1000*util) < *minUtil {
+			failed = append(failed, fmt.Sprintf("pool utilization %d‰ below floor %d‰", int(1000*util), *minUtil))
+		}
+	}
+	hits, misses, evictions, bytes := graph.SharedCache().Stats()
+	fmt.Printf("\ngraph cache: %d hits, %d misses, %d evictions, %.1f MB resident\n", hits, misses, evictions, float64(bytes)/(1<<20))
 	if tw != nil {
 		if err := tw.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench: trace:", err)

@@ -14,6 +14,7 @@ package baseline
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"div/internal/core"
 )
@@ -113,6 +114,9 @@ func (b BestOfK) Step(s *core.State, r *rand.Rand, v, w int) {
 			return // tie includes own opinion: keep it
 		}
 	}
+	// winners was collected in map-iteration order, which Go randomizes
+	// per range; sort so the seeded pick below is deterministic.
+	sort.Ints(winners)
 	s.SetOpinion(v, winners[r.IntN(len(winners))])
 }
 

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
 	"div/internal/core"
 	"div/internal/graph"
 	"div/internal/rng"
+	"div/internal/sched"
 )
 
 // This file is the machine-readable perf harness behind
@@ -69,12 +71,37 @@ type BenchE2 struct {
 	SpeedupVsBaseline  float64 `json:"speedup_vs_baseline"`
 }
 
+// BenchSuite compares one full quick-suite pass run serially (the
+// pre-scheduler path: experiments in order, every sweep through
+// sim.TrialsWorker) against the same pass on the work-stealing
+// scheduler (experiments concurrent, trials interleaved across
+// experiments and points). Timing-sensitive experiments (Def.Timing)
+// are excluded from both passes. The two passes produce byte-identical
+// reports; only the wall clock differs.
+type BenchSuite struct {
+	Experiments      []string `json:"experiments"`
+	GOMAXPROCS       int      `json:"gomaxprocs"`
+	PoolWidth        int      `json:"pool_width"`
+	SerialSeconds    float64  `json:"serial_seconds"`
+	ScheduledSeconds float64  `json:"scheduled_seconds"`
+	// Speedup is serial/scheduled wall clock; ≈1 on a single-core
+	// runner, and the acceptance target (≥1.3×) applies to multi-core
+	// hardware.
+	Speedup float64 `json:"speedup"`
+	// PoolUtilization is busy-worker-nanos / (width · scheduled wall),
+	// in [0,1], for the scheduled pass.
+	PoolUtilization float64 `json:"pool_utilization"`
+	CacheHits       int64   `json:"graph_cache_hits"`
+	CacheMisses     int64   `json:"graph_cache_misses"`
+}
+
 // BenchReport is the document written to BENCH_engine.json.
 type BenchReport struct {
 	Quick    bool          `json:"quick"`
 	Note     string        `json:"note"`
 	Baseline BenchBaseline `json:"baseline_pre_pipeline"`
 	E2       BenchE2       `json:"e2_point"`
+	Suite    BenchSuite    `json:"suite"`
 	Rows     []BenchRow    `json:"rows"`
 }
 
@@ -275,7 +302,60 @@ func BenchEngine(p Params) (*BenchReport, error) {
 	if e2n == e2BaselineN {
 		rep.E2.SpeedupVsBaseline = rep.E2.TrialsPerSecReused / e2BaselineTrialsPerSec
 	}
+
+	suite, err := benchSuite(p)
+	if err != nil {
+		return nil, err
+	}
+	rep.Suite = *suite
 	return rep, nil
+}
+
+// benchSuite runs the quick suite twice — serial, then scheduled — and
+// records both wall clocks. Quick sizes regardless of p.Quick: the
+// point is the scheduling comparison, not the workload size.
+func benchSuite(p Params) (*BenchSuite, error) {
+	var defs []Def
+	s := &BenchSuite{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, d := range All {
+		if d.Timing {
+			continue
+		}
+		defs = append(defs, d)
+		s.Experiments = append(s.Experiments, d.ID)
+	}
+	sp := Params{Quick: true, Seed: p.Seed, Parallelism: p.Parallelism, Engine: p.Engine}
+	run := func(serial bool) (time.Duration, error) {
+		rp := sp
+		rp.Serial = serial
+		start := time.Now()
+		_, errs := RunAll(rp, defs)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	serialDur, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("bench suite (serial): %w", err)
+	}
+	pool := sched.Shared(sp.Parallelism)
+	busy0 := pool.BusyNanos()
+	schedDur, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("bench suite (scheduled): %w", err)
+	}
+	s.PoolWidth = pool.Width()
+	s.SerialSeconds = serialDur.Seconds()
+	s.ScheduledSeconds = schedDur.Seconds()
+	if schedDur > 0 {
+		s.Speedup = serialDur.Seconds() / schedDur.Seconds()
+		s.PoolUtilization = float64(pool.BusyNanos()-busy0) / (float64(pool.Width()) * float64(schedDur.Nanoseconds()))
+	}
+	s.CacheHits, s.CacheMisses, _, _ = graph.SharedCache().Stats()
+	return s, nil
 }
 
 // WriteJSON renders the report as one indented JSON document.

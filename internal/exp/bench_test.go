@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// sampleBenchReport is a hand-built report exercising every field the
+// JSON schema promises, without running the (slow) benchmark matrix.
+func sampleBenchReport() *BenchReport {
+	return &BenchReport{
+		Quick: true,
+		Note:  "test",
+		Baseline: BenchBaseline{
+			N: e2BaselineN, TrialsPerSec: e2BaselineTrialsPerSec, NsPerStep: e2BaselineNsPerStep, Note: "baseline",
+		},
+		E2: BenchE2{
+			N: 800, K: 8, Trials: 10, Steps: 123456,
+			TrialsPerSecFresh: 100, TrialsPerSecReused: 120, NsPerStepReused: 50,
+		},
+		Suite: BenchSuite{
+			Experiments: []string{"E1", "E2"}, GOMAXPROCS: 1, PoolWidth: 1,
+			SerialSeconds: 2.0, ScheduledSeconds: 1.5, Speedup: 4.0 / 3.0,
+			PoolUtilization: 0.9, CacheHits: 3, CacheMisses: 5,
+		},
+		Rows: []BenchRow{
+			{Graph: "complete(n=256)", Process: "vertex", Engine: "fast", Trials: 6, Steps: 1000,
+				NsPerStepReused: 40, TrialsPerSecFresh: 90, TrialsPerSecReused: 110,
+				AllocsPerStep: 0, AllocsPerTrialReused: 2},
+		},
+	}
+}
+
+// TestBenchReportJSONSchema pins the wire format of BENCH_engine.json:
+// every key downstream tooling reads must be present under its exact
+// name, and every numeric value must be finite (NaN/Inf silently
+// become invalid JSON or nulls depending on the encoder).
+func TestBenchReportJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleBenchReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"quick", "note", "baseline_pre_pipeline", "e2_point", "suite", "rows"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	e2, ok := doc["e2_point"].(map[string]any)
+	if !ok {
+		t.Fatalf("e2_point is %T, want object", doc["e2_point"])
+	}
+	for _, key := range []string{"n", "k", "trials", "steps", "trials_per_sec_fresh", "trials_per_sec_reused", "ns_per_step_reused", "speedup_vs_baseline"} {
+		if _, ok := e2[key]; !ok {
+			t.Errorf("e2_point key %q missing", key)
+		}
+	}
+	suite, ok := doc["suite"].(map[string]any)
+	if !ok {
+		t.Fatalf("suite is %T, want object", doc["suite"])
+	}
+	for _, key := range []string{"experiments", "gomaxprocs", "pool_width", "serial_seconds", "scheduled_seconds", "speedup", "pool_utilization", "graph_cache_hits", "graph_cache_misses"} {
+		if _, ok := suite[key]; !ok {
+			t.Errorf("suite key %q missing", key)
+		}
+	}
+	rows, ok := doc["rows"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("rows = %#v, want 1-element array", doc["rows"])
+	}
+	row := rows[0].(map[string]any)
+	for _, key := range []string{"graph", "process", "engine", "trials", "steps", "ns_per_step_reused", "trials_per_sec_fresh", "trials_per_sec_reused", "allocs_per_step", "allocs_per_trial_reused"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("row key %q missing", key)
+		}
+	}
+	var assertFinite func(path string, v any)
+	assertFinite = func(path string, v any) {
+		switch x := v.(type) {
+		case float64:
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s is not finite: %v", path, x)
+			}
+		case map[string]any:
+			for k, vv := range x {
+				assertFinite(path+"."+k, vv)
+			}
+		case []any:
+			for i, vv := range x {
+				assertFinite(path+"["+itoa(i)+"]", vv)
+			}
+		}
+	}
+	assertFinite("$", map[string]any(doc))
+}
+
+// TestBenchReportJSONRoundTrip checks the document decodes back into
+// the same struct (no lossy field tags) and that a NaN anywhere makes
+// WriteJSON fail loudly rather than emit a broken document.
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	in := sampleBenchReport()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.E2 != in.E2 || out.Baseline != in.Baseline {
+		t.Errorf("round trip changed E2/Baseline: %+v vs %+v", out, in)
+	}
+	if len(out.Rows) != len(in.Rows) || out.Rows[0] != in.Rows[0] {
+		t.Errorf("round trip changed Rows: %+v", out.Rows)
+	}
+	if out.Suite.PoolWidth != in.Suite.PoolWidth || out.Suite.Speedup != in.Suite.Speedup {
+		t.Errorf("round trip changed Suite: %+v", out.Suite)
+	}
+
+	bad := sampleBenchReport()
+	bad.E2.SpeedupVsBaseline = math.NaN()
+	if err := bad.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("WriteJSON accepted NaN; downstream JSON consumers would break")
+	}
+}
+
+// TestBenchFamiliesMonotoneSizes checks the benchmark workload scales
+// with -full: every family's graph is at least as large at publication
+// sizes as at quick sizes.
+func TestBenchFamiliesMonotoneSizes(t *testing.T) {
+	quick, err := benchFamilies(Params{Quick: true}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := benchFamilies(Params{Quick: false}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) != len(full) {
+		t.Fatalf("family count differs: %d quick vs %d full", len(quick), len(full))
+	}
+	for i := range quick {
+		if quick[i].g.N() > full[i].g.N() {
+			t.Errorf("family %d: quick n=%d exceeds full n=%d", i, quick[i].g.N(), full[i].g.N())
+		}
+	}
+}

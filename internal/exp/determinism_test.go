@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// suiteText renders the full quick suite (every non-timing experiment)
+// as one canonical text document under the given parameters.
+func suiteText(t *testing.T, p Params) string {
+	t.Helper()
+	var defs []Def
+	for _, d := range All {
+		if !d.Timing {
+			defs = append(defs, d)
+		}
+	}
+	reports, errs := RunAll(p, defs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", defs[i].ID, err)
+		}
+	}
+	var b strings.Builder
+	for _, rep := range reports {
+		if err := rep.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestSuiteDeterministicAcrossScheduling is the determinism regression
+// gate for the work-stealing sweep scheduler: at a fixed seed the full
+// quick-suite report must be byte-identical whether sweeps run on the
+// pre-scheduler serial path, on a single-worker pool, or on a wide
+// pool with trials interleaving across experiments and points. Trial
+// seeds depend only on (point seed, trial index) and every result is
+// written to its own index-addressed slot, so scheduling order must
+// not be observable.
+func TestSuiteDeterministicAcrossScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite three times")
+	}
+	base := Params{Quick: true, Seed: 7}
+
+	serialP := base
+	serialP.Serial = true
+	serial := suiteText(t, serialP)
+
+	oneP := base
+	oneP.Parallelism = 1
+	one := suiteText(t, oneP)
+
+	wideP := base
+	wideP.Parallelism = runtime.GOMAXPROCS(0)
+	if wideP.Parallelism < 4 {
+		wideP.Parallelism = 4
+	}
+	wide := suiteText(t, wideP)
+
+	if one != serial {
+		t.Errorf("parallelism=1 report differs from serial report:\n%s", firstDiff(serial, one))
+	}
+	if wide != serial {
+		t.Errorf("parallelism=%d report differs from serial report:\n%s", wideP.Parallelism, firstDiff(serial, wide))
+	}
+}
+
+// firstDiff locates the first differing line, for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n  a: " + al[i] + "\n  b: " + bl[i]
+		}
+	}
+	return "documents differ in length: " + itoa(len(al)) + " vs " + itoa(len(bl)) + " lines"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/spectral"
@@ -22,24 +21,29 @@ import (
 func E1WinnerDistribution(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E1", Name: "winner distribution (Theorem 2)"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	n := p.pick(150, 400)
 	k := 8
 	const target = 4.3
 	trials := p.pick(300, 1500)
 
-	gr := rng.New(rng.DeriveSeed(p.Seed, 0xe1))
 	d := p.pick(16, 24)
-	regular, err := graph.RandomRegular(n, d, gr)
+	regular, err := gs.RandomRegular(n, d, rng.DeriveSeed(p.Seed, 0xe1a))
 	if err != nil {
 		return nil, err
 	}
 	gnpP := math.Max(0.1, 4*math.Log(float64(n))/float64(n))
-	gnp, err := graph.ConnectedGnp(n, gnpP, gr, 100)
+	gnp, err := gs.ConnectedGnp(n, gnpP, rng.DeriveSeed(p.Seed, 0xe1b))
 	if err != nil {
 		return nil, err
 	}
-	graphs := []*graph.Graph{graph.Complete(n), regular, gnp}
+	points := []Point{
+		{G: gs.Complete(n), Seed: rng.DeriveSeed(p.Seed, 0x100), Trials: trials},
+		{G: regular, Seed: rng.DeriveSeed(p.Seed, 0x101), Trials: trials},
+		{G: gnp, Seed: rng.DeriveSeed(p.Seed, 0x102), Trials: trials},
+	}
 
 	counts, err := profileWithMean(n, k, target)
 	if err != nil {
@@ -54,39 +58,40 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 		"graph", "n", "lambda", "trials", "frac winner in {lo,hi}", "P[hi] measured", "P[hi] predicted", "z",
 	)
 
-	for gi, g := range graphs {
-		lam, err := spectral.Lambda(g, spectral.Options{})
+	results, err := Sweep(p, "E1", points, func(pi, trial int, seed uint64, sc *core.Scratch) (int, error) {
+		r := sc.Rand(seed)
+		init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   points[pi].G,
+			Initial: init,
+			Process: core.VertexProcess,
+			Seed:    rng.SplitMix64(seed),
+			Scratch: sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+		}
+		return res.Winner, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, pt := range points {
+		g := pt.G
+		lam, err := gs.Lambda(g, spectral.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E1: λ(%v): %w", g, err)
 		}
-		winners, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x100+gi)), p.Parallelism,
-			func() *core.Scratch { return core.NewScratch(g) },
-			func(trial int, seed uint64, sc *core.Scratch) (int, error) {
-				r := sc.Rand(seed)
-				init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
-				if err != nil {
-					return 0, err
-				}
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: init,
-					Process: core.VertexProcess,
-					Seed:    rng.SplitMix64(seed),
-					Scratch: sc,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Consensus {
-					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
-				}
-				return res.Winner, nil
-			})
-		if err != nil {
-			return nil, err
-		}
+		winners := results[pi]
 		inPair, hits := 0, 0
 		for _, w := range winners {
 			if isRoundedAverage(w, c) {

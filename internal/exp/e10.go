@@ -28,11 +28,12 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 	rep := &Report{ID: "E10", Name: "edge vs vertex process (Remark 1)"}
 	trials := p.pick(300, 1000)
 
-	r := rng.New(rng.DeriveSeed(p.Seed, 0xe10))
+	gs := newGraphs()
+	defer gs.Release()
 
 	// Scenario A: Barabási–Albert graph, hubs opinionated high.
 	nB := p.pick(150, 400)
-	gB, err := graph.BarabasiAlbert(nB, 4, r)
+	gB, err := gs.BarabasiAlbert(nB, 4, rng.DeriveSeed(p.Seed, 0xe10))
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +51,7 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 	// Theorem 2 fail — π_max = 1/2 — but Lemma 3's expectation claim
 	// still binds exactly).
 	nS := p.pick(101, 201)
-	gS := graph.Star(nS)
+	gS := gs.Star(nS)
 	initStar := make([]int, nS)
 	initStar[0] = 5
 	for v := 1; v < nS; v++ {
@@ -71,34 +72,47 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 	meanWinner[0] = map[string]float64{}
 	meanWinner[1] = map[string]float64{}
 	scens := []scen{{gB, initBA, "BA"}, {gS, initStar, "star"}}
+	procs := []core.Process{core.EdgeProcess, core.VertexProcess}
+	// Flattened grid: (scenario, process) pairs as sweep points.
+	var points []Point
+	for si := range scens {
+		for pi := range procs {
+			points = append(points, Point{
+				G:      scens[si].g,
+				Seed:   rng.DeriveSeed(p.Seed, uint64(0xa00+10*si+pi)),
+				Trials: trials,
+			})
+		}
+	}
+	results, err := Sweep(p, "E10", points, func(fi, trial int, seed uint64, _ *core.Scratch) (float64, error) {
+		sc, proc := scens[fi/len(procs)], procs[fi%len(procs)]
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   sc.g,
+			Initial: sc.init,
+			Process: proc,
+			Seed:    seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+		}
+		return float64(res.Winner), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for si, sc := range scens {
 		st := core.MustState(sc.g, sc.init)
 		targets := map[core.Process]float64{
 			core.EdgeProcess:   st.Average(),
 			core.VertexProcess: st.WeightedAverage(),
 		}
-		for pi, proc := range []core.Process{core.EdgeProcess, core.VertexProcess} {
-			winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0xa00+10*si+pi)), p.Parallelism,
-				func(trial int, seed uint64) (float64, error) {
-					res, err := core.Run(core.Config{
-						Engine:  p.coreEngine(),
-						Probe:   p.probeFor(trial, seed),
-						Graph:   sc.g,
-						Initial: sc.init,
-						Process: proc,
-						Seed:    seed,
-					})
-					if err != nil {
-						return 0, err
-					}
-					if !res.Consensus {
-						return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
-					}
-					return float64(res.Winner), nil
-				})
-			if err != nil {
-				return nil, err
-			}
+		for pi, proc := range procs {
+			winners := results[si*len(procs)+pi]
 			s := stats.Summarize(winners)
 			h := stats.NewIntHistogram()
 			for _, w := range winners {

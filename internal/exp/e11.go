@@ -23,7 +23,8 @@ import (
 func E11Eigenvalues(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E11", Name: "second eigenvalues of example families"}
-	r := rng.New(rng.DeriveSeed(p.Seed, 0xe11))
+	gs := newGraphs()
+	defer gs.Release()
 	n := p.pick(256, 1024)
 
 	type entry struct {
@@ -36,29 +37,30 @@ func E11Eigenvalues(p Params) (*Report, error) {
 		entries = append(entries, entry{g, ref, kind})
 	}
 
-	add(graph.Complete(n), spectral.LambdaComplete(n), "exact")
+	add(gs.Complete(n), spectral.LambdaComplete(n), "exact")
+	rrSeed := func(d int) uint64 { return rng.DeriveSeed(p.Seed, 0xe1100+uint64(d)) }
 	for _, d := range []int{4, 16, 64} {
-		g, err := graph.RandomRegular(n, d, r)
+		g, err := gs.RandomRegular(n, d, rrSeed(d))
 		if err != nil {
 			return nil, err
 		}
 		add(g, spectral.LambdaRandomRegularBound(d), "bound")
 	}
-	for _, np := range []float64{16, 64} {
-		g, err := graph.ConnectedGnp(n, np/float64(n), r, 200)
+	for i, np := range []float64{16, 64} {
+		g, err := gs.ConnectedGnp(n, np/float64(n), rng.DeriveSeed(p.Seed, 0xe1180+uint64(i)))
 		if err != nil {
 			return nil, err
 		}
 		add(g, spectral.LambdaGnpBound(n, np/float64(n)), "bound")
 	}
 	oddN := n + 1 - n%2
-	add(graph.Cycle(oddN), spectral.LambdaCycle(oddN), "exact")
+	add(gs.Cycle(oddN), spectral.LambdaCycle(oddN), "exact")
 	side := int(math.Sqrt(float64(n)))
 	if side%2 == 0 {
 		side++ // odd sides keep the torus non-bipartite
 	}
-	add(graph.Torus(side, side), 1, "non-expander")
-	ws, err := graph.WattsStrogatz(n, 8, 0.2, r)
+	add(gs.Torus(side, side), 1, "non-expander")
+	ws, err := gs.WattsStrogatz(n, 8, 0.2, rng.DeriveSeed(p.Seed, 0xe11c0))
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +71,7 @@ func E11Eigenvalues(p Params) (*Report, error) {
 		"graph", "lambda measured", "reference", "kind", "max k with λk ≤ 0.5", "t_mix bound (ε=1/4)",
 	)
 	for _, e := range entries {
-		lam, err := spectral.Lambda(e.g, spectral.Options{MaxIters: 200000, Tol: 1e-13})
+		lam, err := gs.Lambda(e.g, spectral.Options{MaxIters: 200000, Tol: 1e-13})
 		if err != nil {
 			return nil, fmt.Errorf("E11: λ(%v): %w", e.g, err)
 		}
@@ -94,15 +96,16 @@ func E11Eigenvalues(p Params) (*Report, error) {
 	rep.Tables = append(rep.Tables, tbl)
 
 	// Scaling of λ with d for random regular graphs: fit λ ∝ d^e,
-	// expect e ≈ -1/2.
+	// expect e ≈ -1/2. The same derived seeds as the table loop make
+	// these cache hits rather than fresh builds.
 	ds := []float64{4, 16, 64}
 	lams := make([]float64, len(ds))
 	for i, d := range ds {
-		g, err := graph.RandomRegular(n, int(d), r)
+		g, err := gs.RandomRegular(n, int(d), rrSeed(int(d)))
 		if err != nil {
 			return nil, err
 		}
-		lams[i], err = spectral.Lambda(g, spectral.Options{})
+		lams[i], err = gs.Lambda(g, spectral.Options{})
 		if err != nil {
 			return nil, err
 		}

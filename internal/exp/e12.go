@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/spectral"
@@ -31,7 +30,9 @@ func E12ExtremeElimination(p Params) (*Report, error) {
 	k := 5
 	const eps = 0.05
 	trials := p.pick(100, 400)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 	lam := spectral.LambdaComplete(n)
 	if eps < 4*lam*lam {
 		return nil, fmt.Errorf("E12: ε=%v violates Lemma 10's ε ≥ 4λ² at n=%d", eps, n)
@@ -40,9 +41,9 @@ func E12ExtremeElimination(p Params) (*Report, error) {
 	type outcome struct {
 		tauEps, tauExtr float64
 	}
-	outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0xe12), p.Parallelism,
-		func(trial int, seed uint64) (outcome, error) {
-			r := rng.New(seed)
+	outs, err := SweepTrials(p, "E12", g, rng.DeriveSeed(p.Seed, 0xe12), trials,
+		func(trial int, seed uint64, sc *core.Scratch) (outcome, error) {
+			r := sc.Rand(seed)
 			s := core.MustState(g, core.UniformOpinions(n, k, r))
 			sched, err := core.NewScheduler(s, core.VertexProcess)
 			if err != nil {

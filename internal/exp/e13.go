@@ -25,14 +25,15 @@ func E13LambdaKThreshold(p Params) (*Report, error) {
 	rep := &Report{ID: "E13", Name: "accuracy across the λk threshold"}
 	k := 10
 	trials := p.pick(60, 250)
-	r := rng.New(rng.DeriveSeed(p.Seed, 0xe13))
+	gs := newGraphs()
+	defer gs.Release()
 
 	var graphs []*graph.Graph
 	nBig := p.pick(120, 240)
 	nSmall := p.pick(48, 96)
-	graphs = append(graphs, graph.Complete(nBig))
+	graphs = append(graphs, gs.Complete(nBig))
 	for _, d := range []int{32, 8, 4} {
-		g, err := graph.RandomRegular(nBig, d, r)
+		g, err := gs.RandomRegular(nBig, d, rng.DeriveSeed(p.Seed, 0xe1300+uint64(d)))
 		if err != nil {
 			return nil, err
 		}
@@ -45,22 +46,14 @@ func E13LambdaKThreshold(p Params) (*Report, error) {
 	if side%2 == 0 {
 		side++
 	}
-	graphs = append(graphs, graph.Torus(side, side))
+	graphs = append(graphs, gs.Torus(side, side))
 	oddSmall := nSmall + 1 - nSmall%2
-	graphs = append(graphs, graph.Cycle(oddSmall))
+	graphs = append(graphs, gs.Cycle(oddSmall))
 
-	type row struct {
-		name                    string
-		n                       int
-		lambda, lambdaK         float64
-		accShuffled, accBlocked float64
-	}
-	rows := make([]row, 0, len(graphs))
+	// Contiguous-block initial profile per graph; the shuffled variant
+	// permutes it per trial.
+	blockInits := make([][]int, len(graphs))
 	for gi, g := range graphs {
-		lam, err := spectral.Lambda(g, spectral.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("E13: λ(%v): %w", g, err)
-		}
 		n := g.N()
 		blockInit := make([]int, n)
 		span := (n + k - 1) / k
@@ -70,54 +63,72 @@ func E13LambdaKThreshold(p Params) (*Report, error) {
 				blockInit[v] = k
 			}
 		}
-		acc := func(shuffle bool, stream uint64) (float64, error) {
-			good, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, stream), p.Parallelism,
-				func(trial int, seed uint64) (int, error) {
-					rr := rng.New(seed)
-					init := append([]int(nil), blockInit...)
-					if shuffle {
-						rng.Shuffle(rr, init)
-					}
-					st := core.MustState(g, init)
-					c := st.WeightedAverage()
-					res, err := core.Run(core.Config{
-						Engine:   p.coreEngine(),
-						Probe:    p.probeFor(trial, seed),
-						Graph:    g,
-						Initial:  init,
-						Process:  core.VertexProcess,
-						MaxSteps: 500 * int64(n) * int64(n),
-						Seed:     rng.SplitMix64(seed),
-					})
-					if err != nil {
-						return 0, err
-					}
-					if !res.Consensus {
-						return 0, fmt.Errorf("%v: no consensus after %d steps", g, res.Steps)
-					}
-					if isRoundedAverage(res.Winner, c) {
-						return 1, nil
-					}
-					return 0, nil
-				})
-			if err != nil {
-				return 0, err
-			}
-			hits := 0
-			for _, x := range good {
-				hits += x
-			}
-			return float64(hits) / float64(trials), nil
+		blockInits[gi] = blockInit
+	}
+
+	// One sweep over (graph, placement) pairs: point 2·gi is the
+	// shuffled run (stream 0xd00+2gi), 2·gi+1 the contiguous one.
+	points := make([]Point, 2*len(graphs))
+	for gi, g := range graphs {
+		points[2*gi] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0xd00+2*gi)), Trials: trials}
+		points[2*gi+1] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0xd00+2*gi+1)), Trials: trials}
+	}
+	results, err := Sweep(p, "E13", points, func(fi, trial int, seed uint64, sc *core.Scratch) (int, error) {
+		gi, shuffle := fi/2, fi%2 == 0
+		g := graphs[gi]
+		n := g.N()
+		rr := sc.Rand(seed)
+		init := append([]int(nil), blockInits[gi]...)
+		if shuffle {
+			rng.Shuffle(rr, init)
 		}
-		aS, err := acc(true, uint64(0xd00+2*gi))
+		st := core.MustState(g, init)
+		c := st.WeightedAverage()
+		res, err := core.Run(core.Config{
+			Engine:   p.coreEngine(),
+			Probe:    p.probeFor(trial, seed),
+			Graph:    g,
+			Initial:  init,
+			Process:  core.VertexProcess,
+			MaxSteps: 500 * int64(n) * int64(n),
+			Seed:     rng.SplitMix64(seed),
+			Scratch:  sc,
+		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		aB, err := acc(false, uint64(0xd00+2*gi+1))
+		if !res.Consensus {
+			return 0, fmt.Errorf("%v: no consensus after %d steps", g, res.Steps)
+		}
+		if isRoundedAverage(res.Winner, c) {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := func(fi int) float64 {
+		hits := 0
+		for _, x := range results[fi] {
+			hits += x
+		}
+		return float64(hits) / float64(trials)
+	}
+
+	type row struct {
+		name                    string
+		n                       int
+		lambda, lambdaK         float64
+		accShuffled, accBlocked float64
+	}
+	rows := make([]row, 0, len(graphs))
+	for gi, g := range graphs {
+		lam, err := gs.Lambda(g, spectral.Options{})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("E13: λ(%v): %w", g, err)
 		}
-		rows = append(rows, row{g.Name(), n, lam, lam * float64(k), aS, aB})
+		rows = append(rows, row{g.Name(), g.N(), lam, lam * float64(k), acc(2 * gi), acc(2*gi + 1)})
 	}
 
 	sort.Slice(rows, func(i, j int) bool { return rows[i].lambdaK < rows[j].lambdaK })

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/netsim"
 	"div/internal/rng"
 	"div/internal/sim"
@@ -21,16 +20,19 @@ import (
 // (Poisson thinning), so its winner accuracy must match the sequential
 // engine's; the latency sweep then quantifies robustness of the
 // rounded-average guarantee to stale reads, a regime outside the
-// paper's model.
+// paper's model. The sequential reference and the latency sweep are
+// independent futures, so their trials overlap on the scheduler.
 func E14Distributed(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E14", Name: "distributed message-passing deployment"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	n := p.pick(90, 150)
 	k := 5
 	const target = 3.4
 	trials := p.pick(80, 300)
-	g := graph.Complete(n)
+	g := gs.Complete(n)
 	counts, err := profileWithMean(n, k, target)
 	if err != nil {
 		return nil, err
@@ -38,10 +40,10 @@ func E14Distributed(p Params) (*Report, error) {
 	c := meanOfCounts(counts)
 
 	// Sequential reference accuracy.
-	refGood, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0xe14), p.Parallelism,
-		func(trial int, seed uint64) (int, error) {
-			r := rng.New(seed)
-			init, err := core.BlockOpinions(n, counts, r)
+	futRef := StartSweep(p, "E14ref", []Point{{G: g, Seed: rng.DeriveSeed(p.Seed, 0xe14), Trials: trials}},
+		func(_, trial int, seed uint64, sc *core.Scratch) (int, error) {
+			r := sc.Rand(seed)
+			init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
 			if err != nil {
 				return 0, err
 			}
@@ -52,6 +54,7 @@ func E14Distributed(p Params) (*Report, error) {
 				Initial: init,
 				Process: core.VertexProcess,
 				Seed:    rng.SplitMix64(seed),
+				Scratch: sc,
 			})
 			if err != nil {
 				return 0, err
@@ -61,62 +64,69 @@ func E14Distributed(p Params) (*Report, error) {
 			}
 			return 0, nil
 		})
+
+	latencies := []float64{0, 0.5, 2}
+	if !p.Quick {
+		latencies = append(latencies, 8)
+	}
+	type out struct {
+		good, consensus int
+		firings         float64
+		messages        float64
+	}
+	latPoints := make([]Point, len(latencies))
+	for li := range latencies {
+		latPoints[li] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0xf00+li)), Trials: trials}
+	}
+	futLat := StartSweep(p, "E14lat", latPoints, func(li, trial int, seed uint64, _ *core.Scratch) (out, error) {
+		r := rng.New(seed)
+		init, err := core.BlockOpinions(n, counts, r)
+		if err != nil {
+			return out{}, err
+		}
+		res, err := netsim.Run(netsim.Config{
+			Graph:           g,
+			Initial:         init,
+			Latency:         latencies[li],
+			Seed:            rng.SplitMix64(seed),
+			StopOnConsensus: true,
+		})
+		if err != nil {
+			return out{}, err
+		}
+		o := out{
+			firings:  float64(res.Firings) / float64(n),
+			messages: float64(res.Messages),
+		}
+		if res.Consensus {
+			o.consensus = 1
+			if isRoundedAverage(res.Winner, c) {
+				o.good = 1
+			}
+		}
+		return o, nil
+	})
+
+	refRes, err := futRef.Wait()
 	if err != nil {
 		return nil, err
 	}
-	refAcc := fracOnes(refGood)
+	refAcc := fracOnes(refRes[0])
 
 	tbl := sim.NewTable(
 		fmt.Sprintf("E14: distributed DIV on %s, k=%d, c=%.3f (sequential reference accuracy %.3f)", g.Name(), k, c, refAcc),
 		"mean latency (firing periods)", "trials", "accuracy", "mean firings/node", "mean messages", "consensus rate",
 	)
 
-	latencies := []float64{0, 0.5, 2}
-	if !p.Quick {
-		latencies = append(latencies, 8)
+	latRes, err := futLat.Wait()
+	if err != nil {
+		return nil, err
 	}
 	accs := make([]float64, len(latencies))
 	for li, lat := range latencies {
-		type out struct {
-			good, consensus int
-			firings         float64
-			messages        float64
-		}
-		outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0xf00+li)), p.Parallelism,
-			func(trial int, seed uint64) (out, error) {
-				r := rng.New(seed)
-				init, err := core.BlockOpinions(n, counts, r)
-				if err != nil {
-					return out{}, err
-				}
-				res, err := netsim.Run(netsim.Config{
-					Graph:           g,
-					Initial:         init,
-					Latency:         lat,
-					Seed:            rng.SplitMix64(seed),
-					StopOnConsensus: true,
-				})
-				if err != nil {
-					return out{}, err
-				}
-				o := out{
-					firings:  float64(res.Firings) / float64(n),
-					messages: float64(res.Messages),
-				}
-				if res.Consensus {
-					o.consensus = 1
-					if isRoundedAverage(res.Winner, c) {
-						o.good = 1
-					}
-				}
-				return o, nil
-			})
-		if err != nil {
-			return nil, err
-		}
 		var good, cons int
 		var fir, msg []float64
-		for _, o := range outs {
+		for _, o := range latRes[li] {
 			good += o.good
 			cons += o.consensus
 			fir = append(fir, o.firings)

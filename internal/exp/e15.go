@@ -6,7 +6,6 @@ import (
 
 	"div/internal/baseline"
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -27,12 +26,14 @@ import (
 func E15StepSizeAblation(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E15", Name: "step-size ablation (DIV → pull)"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	n := p.pick(200, 400)
 	k := 9
 	const target = 5.4
 	trials := p.pick(200, 800)
-	g := graph.Complete(n)
+	g := gs.Complete(n)
 	counts, err := profileWithMean(n, k, target)
 	if err != nil {
 		return nil, err
@@ -51,6 +52,49 @@ func E15StepSizeAblation(p Params) (*Report, error) {
 		{"s=inf (pull)", baseline.Pull{}},
 	}
 
+	type out struct {
+		good  int
+		steps float64
+		dev   float64
+	}
+	points := make([]Point, len(variants))
+	for vi := range variants {
+		points[vi] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1500+vi)), Trials: trials}
+	}
+	results, err := Sweep(p, "E15", points, func(vi, trial int, seed uint64, sc *core.Scratch) (out, error) {
+		vt := variants[vi]
+		r := sc.Rand(seed)
+		init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
+		if err != nil {
+			return out{}, err
+		}
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   g,
+			Initial: init,
+			Process: core.EdgeProcess,
+			Rule:    vt.rule,
+			Seed:    rng.SplitMix64(seed),
+			Scratch: sc,
+		})
+		if err != nil {
+			return out{}, err
+		}
+		if !res.Consensus {
+			return out{}, fmt.Errorf("%s: no consensus after %d steps", vt.label, res.Steps)
+		}
+		o := out{steps: float64(res.Steps)}
+		o.dev = math.Abs(float64(res.Winner)*float64(n) - c*float64(n))
+		if isRoundedAverage(res.Winner, c) {
+			o.good = 1
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := sim.NewTable(
 		fmt.Sprintf("E15: step-size ablation on %s, k=%d, c=%.3f", g.Name(), k, c),
 		"rule", "trials", "acc = P[winner ∈ {⌊c⌋,⌈c⌉}]", "mean steps", "mean |ΔW| at consensus",
@@ -58,46 +102,9 @@ func E15StepSizeAblation(p Params) (*Report, error) {
 	accs := make([]float64, len(variants))
 	steps := make([]float64, len(variants))
 	for vi, vt := range variants {
-		type out struct {
-			good  int
-			steps float64
-			dev   float64
-		}
-		outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1500+vi)), p.Parallelism,
-			func(trial int, seed uint64) (out, error) {
-				r := rng.New(seed)
-				init, err := core.BlockOpinions(n, counts, r)
-				if err != nil {
-					return out{}, err
-				}
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: init,
-					Process: core.EdgeProcess,
-					Rule:    vt.rule,
-					Seed:    rng.SplitMix64(seed),
-				})
-				if err != nil {
-					return out{}, err
-				}
-				if !res.Consensus {
-					return out{}, fmt.Errorf("%s: no consensus after %d steps", vt.label, res.Steps)
-				}
-				o := out{steps: float64(res.Steps)}
-				o.dev = math.Abs(float64(res.Winner)*float64(n) - c*float64(n))
-				if isRoundedAverage(res.Winner, c) {
-					o.good = 1
-				}
-				return o, nil
-			})
-		if err != nil {
-			return nil, err
-		}
 		good := 0
 		var stepList, devList []float64
-		for _, o := range outs {
+		for _, o := range results[vi] {
 			good += o.good
 			stepList = append(stepList, o.steps)
 			devList = append(devList, o.dev)

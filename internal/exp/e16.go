@@ -24,6 +24,8 @@ import (
 func E16Synchronous(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E16", Name: "synchronous rounds (extension)"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	// (a) The K_2 period-2 orbit.
 	osc, err := core.RunSync(core.SyncConfig{
@@ -42,32 +44,27 @@ func E16Synchronous(p Params) (*Report, error) {
 		osc.Rounds, osc.Consensus, osc.Oscillating)
 
 	// (b) Lazy synchrony: accuracy and round counts vs q, against the
-	// asynchronous reference.
+	// asynchronous reference. Reference and laziness sweep run as
+	// overlapping futures.
 	n := p.pick(150, 300)
 	k := 7
 	const target = 4.3
 	trials := p.pick(120, 500)
-	g := graph.Complete(n)
+	g := gs.Complete(n)
 	counts, err := profileWithMean(n, k, target)
 	if err != nil {
 		return nil, err
 	}
 	c := meanOfCounts(counts)
 
-	tbl := sim.NewTable(
-		fmt.Sprintf("E16: lazy synchronous DIV on %s, k=%d, c=%.3f", g.Name(), k, c),
-		"variant", "trials", "accuracy", "mean rounds", "mean updates", "consensus rate",
-	)
-
-	// Asynchronous reference (steps ≈ updates; rounds ≈ steps/n).
 	type refOut struct {
 		good  int
 		steps float64
 	}
-	refs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0x1601), p.Parallelism,
-		func(trial int, seed uint64) (refOut, error) {
-			r := rng.New(seed)
-			init, err := core.BlockOpinions(n, counts, r)
+	futRef := StartSweep(p, "E16ref", []Point{{G: g, Seed: rng.DeriveSeed(p.Seed, 0x1601), Trials: trials}},
+		func(_, trial int, seed uint64, sc *core.Scratch) (refOut, error) {
+			r := sc.Rand(seed)
+			init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
 			if err != nil {
 				return refOut{}, err
 			}
@@ -78,6 +75,7 @@ func E16Synchronous(p Params) (*Report, error) {
 				Initial: init,
 				Process: core.VertexProcess,
 				Seed:    rng.SplitMix64(seed),
+				Scratch: sc,
 			})
 			if err != nil {
 				return refOut{}, err
@@ -88,57 +86,69 @@ func E16Synchronous(p Params) (*Report, error) {
 			}
 			return o, nil
 		})
+
+	lazies := []float64{0.1, 0.3, 0.5}
+	type out struct {
+		good, cons int
+		rounds     float64
+		updates    float64
+	}
+	lazyPoints := make([]Point, len(lazies))
+	for li := range lazies {
+		lazyPoints[li] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1610+li)), Trials: trials}
+	}
+	futLazy := StartSweep(p, "E16lazy", lazyPoints, func(li, trial int, seed uint64, _ *core.Scratch) (out, error) {
+		r := rng.New(seed)
+		init, err := core.BlockOpinions(n, counts, r)
+		if err != nil {
+			return out{}, err
+		}
+		res, err := core.RunSync(core.SyncConfig{
+			Graph:   g,
+			Initial: init,
+			Lazy:    lazies[li],
+			Seed:    rng.SplitMix64(seed),
+		})
+		if err != nil {
+			return out{}, err
+		}
+		o := out{rounds: float64(res.Rounds), updates: float64(res.Updates)}
+		if res.Consensus {
+			o.cons = 1
+			if isRoundedAverage(res.Winner, c) {
+				o.good = 1
+			}
+		}
+		return o, nil
+	})
+
+	tbl := sim.NewTable(
+		fmt.Sprintf("E16: lazy synchronous DIV on %s, k=%d, c=%.3f", g.Name(), k, c),
+		"variant", "trials", "accuracy", "mean rounds", "mean updates", "consensus rate",
+	)
+
+	refs, err := futRef.Wait()
 	if err != nil {
 		return nil, err
 	}
 	refGood := 0
 	var refSteps []float64
-	for _, o := range refs {
+	for _, o := range refs[0] {
 		refGood += o.good
 		refSteps = append(refSteps, o.steps)
 	}
 	refAcc := float64(refGood) / float64(trials)
 	tbl.AddRow("async (reference)", trials, refAcc, stats.Mean(refSteps)/float64(n), stats.Mean(refSteps), 1.0)
 
-	lazies := []float64{0.1, 0.3, 0.5}
+	lazyRes, err := futLazy.Wait()
+	if err != nil {
+		return nil, err
+	}
 	accs := make([]float64, len(lazies))
 	for li, lazy := range lazies {
-		type out struct {
-			good, cons int
-			rounds     float64
-			updates    float64
-		}
-		outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1610+li)), p.Parallelism,
-			func(trial int, seed uint64) (out, error) {
-				r := rng.New(seed)
-				init, err := core.BlockOpinions(n, counts, r)
-				if err != nil {
-					return out{}, err
-				}
-				res, err := core.RunSync(core.SyncConfig{
-					Graph:   g,
-					Initial: init,
-					Lazy:    lazy,
-					Seed:    rng.SplitMix64(seed),
-				})
-				if err != nil {
-					return out{}, err
-				}
-				o := out{rounds: float64(res.Rounds), updates: float64(res.Updates)}
-				if res.Consensus {
-					o.cons = 1
-					if isRoundedAverage(res.Winner, c) {
-						o.good = 1
-					}
-				}
-				return o, nil
-			})
-		if err != nil {
-			return nil, err
-		}
 		good, cons := 0, 0
 		var rounds, updates []float64
-		for _, o := range outs {
+		for _, o := range lazyRes[li] {
 			good += o.good
 			cons += o.cons
 			rounds = append(rounds, o.rounds)

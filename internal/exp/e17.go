@@ -29,6 +29,8 @@ func E17PushPull(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E17", Name: "push vs pull: which average survives"}
 	trials := p.pick(300, 1000)
+	gs := newGraphs()
+	defer gs.Release()
 
 	// Exact drift identities over random configurations.
 	r := rng.New(rng.DeriveSeed(p.Seed, 0xe17))
@@ -52,7 +54,7 @@ func E17PushPull(p Params) (*Report, error) {
 	// Winner expectations on the star: centre=k, leaves=1.
 	n := p.pick(81, 161)
 	k := 5
-	g := graph.Star(n)
+	g := gs.Star(n)
 	init := make([]int, n)
 	init[0] = k
 	for v := 1; v < n; v++ {
@@ -75,31 +77,36 @@ func E17PushPull(p Params) (*Report, error) {
 		{core.DIV{}, "div (pull)"},
 		{baseline.PushDIV{}, "push-div"},
 	}
+	points := make([]Point, len(rules))
+	for ri := range rules {
+		points[ri] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1700+ri)), Trials: trials}
+	}
+	results, err := Sweep(p, "E17", points, func(ri, trial int, seed uint64, sc *core.Scratch) (float64, error) {
+		rl := rules[ri]
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   g,
+			Initial: init,
+			Process: core.VertexProcess,
+			Rule:    rl.rule,
+			Seed:    seed,
+			Scratch: sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("%s: no consensus after %d steps", rl.rule.Name(), res.Steps)
+		}
+		return float64(res.Winner), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	means := map[string]float64{}
 	for ri, rl := range rules {
-		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1700+ri)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: init,
-					Process: core.VertexProcess,
-					Rule:    rl.rule,
-					Seed:    seed,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Consensus {
-					return 0, fmt.Errorf("%s: no consensus after %d steps", rl.rule.Name(), res.Steps)
-				}
-				return float64(res.Winner), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.Summarize(winners)
+		s := stats.Summarize(results[ri])
 		target := targets[rl.kind]
 		z := 0.0
 		if s.Stderr() > 0 {

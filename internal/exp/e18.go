@@ -5,7 +5,6 @@ import (
 
 	"div/internal/baseline"
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -20,71 +19,126 @@ import (
 //     overridden by absorption. Time falls as the zealot count grows.
 //   - Disagreeing zealots: no absorbing state exists; the network
 //     hovers in a quasi-stationary mixture spanning the zealot values.
+//
+// Both regimes run as overlapping sweep futures.
 func E18Zealots(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E18", Name: "zealots / stubborn vertices (extension)"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	n := p.pick(100, 200)
 	k := 9
 	trials := p.pick(40, 150)
-	g := graph.Complete(n)
+	g := gs.Complete(n)
 
 	// --- Regime 1: agreeing zealots at the top opinion. ---
+	counts := []int{1, 4, 16}
+	type out struct {
+		zwin  int
+		steps float64
+	}
+	zPoints := make([]Point, len(counts))
+	for ci := range counts {
+		zPoints[ci] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1800+ci)), Trials: trials}
+	}
+	futZ := StartSweep(p, "E18a", zPoints, func(ci, trial int, seed uint64, sc *core.Scratch) (out, error) {
+		zc := counts[ci]
+		r := sc.Rand(seed)
+		init := core.UniformOpinions(n, k, r)
+		zealots := make([]int, zc)
+		perm := make([]int, n)
+		rng.Perm(r, perm)
+		copy(zealots, perm[:zc])
+		for _, z := range zealots {
+			init[z] = k
+		}
+		rule, err := baseline.NewStubborn(core.DIV{}, n, zealots)
+		if err != nil {
+			return out{}, err
+		}
+		res, err := core.Run(core.Config{
+			Engine:   p.coreEngine(),
+			Probe:    p.probeFor(trial, rng.DeriveSeed(p.Seed, uint64(0x1860+trial))),
+			Graph:    g,
+			Initial:  init,
+			Process:  core.VertexProcess,
+			Rule:     rule,
+			MaxSteps: 2000 * int64(n) * int64(n),
+			Seed:     rng.SplitMix64(seed),
+			Scratch:  sc,
+		})
+		if err != nil {
+			return out{}, err
+		}
+		if !res.Consensus {
+			return out{}, fmt.Errorf("zealots=%d: no consensus after %d steps", zc, res.Steps)
+		}
+		o := out{steps: float64(res.Steps)}
+		if res.Winner == k {
+			o.zwin = 1
+		}
+		return o, nil
+	})
+
+	// --- Regime 2: disagreeing zealots pin the network open. ---
+	// The config seed has always been derived straight from p.Seed and
+	// the trial index (not from a per-point stream), so the sweep's
+	// derived seed is ignored in favour of the historical one.
+	zLow, zHigh := 0, 1 // vertex ids
+	init := core.UniformOpinions(n, k, rng.New(rng.DeriveSeed(p.Seed, 0x1850)))
+	init[zLow] = 1
+	init[zHigh] = k
+	rule, err := baseline.NewStubborn(core.DIV{}, n, []int{zLow, zHigh})
+	if err != nil {
+		return nil, err
+	}
+	budget := int64(50) * int64(n) * int64(n)
+	openTrials := p.pick(20, 60)
+	type openOut struct {
+		noCons     int
+		finalRange float64
+	}
+	futOpen := StartSweep(p, "E18b",
+		[]Point{{G: g, Seed: rng.DeriveSeed(p.Seed, 0x1850), Trials: openTrials}},
+		func(_, trial int, _ uint64, sc *core.Scratch) (openOut, error) {
+			trialSeed := rng.DeriveSeed(p.Seed, uint64(0x1860+trial))
+			res, err := core.Run(core.Config{
+				Engine:   p.coreEngine(),
+				Probe:    p.probeFor(trial, trialSeed),
+				Graph:    g,
+				Initial:  init,
+				Process:  core.VertexProcess,
+				Rule:     rule,
+				Stop:     core.UntilMaxSteps,
+				MaxSteps: budget,
+				Seed:     trialSeed,
+				Scratch:  sc,
+			})
+			if err != nil {
+				return openOut{}, err
+			}
+			o := openOut{finalRange: float64(res.FinalMax - res.FinalMin)}
+			if !res.Consensus {
+				o.noCons = 1
+			}
+			return o, nil
+		})
+
+	zRes, err := futZ.Wait()
+	if err != nil {
+		return nil, err
+	}
 	tbl := sim.NewTable(
 		fmt.Sprintf("E18a: zealots pinned at %d on %s, others uniform in 1..%d", k, g.Name(), k),
 		"zealots", "trials", "P[consensus = zealot value]", "mean steps", "mean steps / n²",
 	)
-	counts := []int{1, 4, 16}
 	meanSteps := make([]float64, len(counts))
 	allZealot := true
 	for ci, zc := range counts {
-		type out struct {
-			zwin  int
-			steps float64
-		}
-		outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1800+ci)), p.Parallelism,
-			func(trial int, seed uint64) (out, error) {
-				r := rng.New(seed)
-				init := core.UniformOpinions(n, k, r)
-				zealots := make([]int, zc)
-				perm := make([]int, n)
-				rng.Perm(r, perm)
-				copy(zealots, perm[:zc])
-				for _, z := range zealots {
-					init[z] = k
-				}
-				rule, err := baseline.NewStubborn(core.DIV{}, n, zealots)
-				if err != nil {
-					return out{}, err
-				}
-				res, err := core.Run(core.Config{
-					Engine:   p.coreEngine(),
-					Probe:    p.probeFor(trial, rng.DeriveSeed(p.Seed, uint64(0x1860+trial))),
-					Graph:    g,
-					Initial:  init,
-					Process:  core.VertexProcess,
-					Rule:     rule,
-					MaxSteps: 2000 * int64(n) * int64(n),
-					Seed:     rng.SplitMix64(seed),
-				})
-				if err != nil {
-					return out{}, err
-				}
-				if !res.Consensus {
-					return out{}, fmt.Errorf("zealots=%d: no consensus after %d steps", zc, res.Steps)
-				}
-				o := out{steps: float64(res.Steps)}
-				if res.Winner == k {
-					o.zwin = 1
-				}
-				return o, nil
-			})
-		if err != nil {
-			return nil, err
-		}
 		zwins := 0
 		var steps []float64
-		for _, o := range outs {
+		for _, o := range zRes[ci] {
 			zwins += o.zwin
 			steps = append(steps, o.steps)
 		}
@@ -104,37 +158,15 @@ func E18Zealots(p Params) (*Report, error) {
 		"more zealots, faster capture",
 		"mean steps fell from %.0f (1 zealot) to %.0f (%d zealots)", meanSteps[0], meanSteps[len(counts)-1], counts[len(counts)-1])
 
-	// --- Regime 2: disagreeing zealots pin the network open. ---
-	zLow, zHigh := 0, 1 // vertex ids
-	init := core.UniformOpinions(n, k, rng.New(rng.DeriveSeed(p.Seed, 0x1850)))
-	init[zLow] = 1
-	init[zHigh] = k
-	rule, err := baseline.NewStubborn(core.DIV{}, n, []int{zLow, zHigh})
+	openRes, err := futOpen.Wait()
 	if err != nil {
 		return nil, err
 	}
-	budget := int64(50) * int64(n) * int64(n)
 	noConsensus := 0
 	var finalRanges []float64
-	for trial := 0; trial < p.pick(20, 60); trial++ {
-		res, err := core.Run(core.Config{
-			Engine:   p.coreEngine(),
-			Probe:    p.probeFor(trial, rng.DeriveSeed(p.Seed, uint64(0x1860+trial))),
-			Graph:    g,
-			Initial:  init,
-			Process:  core.VertexProcess,
-			Rule:     rule,
-			Stop:     core.UntilMaxSteps,
-			MaxSteps: budget,
-			Seed:     rng.DeriveSeed(p.Seed, uint64(0x1860+trial)),
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Consensus {
-			noConsensus++
-		}
-		finalRanges = append(finalRanges, float64(res.FinalMax-res.FinalMin))
+	for _, o := range openRes[0] {
+		noConsensus += o.noCons
+		finalRanges = append(finalRanges, o.finalRange)
 	}
 	meanRange := stats.Mean(finalRanges)
 	tbl2 := sim.NewTable(

@@ -24,65 +24,104 @@ import (
 //
 // Checked with a two-sample Kolmogorov–Smirnov test on K_n and on the
 // cycle (two very different time scales), plus a chi-square uniformity
-// test of the survivor origin.
+// test of the survivor origin. The voting runs, the coalescing runs,
+// and the origin census are all independent futures on the scheduler.
 func E19CoalescingDuality(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E19", Name: "pull voting ↔ coalescing walks duality"}
 	trials := p.pick(300, 800)
+	gs := newGraphs()
+	defer gs.Release()
+
+	graphs := []*graph.Graph{
+		gs.Complete(p.pick(40, 80)),
+		gs.Cycle(p.pick(24, 40)),
+	}
+	inits := make([][]int, len(graphs))
+	for gi, g := range graphs {
+		init := make([]int, g.N())
+		for v := range init {
+			init[v] = v + 1
+		}
+		inits[gi] = init
+	}
+
+	consPoints := make([]Point, len(graphs))
+	coalPoints := make([]Point, len(graphs))
+	for gi, g := range graphs {
+		consPoints[gi] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1900+gi)), Trials: trials}
+		coalPoints[gi] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x1920+gi)), Trials: trials}
+	}
+	futCons := StartSweep(p, "E19cons", consPoints, func(gi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
+		g := graphs[gi]
+		n := g.N()
+		res, err := core.Run(core.Config{
+			Engine:   p.coreEngine(),
+			Probe:    p.probeFor(trial, seed),
+			Graph:    g,
+			Initial:  inits[gi],
+			Process:  core.VertexProcess,
+			Rule:     baseline.Pull{},
+			MaxSteps: 5000 * int64(n) * int64(n),
+			Seed:     seed,
+			Scratch:  sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+		}
+		return float64(res.Steps), nil
+	})
+	futCoal := StartSweep(p, "E19coal", coalPoints, func(gi, trial int, seed uint64, _ *core.Scratch) (float64, error) {
+		g := graphs[gi]
+		n := g.N()
+		sys, err := coalesce.New(g)
+		if err != nil {
+			return 0, err
+		}
+		steps, err := sys.RunToOneVertexClock(5000*int64(n)*int64(n), rng.New(seed))
+		if err != nil {
+			return 0, err
+		}
+		return float64(steps), nil
+	})
+
+	// Survivor origin uniform on a regular graph.
+	gU := gs.Cycle(p.pick(15, 24))
+	originTrials := p.pick(1500, 5000)
+	futOrig := StartSweep(p, "E19orig",
+		[]Point{{G: gU, Seed: rng.DeriveSeed(p.Seed, 0x1950), Trials: originTrials}},
+		func(_, trial int, seed uint64, _ *core.Scratch) (int, error) {
+			sys, err := coalesce.New(gU)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := sys.RunToOneVertexClock(1<<40, rng.New(seed)); err != nil {
+				return 0, err
+			}
+			origin, ok := sys.Survivor()
+			if !ok {
+				return 0, fmt.Errorf("no survivor")
+			}
+			return origin, nil
+		})
 
 	tbl := sim.NewTable(
 		"E19: consensus time (pull voting, distinct opinions) vs vertex-clock coalescing time",
 		"graph", "trials", "mean τ_cons", "mean τ_coal", "ratio", "KS distance", "KS threshold",
 	)
-
-	graphs := []*graph.Graph{
-		graph.Complete(p.pick(40, 80)),
-		graph.Cycle(p.pick(24, 40)),
+	consRes, err := futCons.Wait()
+	if err != nil {
+		return nil, err
+	}
+	coalRes, err := futCoal.Wait()
+	if err != nil {
+		return nil, err
 	}
 	for gi, g := range graphs {
-		n := g.N()
-		init := make([]int, n)
-		for v := range init {
-			init[v] = v + 1
-		}
-		consT, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1900+gi)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				res, err := core.Run(core.Config{
-					Engine:   p.coreEngine(),
-					Probe:    p.probeFor(trial, seed),
-					Graph:    g,
-					Initial:  init,
-					Process:  core.VertexProcess,
-					Rule:     baseline.Pull{},
-					MaxSteps: 5000 * int64(n) * int64(n),
-					Seed:     seed,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Consensus {
-					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
-				}
-				return float64(res.Steps), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		coalT, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x1920+gi)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				sys, err := coalesce.New(g)
-				if err != nil {
-					return 0, err
-				}
-				steps, err := sys.RunToOneVertexClock(5000*int64(n)*int64(n), rng.New(seed))
-				if err != nil {
-					return 0, err
-				}
-				return float64(steps), nil
-			})
-		if err != nil {
-			return nil, err
-		}
+		consT, coalT := consRes[gi], coalRes[gi]
 		sc := stats.Summarize(consT)
 		sl := stats.Summarize(coalT)
 		ks, err := stats.KS2Sample(consT, coalT)
@@ -98,29 +137,12 @@ func E19CoalescingDuality(p Params) (*Report, error) {
 	}
 	rep.Tables = append(rep.Tables, tbl)
 
-	// Survivor origin uniform on a regular graph.
-	gU := graph.Cycle(p.pick(15, 24))
-	counts := make([]int64, gU.N())
-	originTrials := p.pick(1500, 5000)
-	origins, err := sim.Trials(originTrials, rng.DeriveSeed(p.Seed, 0x1950), p.Parallelism,
-		func(trial int, seed uint64) (int, error) {
-			sys, err := coalesce.New(gU)
-			if err != nil {
-				return 0, err
-			}
-			if _, err := sys.RunToOneVertexClock(1<<40, rng.New(seed)); err != nil {
-				return 0, err
-			}
-			origin, ok := sys.Survivor()
-			if !ok {
-				return 0, fmt.Errorf("no survivor")
-			}
-			return origin, nil
-		})
+	origRes, err := futOrig.Wait()
 	if err != nil {
 		return nil, err
 	}
-	for _, o := range origins {
+	counts := make([]int64, gU.N())
+	for _, o := range origRes[0] {
 		counts[o]++
 	}
 	expected := make([]float64, gU.N())

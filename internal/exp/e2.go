@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -17,51 +16,91 @@ import (
 // steps, with E[T] = O(kn log n + n^{5/3} log n + λkn² + √λ n²).
 //
 // Two sweeps on K_n with worst-case (extremes-only) initial profiles:
-// T vs n at fixed k, and T vs k at fixed n. Both the fitted scaling
-// exponent of T(n) (must stay below 2) and the vanishing of T/n² are
-// checked; the k sweep verifies roughly linear growth of T with k.
+// T vs n at fixed k, and T vs k at fixed n. Both are launched as
+// futures so their trials overlap on the scheduler — the long n=800
+// (or n=3200) tail no longer blocks the k sweep. Both the fitted
+// scaling exponent of T(n) (must stay below 2) and the vanishing of
+// T/n² are checked; the k sweep verifies roughly linear growth of T
+// with k.
 func E2ReductionTime(p Params) (*Report, error) {
 	p = p.withDefaults()
 	rep := &Report{ID: "E2", Name: "reduction time scaling (Theorem 1)"}
+	gs := newGraphs()
+	defer gs.Release()
 
 	// --- Sweep 1: T vs n on K_n, k fixed. ---
 	k := 8
 	ns := sim.GeometricInts(p.pick(100, 200), p.pick(800, 3200), p.pick(4, 5))
 	trials := p.pick(12, 40)
 
+	pointsN := make([]Point, len(ns))
+	for i, n := range ns {
+		pointsN[i] = Point{G: gs.Complete(n), Seed: rng.DeriveSeed(p.Seed, uint64(0x200+i)), Trials: trials}
+	}
+	futN := StartSweep(p, "E2a", pointsN, func(pi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
+		r := sc.Rand(seed)
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   pointsN[pi].G,
+			Initial: core.ExtremesOpinionsInto(sc.Initial(), k, r),
+			Process: core.VertexProcess,
+			Stop:    core.UntilTwoAdjacent,
+			Seed:    rng.SplitMix64(seed),
+			Scratch: sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if res.TwoAdjacentStep < 0 {
+			return 0, fmt.Errorf("n=%d: reduction incomplete after %d steps", ns[pi], res.Steps)
+		}
+		return float64(res.TwoAdjacentStep), nil
+	})
+
+	// --- Sweep 2: T vs k on fixed K_n (overlaps with sweep 1). ---
+	n := p.pick(150, 400)
+	// k = 2 is excluded: two adjacent extremes are already a completed
+	// reduction (T ≡ 0), which both trivializes the point and breaks
+	// the log-log fit.
+	ks := []int{3, 6, 12, 24}
+	if !p.Quick {
+		ks = append(ks, 48, 96)
+	}
+	g := gs.Complete(n)
+	pointsK := make([]Point, len(ks))
+	for i := range ks {
+		pointsK[i] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x280+i)), Trials: trials}
+	}
+	futK := StartSweep(p, "E2b", pointsK, func(pi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
+		r := sc.Rand(seed)
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   g,
+			Initial: core.ExtremesOpinionsInto(sc.Initial(), ks[pi], r),
+			Process: core.VertexProcess,
+			Stop:    core.UntilTwoAdjacent,
+			Seed:    rng.SplitMix64(seed),
+			Scratch: sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.TwoAdjacentStep), nil
+	})
+
+	resN, err := futN.Wait()
+	if err != nil {
+		return nil, err
+	}
 	meanT := make([]float64, len(ns))
 	tblN := sim.NewTable(
 		fmt.Sprintf("E2a: steps to two adjacent opinions on K_n, k=%d, extremes profile", k),
 		"n", "trials", "mean T", "stderr", "T/n^2", "T/(n log n)",
 	)
 	for i, n := range ns {
-		g := graph.Complete(n)
-		ts, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x200+i)), p.Parallelism,
-			func() *core.Scratch { return core.NewScratch(g) },
-			func(trial int, seed uint64, sc *core.Scratch) (float64, error) {
-				r := sc.Rand(seed)
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: core.ExtremesOpinionsInto(sc.Initial(), k, r),
-					Process: core.VertexProcess,
-					Stop:    core.UntilTwoAdjacent,
-					Seed:    rng.SplitMix64(seed),
-					Scratch: sc,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if res.TwoAdjacentStep < 0 {
-					return 0, fmt.Errorf("n=%d: reduction incomplete after %d steps", n, res.Steps)
-				}
-				return float64(res.TwoAdjacentStep), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.Summarize(ts)
+		s := stats.Summarize(resN[i])
 		meanT[i] = s.Mean
 		nf := float64(n)
 		tblN.AddRow(n, trials, s.Mean, s.Stderr(), s.Mean/(nf*nf), s.Mean/(nf*math.Log(nf)))
@@ -95,45 +134,17 @@ func E2ReductionTime(p Params) (*Report, error) {
 	}
 	rep.Figures = append(rep.Figures, plot.Render())
 
-	// --- Sweep 2: T vs k on fixed K_n. ---
-	n := p.pick(150, 400)
-	// k = 2 is excluded: two adjacent extremes are already a completed
-	// reduction (T ≡ 0), which both trivializes the point and breaks
-	// the log-log fit.
-	ks := []int{3, 6, 12, 24}
-	if !p.Quick {
-		ks = append(ks, 48, 96)
+	resK, err := futK.Wait()
+	if err != nil {
+		return nil, err
 	}
-	g := graph.Complete(n)
 	meanTk := make([]float64, len(ks))
 	tblK := sim.NewTable(
 		fmt.Sprintf("E2b: steps to two adjacent opinions on K_%d vs k, extremes profile", n),
 		"k", "trials", "mean T", "stderr", "T/(k n log n)",
 	)
 	for i, kk := range ks {
-		ts, err := sim.TrialsWorker(trials, rng.DeriveSeed(p.Seed, uint64(0x280+i)), p.Parallelism,
-			func() *core.Scratch { return core.NewScratch(g) },
-			func(trial int, seed uint64, sc *core.Scratch) (float64, error) {
-				r := sc.Rand(seed)
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: core.ExtremesOpinionsInto(sc.Initial(), kk, r),
-					Process: core.VertexProcess,
-					Stop:    core.UntilTwoAdjacent,
-					Seed:    rng.SplitMix64(seed),
-					Scratch: sc,
-				})
-				if err != nil {
-					return 0, err
-				}
-				return float64(res.TwoAdjacentStep), nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		s := stats.Summarize(ts)
+		s := stats.Summarize(resK[i])
 		meanTk[i] = s.Mean
 		tblK.AddRow(kk, trials, s.Mean, s.Stderr(), s.Mean/(float64(kk)*float64(n)*math.Log(float64(n))))
 	}

@@ -50,49 +50,58 @@ func E3Martingale(p Params) (*Report, error) {
 		"exact one-step drift is zero",
 		"%d/%d random configurations had nonzero signed-arc sum (max |drift·2m| = %d)", nonzero, configs, maxAbs)
 
-	// (b) Sampled long-run drift on K_n.
+	// (b) Sampled long-run drift on K_n: one sweep, one point per
+	// process.
 	n := p.pick(120, 300)
 	k := 10
 	steps := int64(20 * n)
 	trials := p.pick(150, 600)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 	tbl := sim.NewTable(
 		fmt.Sprintf("E3: weight change over %d steps on %s, k=%d", steps, g.Name(), k),
 		"process", "weight", "trials", "mean Δ", "stderr", "|z|",
 	)
-	for _, proc := range []core.Process{core.EdgeProcess, core.VertexProcess} {
-		deltas, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0x300+uint64(proc)), p.Parallelism,
-			func(trial int, seed uint64) (float64, error) {
-				r := rng.New(seed)
-				init := core.UniformOpinions(n, k, r)
-				var w0, w1 float64
-				_, err := core.Run(core.Config{
-					Engine:   p.coreEngine(),
-					Probe:    p.probeFor(trial, seed),
-					Graph:    g,
-					Initial:  init,
-					Process:  proc,
-					Stop:     core.UntilMaxSteps,
-					MaxSteps: steps,
-					Seed:     rng.SplitMix64(seed),
-					Observer: func(s *core.State) bool {
-						if s.Steps() == 0 {
-							w0 = weightOf(s, proc)
-						}
-						w1 = weightOf(s, proc)
-						return true
-					},
-					ObserveEvery: steps,
-				})
-				if err != nil {
-					return 0, err
+	procs := []core.Process{core.EdgeProcess, core.VertexProcess}
+	points := make([]Point, len(procs))
+	for i, proc := range procs {
+		points[i] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, 0x300+uint64(proc)), Trials: trials}
+	}
+	results, err := Sweep(p, "E3", points, func(pi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
+		proc := procs[pi]
+		r := rng.New(seed)
+		init := core.UniformOpinions(n, k, r)
+		var w0, w1 float64
+		_, err := core.Run(core.Config{
+			Engine:   p.coreEngine(),
+			Probe:    p.probeFor(trial, seed),
+			Graph:    g,
+			Initial:  init,
+			Process:  proc,
+			Stop:     core.UntilMaxSteps,
+			MaxSteps: steps,
+			Seed:     rng.SplitMix64(seed),
+			Observer: func(s *core.State) bool {
+				if s.Steps() == 0 {
+					w0 = weightOf(s, proc)
 				}
-				return w1 - w0, nil
-			})
+				w1 = weightOf(s, proc)
+				return true
+			},
+			ObserveEvery: steps,
+			Scratch:      sc,
+		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s := stats.Summarize(deltas)
+		return w1 - w0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, proc := range procs {
+		s := stats.Summarize(results[pi])
 		z := 0.0
 		if s.Stderr() > 0 {
 			z = s.Mean / s.Stderr()

@@ -36,9 +36,12 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 	}
 	var scenarios []scenario
 
+	gs := newGraphs()
+	defer gs.Release()
+
 	// Edge process on K_n: P[1 wins] = N_1/n.
 	nK := p.pick(40, 80)
-	gK := graph.Complete(nK)
+	gK := gs.Complete(nK)
 	r := rng.New(rng.DeriveSeed(p.Seed, 0xe4))
 	for _, frac := range []float64{0.1, 0.3, 0.5, 0.8} {
 		n1 := int(frac * float64(nK))
@@ -58,7 +61,7 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 	// Vertex process on the star: the lone centre holds half the
 	// degree mass.
 	nS := p.pick(15, 25)
-	gS := graph.Star(nS)
+	gS := gs.Star(nS)
 	initStar := make([]int, nS)
 	initStar[0] = 1
 	for v := 1; v < nS; v++ {
@@ -83,7 +86,7 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 	// Vertex process on a BA graph with opinion 1 planted on the
 	// top-degree decile: prediction is the planted set's π mass.
 	nB := p.pick(60, 120)
-	gB, err := graph.BarabasiAlbert(nB, 3, r)
+	gB, err := gs.BarabasiAlbert(nB, 3, rng.DeriveSeed(p.Seed, 0xe4ba))
 	if err != nil {
 		return nil, err
 	}
@@ -113,34 +116,38 @@ func E4TwoOpinionPull(p Params) (*Report, error) {
 		"E4: two-opinion pull voting win probability of opinion 1",
 		"scenario", "trials", "predicted", "measured", "Wilson 95% CI", "z",
 	)
+	points := make([]Point, len(scenarios))
 	for si, sc := range scenarios {
-		wins, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x400+si)), p.Parallelism,
-			func(trial int, seed uint64) (int, error) {
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   sc.g,
-					Initial: sc.initial,
-					Process: sc.proc,
-					Rule:    baseline.Pull{},
-					Seed:    seed,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Consensus {
-					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
-				}
-				if res.Winner == 1 {
-					return 1, nil
-				}
-				return 0, nil
-			})
+		points[si] = Point{G: sc.g, Seed: rng.DeriveSeed(p.Seed, uint64(0x400+si)), Trials: trials}
+	}
+	results, err := Sweep(p, "E4", points, func(si, trial int, seed uint64, _ *core.Scratch) (int, error) {
+		sc := scenarios[si]
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   sc.g,
+			Initial: sc.initial,
+			Process: sc.proc,
+			Rule:    baseline.Pull{},
+			Seed:    seed,
+		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+		}
+		if res.Winner == 1 {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scenarios {
 		hits := 0
-		for _, w := range wins {
+		for _, w := range results[si] {
 			hits += w
 		}
 		phat := float64(hits) / float64(trials)

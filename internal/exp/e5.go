@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -29,10 +28,12 @@ func E5Concentration(p Params) (*Report, error) {
 	k := 15
 	t := int64(p.pick(10, 30)) * int64(n)
 	trials := p.pick(300, 1000)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 
-	devs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0xe5), p.Parallelism,
-		func(trial int, seed uint64) (float64, error) {
+	devs, err := SweepTrials(p, "E5", g, rng.DeriveSeed(p.Seed, 0xe5), trials,
+		func(trial int, seed uint64, sc *core.Scratch) (float64, error) {
 			r := rng.New(seed)
 			init := core.UniformOpinions(n, k, r)
 			var w0 int64
@@ -56,6 +57,7 @@ func E5Concentration(p Params) (*Report, error) {
 					return true
 				},
 				ObserveEvery: t,
+				Scratch:      sc,
 			})
 			if err != nil {
 				return 0, err

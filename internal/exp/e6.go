@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -27,7 +26,9 @@ func E6StageEvolution(p Params) (*Report, error) {
 
 	n := p.pick(60, 120)
 	trials := p.pick(150, 600)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 	// A third of the vertices each at 1, 2, 5 — the paper's example
 	// support set; c = 8/3 ≈ 2.67, so {2,3} should fight the final.
 	counts := []int{n / 3, n / 3, 0, 0, n - 2*(n/3)}
@@ -39,8 +40,8 @@ func E6StageEvolution(p Params) (*Report, error) {
 		reappeared    bool // some opinion vanished then reappeared
 		validSupports bool
 	}
-	outs, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, 0xe6), p.Parallelism,
-		func(trial int, seed uint64) (outcome, error) {
+	outs, err := SweepTrials(p, "E6", g, rng.DeriveSeed(p.Seed, 0xe6), trials,
+		func(trial int, seed uint64, sc *core.Scratch) (outcome, error) {
 			r := rng.New(seed)
 			init, err := core.BlockOpinions(n, counts, r)
 			if err != nil {
@@ -54,6 +55,7 @@ func E6StageEvolution(p Params) (*Report, error) {
 				Process:      core.VertexProcess,
 				Seed:         rng.SplitMix64(seed),
 				TraceSupport: true,
+				Scratch:      sc,
 			})
 			if err != nil {
 				return outcome{}, err

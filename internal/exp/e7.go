@@ -6,7 +6,6 @@ import (
 
 	"div/internal/baseline"
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -28,7 +27,9 @@ func E7ModeMedianMean(p Params) (*Report, error) {
 
 	n := p.pick(300, 600)
 	trials := p.pick(250, 800)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 	// Opinions 1..9; mass at 1 (mode), 2 (median), 3, 9 (tail).
 	counts := make([]int, 9)
 	counts[0] = n / 3      // opinion 1
@@ -50,36 +51,41 @@ func E7ModeMedianMean(p Params) (*Report, error) {
 	fracMean := map[string]float64{}
 	fracMedian := map[string]float64{}
 	hists := map[string]*stats.IntHistogram{}
-	for ri, rule := range rules {
-		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, uint64(0x700+ri)), p.Parallelism,
-			func(trial int, seed uint64) (int, error) {
-				r := rng.New(seed)
-				init, err := core.BlockOpinions(n, counts, r)
-				if err != nil {
-					return 0, err
-				}
-				res, err := core.Run(core.Config{
-					Engine:  p.coreEngine(),
-					Probe:   p.probeFor(trial, seed),
-					Graph:   g,
-					Initial: init,
-					Process: core.EdgeProcess,
-					Rule:    rule,
-					Seed:    rng.SplitMix64(seed),
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Consensus {
-					return 0, fmt.Errorf("%s: no consensus after %d steps", rule.Name(), res.Steps)
-				}
-				return res.Winner, nil
-			})
+	points := make([]Point, len(rules))
+	for ri := range rules {
+		points[ri] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x700+ri)), Trials: trials}
+	}
+	results, err := Sweep(p, "E7", points, func(ri, trial int, seed uint64, sc *core.Scratch) (int, error) {
+		rule := rules[ri]
+		r := rng.New(seed)
+		init, err := core.BlockOpinions(n, counts, r)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		res, err := core.Run(core.Config{
+			Engine:  p.coreEngine(),
+			Probe:   p.probeFor(trial, seed),
+			Graph:   g,
+			Initial: init,
+			Process: core.EdgeProcess,
+			Rule:    rule,
+			Seed:    rng.SplitMix64(seed),
+			Scratch: sc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Consensus {
+			return 0, fmt.Errorf("%s: no consensus after %d steps", rule.Name(), res.Steps)
+		}
+		return res.Winner, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rule := range rules {
 		h := stats.NewIntHistogram()
-		for _, w := range winners {
+		for _, w := range results[ri] {
 			h.Add(w)
 		}
 		hists[rule.Name()] = h

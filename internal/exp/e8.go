@@ -6,7 +6,6 @@ import (
 
 	"div/internal/baseline"
 	"div/internal/core"
-	"div/internal/graph"
 	"div/internal/rng"
 	"div/internal/sim"
 	"div/internal/stats"
@@ -31,7 +30,9 @@ func E8LoadBalancing(p Params) (*Report, error) {
 	n := p.pick(120, 300)
 	k := 16
 	trials := p.pick(60, 250)
-	g := graph.Complete(n)
+	gs := newGraphs()
+	defer gs.Release()
+	g := gs.Complete(n)
 
 	type metrics struct {
 		threeStep, twoStep float64
@@ -39,8 +40,8 @@ func E8LoadBalancing(p Params) (*Report, error) {
 		accurate           bool    // final values ⊆ {⌊c⌋, ⌈c⌉}
 	}
 	run := func(rule core.Rule, streamBase uint64) ([]metrics, error) {
-		return sim.Trials(trials, rng.DeriveSeed(p.Seed, streamBase), p.Parallelism,
-			func(trial int, seed uint64) (metrics, error) {
+		return SweepTrials(p, "E8", g, rng.DeriveSeed(p.Seed, streamBase), trials,
+			func(trial int, seed uint64, sc *core.Scratch) (metrics, error) {
 				r := rng.New(seed)
 				init := core.UniformOpinions(n, k, r)
 				var s0 int64
@@ -63,6 +64,7 @@ func E8LoadBalancing(p Params) (*Report, error) {
 						return true
 					},
 					ObserveEvery: 1,
+					Scratch:      sc,
 				})
 				if err != nil {
 					return metrics{}, err

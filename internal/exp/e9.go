@@ -45,13 +45,16 @@ func E9PathCounterexample(p Params) (*Report, error) {
 		return init
 	}
 
-	run := func(g *graph.Graph, shuffle bool, stream uint64) (*stats.IntHistogram, float64, error) {
+	gs := newGraphs()
+	defer gs.Release()
+
+	run := func(g *graph.Graph, shuffle bool, stream uint64) (*SweepFuture[int], float64) {
 		n := g.N()
 		base := blocks(n)
 		c := core.MustState(g, base).Average()
-		winners, err := sim.Trials(trials, rng.DeriveSeed(p.Seed, stream), p.Parallelism,
-			func(trial int, seed uint64) (int, error) {
-				r := rng.New(seed)
+		fut := StartSweep(p, "E9", []Point{{G: g, Seed: rng.DeriveSeed(p.Seed, stream), Trials: trials}},
+			func(_, trial int, seed uint64, sc *core.Scratch) (int, error) {
+				r := sc.Rand(seed)
 				init := append([]int(nil), base...)
 				if shuffle {
 					rng.Shuffle(r, init)
@@ -64,6 +67,7 @@ func E9PathCounterexample(p Params) (*Report, error) {
 					Process:  core.VertexProcess,
 					MaxSteps: 400 * int64(n) * int64(n) * int64(n), // path consensus is Θ(n³)-ish
 					Seed:     rng.SplitMix64(seed),
+					Scratch:  sc,
 				})
 				if err != nil {
 					return 0, err
@@ -73,21 +77,30 @@ func E9PathCounterexample(p Params) (*Report, error) {
 				}
 				return res.Winner, nil
 			})
-		if err != nil {
-			return nil, 0, err
-		}
-		h := stats.NewIntHistogram()
-		for _, w := range winners {
-			h.Add(w)
-		}
-		return h, c, nil
+		return fut, c
 	}
 
-	pathHist, cPath, err := run(graph.Path(nPath), false, 0x900)
+	hist := func(fut *SweepFuture[int]) (*stats.IntHistogram, error) {
+		res, err := fut.Wait()
+		if err != nil {
+			return nil, err
+		}
+		h := stats.NewIntHistogram()
+		for _, w := range res[0] {
+			h.Add(w)
+		}
+		return h, nil
+	}
+
+	// Both sweeps overlap on the scheduler; the slow Θ(n³) path trials
+	// interleave with the K_n ones.
+	futPath, cPath := run(gs.Path(nPath), false, 0x900)
+	futK, cK := run(gs.Complete(nK), true, 0x901)
+	pathHist, err := hist(futPath)
 	if err != nil {
 		return nil, err
 	}
-	completeHist, cK, err := run(graph.Complete(nK), true, 0x901)
+	completeHist, err := hist(futK)
 	if err != nil {
 		return nil, err
 	}

@@ -15,7 +15,9 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"sync"
 
 	"div/internal/core"
 	"div/internal/obs"
@@ -40,6 +42,12 @@ type Params struct {
 	// Experiments pass it through every Config so `divbench -trace`
 	// and `-metrics` see the whole suite.
 	Probe obs.ProbeMaker
+	// Serial disables the suite work-stealing scheduler: sweeps run
+	// their points in order through sim.TrialsWorker, the pre-scheduler
+	// behaviour behind `divbench -serial`. Results are byte-identical
+	// either way (seeds derive per point and trial); only scheduling
+	// and wall-clock change.
+	Serial bool
 }
 
 func (p Params) withDefaults() Params {
@@ -117,6 +125,44 @@ func (r *Report) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
 }
 
+// WriteText renders the full report — tables, figures, checks, notes
+// — to w, exactly as divbench prints it. It is the canonical textual
+// form the determinism regression test compares across scheduling
+// modes.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "######## %s — %s\n\n", r.ID, r.Name); err != nil {
+		return err
+	}
+	for _, tbl := range r.Tables {
+		if err := tbl.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, fig := range r.Figures {
+		if _, err := fmt.Fprintln(w, fig); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] %s — %s\n", mark, c.Name, c.Detail); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Func runs one experiment.
 type Func func(Params) (*Report, error)
 
@@ -125,30 +171,68 @@ type Def struct {
 	ID   string
 	Name string
 	Run  Func
+	// Timing marks experiments whose tables report wall-clock
+	// measurements (E20's engine benchmark): their output legitimately
+	// varies run to run, so the determinism regression test and the
+	// suite-timing benchmark skip them.
+	Timing bool
 }
 
 // All lists every experiment in index order.
 var All = []Def{
-	{"E1", "winner distribution (Theorem 2)", E1WinnerDistribution},
-	{"E2", "reduction time scaling (Theorem 1, eq. 4)", E2ReductionTime},
-	{"E3", "weight martingales (Lemma 3)", E3Martingale},
-	{"E4", "two-opinion pull voting (eq. 3)", E4TwoOpinionPull},
-	{"E5", "Azuma concentration (eq. 5)", E5Concentration},
-	{"E6", "stage evolution (intro example)", E6StageEvolution},
-	{"E7", "mode/median/mean separation", E7ModeMedianMean},
-	{"E8", "DIV vs load-balancing averaging [5]", E8LoadBalancing},
-	{"E9", "path counterexample ([13] Thm 3)", E9PathCounterexample},
-	{"E10", "edge vs vertex process (Remark 1)", E10EdgeVsVertex},
-	{"E11", "second eigenvalues of example families", E11Eigenvalues},
-	{"E12", "extreme-opinion elimination (Lemmas 10-14)", E12ExtremeElimination},
-	{"E13", "accuracy across the λk threshold", E13LambdaKThreshold},
-	{"E14", "distributed message-passing deployment", E14Distributed},
-	{"E15", "step-size ablation (DIV → pull)", E15StepSizeAblation},
-	{"E16", "synchronous rounds (extension)", E16Synchronous},
-	{"E17", "push vs pull: which average survives", E17PushPull},
-	{"E18", "zealots / stubborn vertices (extension)", E18Zealots},
-	{"E19", "pull voting ↔ coalescing walks duality", E19CoalescingDuality},
-	{"E20", "fast engine speedup (discordance tracking)", E20FastEngine},
+	{ID: "E1", Name: "winner distribution (Theorem 2)", Run: E1WinnerDistribution},
+	{ID: "E2", Name: "reduction time scaling (Theorem 1, eq. 4)", Run: E2ReductionTime},
+	{ID: "E3", Name: "weight martingales (Lemma 3)", Run: E3Martingale},
+	{ID: "E4", Name: "two-opinion pull voting (eq. 3)", Run: E4TwoOpinionPull},
+	{ID: "E5", Name: "Azuma concentration (eq. 5)", Run: E5Concentration},
+	{ID: "E6", Name: "stage evolution (intro example)", Run: E6StageEvolution},
+	{ID: "E7", Name: "mode/median/mean separation", Run: E7ModeMedianMean},
+	{ID: "E8", Name: "DIV vs load-balancing averaging [5]", Run: E8LoadBalancing},
+	{ID: "E9", Name: "path counterexample ([13] Thm 3)", Run: E9PathCounterexample},
+	{ID: "E10", Name: "edge vs vertex process (Remark 1)", Run: E10EdgeVsVertex},
+	{ID: "E11", Name: "second eigenvalues of example families", Run: E11Eigenvalues},
+	{ID: "E12", Name: "extreme-opinion elimination (Lemmas 10-14)", Run: E12ExtremeElimination},
+	{ID: "E13", Name: "accuracy across the λk threshold", Run: E13LambdaKThreshold},
+	{ID: "E14", Name: "distributed message-passing deployment", Run: E14Distributed},
+	{ID: "E15", Name: "step-size ablation (DIV → pull)", Run: E15StepSizeAblation},
+	{ID: "E16", Name: "synchronous rounds (extension)", Run: E16Synchronous},
+	{ID: "E17", Name: "push vs pull: which average survives", Run: E17PushPull},
+	{ID: "E18", Name: "zealots / stubborn vertices (extension)", Run: E18Zealots},
+	{ID: "E19", Name: "pull voting ↔ coalescing walks duality", Run: E19CoalescingDuality},
+	{ID: "E20", Name: "fast engine speedup (discordance tracking)", Run: E20FastEngine, Timing: true},
+}
+
+// RunAll runs the given experiments (all of them when defs is empty)
+// and returns reports in definition order. Unless p.Serial, the
+// experiments' goroutines run concurrently and their sweeps share the
+// work-stealing pool, so trials from different experiments interleave;
+// with p.Serial they run strictly one after another — the two paths
+// the suite-timing benchmark compares. Experiment errors are collected
+// per definition: the i-th error corresponds to the i-th def (nil on
+// success), and reports[i] is nil exactly when errs[i] is non-nil.
+func RunAll(p Params, defs []Def) (reports []*Report, errs []error) {
+	if len(defs) == 0 {
+		defs = All
+	}
+	reports = make([]*Report, len(defs))
+	errs = make([]error, len(defs))
+	if p.Serial {
+		for i, d := range defs {
+			reports[i], errs[i] = d.Run(p)
+		}
+		return reports, errs
+	}
+	var wg sync.WaitGroup
+	for i, d := range defs {
+		i, d := i, d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], errs[i] = d.Run(p)
+		}()
+	}
+	wg.Wait()
+	return reports, errs
 }
 
 // ByID returns the experiment definition with the given ID.

@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/sched"
+	"div/internal/sim"
+)
+
+// This file is the declarative sweep layer that replaced the
+// hand-rolled per-point loops in the e*.go files. A sweep is a list of
+// grid points (graph, base seed, trial count) plus one trial function;
+// StartSweep fans the trials out at *trial* granularity onto the
+// process-wide work-stealing pool (internal/sched) and returns a
+// future, so a long-tail point — or a whole experiment — no longer
+// holds a barrier over idle cores: trials from E2's n=3200 point
+// interleave with E5's small points and with every other experiment
+// running concurrently.
+//
+// Determinism: the schedule cannot influence results. Each trial's
+// seed is rng.DeriveSeed(point.Seed, trial) — exactly the derivation
+// sim.TrialsWorker uses — every trial writes only results[point][trial],
+// and per-worker Scratch reuse is distribution-neutral (byte-identity
+// tests in internal/core). Params.Serial routes the same points
+// through sim.TrialsWorker synchronously instead; the determinism
+// regression test asserts the full suite report is byte-identical
+// across Serial, Parallelism=1, and wide pools.
+
+// Point is one grid point of a sweep: Trials trials on G with trial
+// seeds derived from Seed.
+type Point struct {
+	G      *graph.Graph
+	Seed   uint64
+	Trials int
+}
+
+// SweepFuture is a pending sweep's result: one slice per point,
+// indexed by trial.
+type SweepFuture[T any] struct {
+	done chan struct{}
+	res  [][]T
+	err  error
+}
+
+// Wait blocks until the sweep completes and returns results[point][trial]
+// or the first trial error.
+func (f *SweepFuture[T]) Wait() ([][]T, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// resolved returns an already-completed future (the Serial path).
+func resolved[T any](res [][]T, err error) *SweepFuture[T] {
+	f := &SweepFuture[T]{done: make(chan struct{}), res: res, err: err}
+	close(f.done)
+	return f
+}
+
+// StartSweep launches every trial of every point and returns a
+// future. fn computes one trial; it must draw all randomness from
+// seed (and may use the per-worker scratch, which is bound to the
+// point's graph). In Serial mode the sweep runs to completion before
+// StartSweep returns — old pre-scheduler behaviour, same results.
+func StartSweep[T any](p Params, id string, points []Point, fn func(point, trial int, seed uint64, sc *core.Scratch) (T, error)) *SweepFuture[T] {
+	if p.Serial {
+		return resolved(runSweepSerial(p, points, fn))
+	}
+	pool := sched.Shared(p.Parallelism)
+	f := &SweepFuture[T]{done: make(chan struct{})}
+	res := make([][]T, len(points))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		canceled atomic.Bool
+	)
+	for pi, pt := range points {
+		res[pi] = make([]T, pt.Trials)
+		wg.Add(pt.Trials)
+	}
+	for pi := range points {
+		pi := pi
+		pt := points[pi]
+		if pt.Trials == 0 {
+			continue
+		}
+		// One point-granularity task per point: it expands into trial
+		// tasks on the running worker's own deque, so that worker keeps
+		// scratch affinity with the point while idle workers steal the
+		// tail of the trial list.
+		pool.Submit(sched.Task{Tag: sched.Tag{Exp: id, Point: pi}, Run: func(w *sched.Worker) {
+			ts := make([]sched.Task, pt.Trials)
+			for t := range ts {
+				t := t
+				ts[t] = sched.Task{Tag: sched.Tag{Exp: id, Point: pi, Trial: t}, Run: func(w *sched.Worker) {
+					defer wg.Done()
+					if canceled.Load() {
+						return
+					}
+					sc := workerScratch(w, pt.G)
+					seed := rng.DeriveSeed(pt.Seed, uint64(t))
+					v, _, err := sim.Instrumented(func() (T, error) { return fn(pi, t, seed, sc) })
+					if err != nil {
+						canceled.Store(true)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("sim: trial %d: %w", t, err)
+						}
+						errMu.Unlock()
+						return
+					}
+					res[pi][t] = v
+				}}
+			}
+			w.Submit(ts...)
+		}})
+	}
+	go func() {
+		wg.Wait()
+		if firstErr != nil {
+			f.err = firstErr
+		} else {
+			f.res = res
+		}
+		close(f.done)
+	}()
+	return f
+}
+
+// Sweep is StartSweep + Wait: run every trial of every point, return
+// results[point][trial].
+func Sweep[T any](p Params, id string, points []Point, fn func(point, trial int, seed uint64, sc *core.Scratch) (T, error)) ([][]T, error) {
+	return StartSweep(p, id, points, fn).Wait()
+}
+
+// SweepTrials is the single-point convenience: trials on one graph,
+// results indexed by trial.
+func SweepTrials[T any](p Params, id string, g *graph.Graph, baseSeed uint64, trials int, fn func(trial int, seed uint64, sc *core.Scratch) (T, error)) ([]T, error) {
+	res, err := Sweep(p, id, []Point{{G: g, Seed: baseSeed, Trials: trials}},
+		func(_, trial int, seed uint64, sc *core.Scratch) (T, error) { return fn(trial, seed, sc) })
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// runSweepSerial is the pre-scheduler path: points in order, each a
+// sim.TrialsWorker batch (identical seed derivation and scratch
+// semantics, hence identical results).
+func runSweepSerial[T any](p Params, points []Point, fn func(point, trial int, seed uint64, sc *core.Scratch) (T, error)) ([][]T, error) {
+	out := make([][]T, len(points))
+	for pi, pt := range points {
+		pi, pt := pi, pt
+		res, err := sim.TrialsWorker(pt.Trials, pt.Seed, p.Parallelism,
+			func() *core.Scratch { return core.NewScratch(pt.G) },
+			func(trial int, seed uint64, sc *core.Scratch) (T, error) {
+				return fn(pi, trial, seed, sc)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out[pi] = res
+	}
+	return out, nil
+}
+
+// workerScratch returns the worker's Scratch for g, reusing across
+// trials and points. A tiny per-worker LRU (a handful of graphs) is
+// enough: a worker that bounces between graphs is stealing across
+// points anyway, and Scratch reuse only pays within a graph.
+const workerScratchCap = 4
+
+type workerScratchKey struct{}
+
+type scratchLRU struct {
+	entries []scratchEntry
+}
+
+type scratchEntry struct {
+	g  *graph.Graph
+	sc *core.Scratch
+}
+
+func workerScratch(w *sched.Worker, g *graph.Graph) *core.Scratch {
+	lru := w.Local(workerScratchKey{}, func() any { return &scratchLRU{} }).(*scratchLRU)
+	for i, e := range lru.entries {
+		if e.g == g {
+			if i != 0 {
+				copy(lru.entries[1:i+1], lru.entries[:i])
+				lru.entries[0] = e
+			}
+			return e.sc
+		}
+	}
+	sc := core.NewScratch(g)
+	if len(lru.entries) < workerScratchCap {
+		lru.entries = append(lru.entries, scratchEntry{})
+	}
+	copy(lru.entries[1:], lru.entries)
+	lru.entries[0] = scratchEntry{g: g, sc: sc}
+	return sc
+}

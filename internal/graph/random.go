@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"div/internal/rng"
 )
@@ -218,13 +219,25 @@ func BarabasiAlbert(n, m int, r *rand.Rand) (*Graph, error) {
 		}
 	}
 	chosen := make(map[int32]bool, m)
+	picks := make([]int32, 0, m)
 	for v := m0; v < n; v++ {
 		clear(chosen)
 		for len(chosen) < m {
 			t := targets[r.IntN(len(targets))]
 			chosen[t] = true
 		}
+		// Drain the set in sorted order: map iteration order is
+		// randomized per range, and the order entries land in targets
+		// feeds back into every later degree-proportional draw, so the
+		// same seed would otherwise build a different graph each run.
+		// Sorting fixes the order without changing the attachment law
+		// (the chosen set is identical; only list layout was random).
+		picks = picks[:0]
 		for t := range chosen {
+			picks = append(picks, t)
+		}
+		slices.Sort(picks)
+		for _, t := range picks {
 			edges = append(edges, Edge{U: v, V: int(t)})
 			targets = append(targets, int32(v), t)
 		}

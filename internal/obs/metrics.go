@@ -250,6 +250,29 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// CounterValue returns the named counter's value in the snapshot, or
+// 0 if absent (counters are created on first use, so "absent" and
+// "never incremented" are the same observation).
+func (s Snapshot) CounterValue(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's value in the snapshot, or 0 if
+// absent.
+func (s Snapshot) GaugeValue(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // WriteText renders the snapshot as aligned human-readable lines.
 func (s Snapshot) WriteText(w io.Writer) error {
 	for _, c := range s.Counters {

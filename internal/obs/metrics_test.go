@@ -190,3 +190,22 @@ func TestPublishExpvar(t *testing.T) {
 	// duplicate names; the registry must guard it).
 	r.PublishExpvar("test_obs_metrics")
 }
+
+func TestSnapshotValueLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(7)
+	r.Gauge("width").Set(4)
+	s := r.Snapshot()
+	if got := s.CounterValue("hits"); got != 7 {
+		t.Fatalf("CounterValue(hits) = %d, want 7", got)
+	}
+	if got := s.CounterValue("absent"); got != 0 {
+		t.Fatalf("CounterValue(absent) = %d, want 0", got)
+	}
+	if got := s.GaugeValue("width"); got != 4 {
+		t.Fatalf("GaugeValue(width) = %d, want 4", got)
+	}
+	if got := s.GaugeValue("absent"); got != 0 {
+		t.Fatalf("GaugeValue(absent) = %d, want 0", got)
+	}
+}

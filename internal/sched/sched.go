@@ -1,0 +1,353 @@
+// Package sched is the suite-level work-stealing scheduler: a global
+// pool of worker goroutines, each owning a deque of tasks, with idle
+// workers stealing from busy ones. Experiments submit work at *trial*
+// granularity (tagged experiment/point/trial), so long-tail grid
+// points no longer serialize the suite behind per-point barriers —
+// trials from one experiment's big point overlap with every other
+// experiment's work until the hardware is saturated.
+//
+// Scheduling never affects results: trial seeds are derived from
+// (point, trial) and results are written into index-addressed slots,
+// so any interleaving of workers produces byte-identical output (the
+// exp package's determinism regression test enforces this).
+//
+// The pool exports its behaviour through obs.Default:
+//
+//	sched_tasks_total       tasks executed
+//	sched_steals_total      tasks taken from another worker's deque
+//	sched_injects_total     tasks submitted from outside the pool
+//	sched_busy_nanos_total  Σ task wall time (utilization numerator)
+//	sched_pool_width        workers in the most recently created pool
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"div/internal/obs"
+)
+
+var (
+	tasksTotal   = obs.Default.Counter("sched_tasks_total")
+	stealsTotal  = obs.Default.Counter("sched_steals_total")
+	injectsTotal = obs.Default.Counter("sched_injects_total")
+	busyNanos    = obs.Default.Counter("sched_busy_nanos_total")
+	widthGauge   = obs.Default.Gauge("sched_pool_width")
+)
+
+// Tag identifies a task for diagnostics: which experiment submitted
+// it, which sweep point it belongs to, and its trial index.
+type Tag struct {
+	Exp   string
+	Point int
+	Trial int
+}
+
+// Task is one unit of work. Run receives the worker executing it, for
+// access to worker-local storage and local (stealable) submission.
+// Run must not panic: the pool recovers to keep the worker alive, but
+// it cannot complete whatever bookkeeping the task owed its submitter
+// — wrap trial bodies with their own recovery (sim.Instrumented does).
+type Task struct {
+	Tag Tag
+	Run func(w *Worker)
+}
+
+// deque is a growable ring buffer owned by one worker: the owner
+// pushes and pops at the tail (LIFO, so a worker finishes its newest
+// point before moving on), thieves steal from the head (FIFO, so the
+// oldest — typically longest-queued — work migrates first). A mutex
+// is fine at trial granularity: tasks run for micro- to milliseconds,
+// the lock for nanoseconds.
+type deque struct {
+	mu   sync.Mutex
+	buf  []Task
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+func (d *deque) push(ts ...Task) {
+	d.mu.Lock()
+	if d.n+len(ts) > len(d.buf) {
+		size := len(d.buf) * 2
+		if size < d.n+len(ts) {
+			size = d.n + len(ts)
+		}
+		if size < 8 {
+			size = 8
+		}
+		nb := make([]Task, size)
+		for i := 0; i < d.n; i++ {
+			nb[i] = d.buf[(d.head+i)%len(d.buf)]
+		}
+		d.buf, d.head = nb, 0
+	}
+	for _, t := range ts {
+		d.buf[(d.head+d.n)%len(d.buf)] = t
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
+// pop removes the newest task (owner side).
+func (d *deque) pop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return Task{}, false
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = Task{}
+	return t, true
+}
+
+// steal removes the oldest task (thief side).
+func (d *deque) steal() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return Task{}, false
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = Task{}
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return t, true
+}
+
+// Worker is one pool goroutine. Its methods must only be called from
+// the task currently running on it.
+type Worker struct {
+	pool   *Pool
+	id     int
+	dq     deque
+	locals map[any]any
+}
+
+// Submit pushes tasks onto this worker's own deque, where they run
+// LIFO unless stolen. A point-granularity task uses this to expand
+// into its trial tasks: the expanding worker keeps cache/scratch
+// affinity with the point while idle workers steal the tail.
+func (w *Worker) Submit(ts ...Task) {
+	if len(ts) == 0 {
+		return
+	}
+	w.dq.push(ts...)
+	w.pool.notify(len(ts))
+}
+
+// Local returns the worker-local value under key, building it on
+// first use. Only the worker's own goroutine touches the map, so no
+// locking is needed. This is the hook for per-worker reusable state
+// (the exp package keeps per-graph core.Scratch arenas here).
+func (w *Worker) Local(key any, build func() any) any {
+	if v, ok := w.locals[key]; ok {
+		return v
+	}
+	v := build()
+	w.locals[key] = v
+	return v
+}
+
+// ID returns the worker's index in [0, pool width).
+func (w *Worker) ID() int { return w.id }
+
+// Pool is a fixed-width work-stealing worker pool.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inject   []Task // FIFO submissions from outside the pool
+	injHead  int
+	version  uint64 // bumped on every submission; prevents lost wakeups
+	sleeping int
+	closed   bool
+
+	workers []*Worker
+	busy    atomic.Int64 // Σ task wall nanos
+	wg      sync.WaitGroup
+}
+
+// New starts a pool of the given width (≤ 0 means GOMAXPROCS).
+func New(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.workers = make([]*Worker, width)
+	for i := range p.workers {
+		p.workers[i] = &Worker{pool: p, id: i, locals: make(map[any]any)}
+	}
+	widthGauge.Set(int64(width))
+	p.wg.Add(width)
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	return p
+}
+
+// Width returns the number of workers.
+func (p *Pool) Width() int { return len(p.workers) }
+
+// BusyNanos returns the cumulative wall time workers have spent
+// executing tasks. Utilization over a window of wall-clock length W is
+// Δbusy / (W · Width()).
+func (p *Pool) BusyNanos() int64 { return p.busy.Load() }
+
+// Submit enqueues tasks from outside the pool (experiment goroutines).
+// Safe for concurrent use. Submitting to a closed pool panics.
+func (p *Pool) Submit(ts ...Task) {
+	if len(ts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Submit on closed pool")
+	}
+	p.inject = append(p.inject, ts...)
+	injectsTotal.Add(int64(len(ts)))
+	p.bumpLocked(len(ts))
+	p.mu.Unlock()
+}
+
+// notify is the submission barrier for worker-local pushes: it bumps
+// the version (so a parking worker rescans instead of sleeping) and
+// wakes sleepers.
+func (p *Pool) notify(k int) {
+	p.mu.Lock()
+	p.bumpLocked(k)
+	p.mu.Unlock()
+}
+
+func (p *Pool) bumpLocked(k int) {
+	p.version++
+	for i := 0; i < k && i < p.sleeping; i++ {
+		p.cond.Signal()
+	}
+	if k >= p.sleeping {
+		p.cond.Broadcast()
+	}
+}
+
+func (p *Pool) popInjectLocked() (Task, bool) {
+	if p.injHead >= len(p.inject) {
+		if len(p.inject) > 0 {
+			p.inject = p.inject[:0]
+			p.injHead = 0
+		}
+		return Task{}, false
+	}
+	t := p.inject[p.injHead]
+	p.inject[p.injHead] = Task{}
+	p.injHead++
+	return t, true
+}
+
+// Close shuts the pool down. Pending tasks are abandoned, so only
+// close after every submitted sweep has completed. Close blocks until
+// all workers exit; a closed pool must not be reused.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (w *Worker) loop() {
+	defer w.pool.wg.Done()
+	for {
+		t, ok := w.next()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		w.run(t)
+		el := time.Since(start).Nanoseconds()
+		w.pool.busy.Add(el)
+		busyNanos.Add(el)
+		tasksTotal.Inc()
+	}
+}
+
+// run executes one task, recovering panics so a single bad task
+// cannot take down the worker (and with it, the whole suite).
+func (w *Worker) run(t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Default.Counter("sched_task_panics_total").Inc()
+		}
+	}()
+	t.Run(w)
+}
+
+// next finds the next task: own deque, then the injector, then a
+// steal sweep over the other workers, then park. The version check
+// closes the race between a fruitless scan and going to sleep.
+func (w *Worker) next() (Task, bool) {
+	if t, ok := w.dq.pop(); ok {
+		return t, true
+	}
+	p := w.pool
+	for {
+		p.mu.Lock()
+		v0 := p.version
+		if t, ok := p.popInjectLocked(); ok {
+			p.mu.Unlock()
+			return t, true
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return Task{}, false
+		}
+		for off := 1; off < len(p.workers); off++ {
+			victim := p.workers[(w.id+off)%len(p.workers)]
+			if t, ok := victim.dq.steal(); ok {
+				stealsTotal.Inc()
+				return t, true
+			}
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return Task{}, false
+		}
+		if p.version == v0 {
+			p.sleeping++
+			p.cond.Wait()
+			p.sleeping--
+		}
+		p.mu.Unlock()
+	}
+}
+
+// shared pools, one per width: every experiment asking for the same
+// parallelism shares a pool, which is what lets trials from different
+// experiments overlap.
+var (
+	sharedMu    sync.Mutex
+	sharedPools = map[int]*Pool{}
+)
+
+// Shared returns the process-wide pool of the given width (≤ 0 means
+// GOMAXPROCS), creating it on first use. Shared pools are never
+// closed.
+func Shared(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p, ok := sharedPools[width]
+	if !ok {
+		p = New(width)
+		sharedPools[width] = p
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsAllTasks submits many tasks from outside the pool and
+// checks every one runs exactly once.
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	var ran [n]atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(Task{Tag: Tag{Exp: "test", Trial: i}, Run: func(*Worker) {
+			ran[i].Add(1)
+			wg.Done()
+		}})
+	}
+	wg.Wait()
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestWorkerSubmitExpansion mirrors the sweep pattern: one injected
+// point task expands into trial tasks on the worker's local deque;
+// with more trials than workers, all must still complete.
+func TestWorkerSubmitExpansion(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const trials = 200
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(trials)
+	p.Submit(Task{Tag: Tag{Exp: "expand"}, Run: func(w *Worker) {
+		ts := make([]Task, trials)
+		for i := range ts {
+			ts[i] = Task{Tag: Tag{Exp: "expand", Trial: i}, Run: func(*Worker) {
+				time.Sleep(100 * time.Microsecond)
+				done.Add(1)
+				wg.Done()
+			}}
+		}
+		w.Submit(ts...)
+	}})
+	wg.Wait()
+	if got := done.Load(); got != trials {
+		t.Fatalf("completed %d trials, want %d", got, trials)
+	}
+}
+
+// TestStealing verifies that tasks pushed onto one worker's deque get
+// executed by other workers too: a single expansion of slow tasks on a
+// 4-wide pool must involve more than one distinct worker.
+func TestStealing(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const trials = 64
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	wg.Add(trials)
+	p.Submit(Task{Run: func(w *Worker) {
+		ts := make([]Task, trials)
+		for i := range ts {
+			ts[i] = Task{Run: func(w *Worker) {
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				seen[w.ID()]++
+				mu.Unlock()
+				wg.Done()
+			}}
+		}
+		w.Submit(ts...)
+	}})
+	wg.Wait()
+	if len(seen) < 2 {
+		t.Fatalf("all %d trials ran on one worker: %v (stealing broken)", trials, seen)
+	}
+}
+
+// TestWorkerLocal checks worker-local storage builds once per worker
+// and returns the same value on reuse.
+func TestWorkerLocal(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	type key struct{}
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	const tasks = 50
+	wg.Add(tasks)
+	var mismatch atomic.Int32
+	for i := 0; i < tasks; i++ {
+		p.Submit(Task{Run: func(w *Worker) {
+			defer wg.Done()
+			v1 := w.Local(key{}, func() any { builds.Add(1); return new(int) })
+			v2 := w.Local(key{}, func() any { builds.Add(1); return new(int) })
+			if v1 != v2 {
+				mismatch.Add(1)
+			}
+		}})
+	}
+	wg.Wait()
+	if mismatch.Load() != 0 {
+		t.Fatal("Local returned different values for the same key on the same worker")
+	}
+	if b := builds.Load(); b < 1 || b > int64Width(p) {
+		t.Fatalf("built %d locals, want between 1 and pool width %d", b, p.Width())
+	}
+}
+
+func int64Width(p *Pool) int32 { return int32(p.Width()) }
+
+// TestPanicRecovery: a panicking task must not kill its worker.
+func TestPanicRecovery(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.Submit(Task{Run: func(*Worker) { defer wg.Done(); panic("boom") }})
+	wg.Wait()
+	// The single worker must still be alive to run this.
+	wg.Add(1)
+	ok := false
+	p.Submit(Task{Run: func(*Worker) { ok = true; wg.Done() }})
+	wg.Wait()
+	if !ok {
+		t.Fatal("worker died after task panic")
+	}
+}
+
+// TestBusyNanos: busy time accumulates roughly the slept duration.
+func TestBusyNanos(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		p.Submit(Task{Run: func(*Worker) { time.Sleep(5 * time.Millisecond); wg.Done() }})
+	}
+	wg.Wait()
+	if got := p.BusyNanos(); got < (15 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("BusyNanos = %d, want >= 15ms of work", got)
+	}
+}
+
+// TestSharedReturnsSamePool: same width → same pool; width 0 resolves
+// to GOMAXPROCS.
+func TestSharedReturnsSamePool(t *testing.T) {
+	a := Shared(2)
+	b := Shared(2)
+	if a != b {
+		t.Fatal("Shared(2) returned two distinct pools")
+	}
+	if got := Shared(0).Width(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Shared(0).Width() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestCloseIdempotentDrain: Close returns even when workers are parked.
+func TestCloseIdempotentDrain(t *testing.T) {
+	p := New(4)
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with parked workers")
+	}
+}
+
+// TestStressSubmitWhileRunning hammers concurrent external submission
+// and local expansion; meant to run under -race.
+func TestStressSubmitWhileRunning(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	const outer = 40
+	for o := 0; o < outer; o++ {
+		wg.Add(1)
+		p.Submit(Task{Run: func(w *Worker) {
+			const inner = 25
+			wg.Add(inner)
+			ts := make([]Task, inner)
+			for i := range ts {
+				ts[i] = Task{Run: func(*Worker) { total.Add(1); wg.Done() }}
+			}
+			w.Submit(ts...)
+			total.Add(1)
+			wg.Done()
+		}})
+	}
+	wg.Wait()
+	if got := total.Load(); got != outer*26 {
+		t.Fatalf("ran %d tasks, want %d", got, outer*26)
+	}
+}

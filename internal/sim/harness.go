@@ -39,6 +39,33 @@ type TrialFunc[T any] func(trial int, seed uint64) (T, error)
 // them.
 type WorkerTrialFunc[T, W any] func(trial int, seed uint64, scratch W) (T, error)
 
+// Instrumented executes one trial body with the harness's standard
+// instrumentation and containment: wall time observed in
+// sim_trial_micros, sim_trials_total incremented, a panic recovered
+// into an error (with stack attached) and errors counted in
+// sim_trial_errors_total. Both the in-package worker pool and the
+// suite scheduler's trial tasks (internal/exp's sweeps) run trial
+// bodies through this, so per-trial metrics mean the same thing on
+// every execution path.
+func Instrumented[T any](fn func() (T, error)) (res T, elapsed time.Duration, err error) {
+	start := time.Now()
+	res, err = func() (res T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return fn()
+	}()
+	elapsed = time.Since(start)
+	Metrics.Histogram("sim_trial_micros").Observe(elapsed.Microseconds())
+	Metrics.Counter("sim_trials_total").Inc()
+	if err != nil {
+		Metrics.Counter("sim_trial_errors_total").Inc()
+	}
+	return res, elapsed, err
+}
+
 // Trials runs fn for trial = 0..trials-1 in parallel and returns the
 // results indexed by trial. Parallelism 0 means GOMAXPROCS. The first
 // error aborts outstanding work and is returned. A panic inside fn is
@@ -80,10 +107,7 @@ func TrialsWorker[T, W any](trials int, baseSeed uint64, parallelism int, newScr
 		next     int
 		wg       sync.WaitGroup
 
-		trialMicros = Metrics.Histogram("sim_trial_micros")
-		trialsTotal = Metrics.Counter("sim_trials_total")
-		trialErrors = Metrics.Counter("sim_trial_errors_total")
-		busyNanos   int64 // Σ per-trial wall time, for utilization
+		busyNanos int64 // Σ per-trial wall time, for utilization
 	)
 	Metrics.Gauge("sim_workers").Set(int64(parallelism))
 	batchStart := time.Now()
@@ -104,14 +128,6 @@ func TrialsWorker[T, W any](trials int, baseSeed uint64, parallelism int, newScr
 			firstErr = fmt.Errorf("sim: trial %d: %w", t, err)
 		}
 	}
-	run := func(t int, seed uint64, scratch W) (res T, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
-			}
-		}()
-		return fn(t, seed, scratch)
-	}
 	for p := 0; p < parallelism; p++ {
 		wg.Add(1)
 		go func() {
@@ -127,16 +143,12 @@ func TrialsWorker[T, W any](trials int, baseSeed uint64, parallelism int, newScr
 					scratch = newScratch()
 					haveScratch = true
 				}
-				trialStart := time.Now()
-				res, err := run(t, rng.DeriveSeed(baseSeed, uint64(t)), scratch)
-				elapsed := time.Since(trialStart)
-				trialMicros.Observe(elapsed.Microseconds())
-				trialsTotal.Inc()
+				seed := rng.DeriveSeed(baseSeed, uint64(t))
+				res, elapsed, err := Instrumented(func() (T, error) { return fn(t, seed, scratch) })
 				mu.Lock()
 				busyNanos += elapsed.Nanoseconds()
 				mu.Unlock()
 				if err != nil {
-					trialErrors.Inc()
 					fail(t, err)
 					return
 				}

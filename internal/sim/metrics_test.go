@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -63,5 +64,43 @@ func TestTrialsMetricsOnError(t *testing.T) {
 	}
 	if got := reg.Counter("sim_trial_errors_total").Value(); got == 0 {
 		t.Fatal("error counter not incremented")
+	}
+}
+
+func TestInstrumented(t *testing.T) {
+	reg := swapMetrics(t)
+	v, elapsed, err := Instrumented(func() (int, error) {
+		time.Sleep(time.Millisecond)
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Instrumented = (%d, %v), want (42, nil)", v, err)
+	}
+	if elapsed < time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 1ms", elapsed)
+	}
+	if got := reg.Counter("sim_trials_total").Value(); got != 1 {
+		t.Fatalf("sim_trials_total = %d, want 1", got)
+	}
+	if got := reg.Histogram("sim_trial_micros").Count(); got != 1 {
+		t.Fatalf("sim_trial_micros count = %d, want 1", got)
+	}
+
+	// Error path counts.
+	boom := errors.New("boom")
+	if _, _, err := Instrumented(func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := reg.Counter("sim_trial_errors_total").Value(); got != 1 {
+		t.Fatalf("sim_trial_errors_total = %d, want 1", got)
+	}
+
+	// A panic is contained into an error with the stack attached.
+	_, _, err = Instrumented(func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if got := reg.Counter("sim_trial_errors_total").Value(); got != 2 {
+		t.Fatalf("sim_trial_errors_total = %d, want 2", got)
 	}
 }
