@@ -16,8 +16,8 @@ build: ## compile every package and command
 test: ## full unit/property/integration suite
 	$(GO) test ./...
 
-race: ## race detector over the concurrent packages
-	$(GO) test -race ./internal/core ./internal/sim ./internal/exp
+race: ## race detector over the concurrent packages (suite-determinism tests run the quick suite repeatedly, so allow beyond go test's 10m default)
+	$(GO) test -race -timeout 30m ./internal/core ./internal/sim ./internal/exp
 
 invariants: ## recompute the fast engine's discordance index from scratch after every update
 	$(GO) test -tags divtestinvariants ./internal/core
@@ -33,7 +33,7 @@ trace-artifact: ## regenerate results/observability.txt (traced dissenter run)
 bench: ## every experiment as a testing.B benchmark, one iteration each
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt) and the perf matrix (BENCH_engine.json)
+bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt) and the perf matrix incl. the E2 block-size sweep B∈{1,4,8,16} (BENCH_engine.json)
 	$(GO) run ./cmd/divbench -exp E20 -full
 	$(GO) run ./cmd/divbench -bench-json BENCH_engine.json -full
 

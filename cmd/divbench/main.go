@@ -57,6 +57,7 @@ func main() {
 		par       = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
 		engine    = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
 		serial    = flag.Bool("serial", false, "pre-scheduler behavior: experiments in order, every sweep through the per-experiment worker path (results are byte-identical either way)")
+		block     = flag.Int("block", 0, "trials per block for the blocked stepping kernel (0 = core default); results are byte-identical across block sizes")
 		minUtil   = flag.Int("min-util", 0, "fail the run if work-stealing pool utilization is below this many permille (scheduled mode only)")
 		metrics   = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
@@ -69,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine}); err != nil {
+		if err := runBenchJSON(*benchJSON, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench:", err)
 			os.Exit(1)
 		}
@@ -97,7 +98,7 @@ func main() {
 		fmt.Printf("pprof: serving /debug/pprof/ and /debug/vars on http://%s\n", *pprofAddr)
 	}
 
-	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Serial: *serial}
+	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Serial: *serial, Block: *block}
 	var makers []obs.ProbeMaker
 	var tw *obs.TraceWriter
 	if *traceFile != "" {
@@ -207,6 +208,9 @@ func main() {
 	}
 	hits, misses, evictions, bytes := graph.SharedCache().Stats()
 	fmt.Printf("\ngraph cache: %d hits, %d misses, %d evictions, %.1f MB resident\n", hits, misses, evictions, float64(bytes)/(1<<20))
+	fmt.Printf("blocked kernel: %d trials, %d rng stream refills\n",
+		obs.Default.Counter("core_block_trials_total").Value(),
+		obs.Default.Counter("rng_stream_refills_total").Value())
 	if tw != nil {
 		if err := tw.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench: trace:", err)
@@ -253,8 +257,10 @@ func runBenchJSON(path string, params exp.Params) error {
 	fmt.Printf("bench: E2 point n=%d: %.1f trials/sec reused, %.1f fresh, %.1f ns/step (baseline n=%d: %.1f trials/sec)\n",
 		rep.E2.N, rep.E2.TrialsPerSecReused, rep.E2.TrialsPerSecFresh, rep.E2.NsPerStepReused,
 		rep.Baseline.N, rep.Baseline.TrialsPerSec)
+	fmt.Printf("bench: E2 blocked kernel: best block=%d at %.1f trials/sec (%.1f ns/step)\n",
+		rep.E2.BestBlock, rep.E2.BestBlockTrialsPerSec, rep.E2.BestBlockNsPerStep)
 	if rep.E2.SpeedupVsBaseline > 0 {
-		fmt.Printf("bench: E2 speedup vs pre-pipeline baseline: %.2fx\n", rep.E2.SpeedupVsBaseline)
+		fmt.Printf("bench: E2 speedup vs pre-blocked-kernel baseline: %.2fx\n", rep.E2.SpeedupVsBaseline)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 		trace      = flag.Bool("trace-stages", false, "print the opinion-support stage trace (first run only)")
 		series     = flag.Bool("series", false, "print range/weight/discordance trajectory sparklines (first run only)")
 		maxSteps   = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
+		block      = flag.Int("block", 0, "run trials through the blocked SoA stepping kernel, this many per block (0 = sequential runs); incompatible with -trace-stages and -series")
 		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every run to this file")
 		metrics    = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address (e.g. localhost:6060)")
@@ -50,7 +52,7 @@ func main() {
 		servePprof(*pprofAddr)
 	}
 	if err := run(*graphSpec, *k, *dissenters, *procName, *ruleName, *engName, *seed, *trials,
-		*trace, *series, *maxSteps, *traceFile, *metrics); err != nil {
+		*trace, *series, *maxSteps, *block, *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "divsim:", err)
 		os.Exit(1)
 	}
@@ -69,7 +71,7 @@ func servePprof(addr string) {
 }
 
 func run(graphSpec string, k, dissenters int, procName, ruleName, engName string, seed uint64, trials int,
-	trace, series bool, maxSteps int64, traceFile string, metrics bool) error {
+	trace, series bool, maxSteps int64, block int, traceFile string, metrics bool) error {
 	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
 	if err != nil {
 		return err
@@ -110,6 +112,72 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 
 	winners := stats.NewIntHistogram()
 	var stepsAll, reduceAll []float64
+
+	if block > 0 {
+		// Blocked kernel path: all trials step together in SoA blocks,
+		// each drawing from its own counter-based stream keyed by
+		// (seed, trial) — results are independent of the block size.
+		if trace || series {
+			return fmt.Errorf("-block is incompatible with -trace-stages and -series (the blocked kernel has no observer hooks)")
+		}
+		cfg := core.BlockConfig{
+			Graph:    g,
+			Process:  proc,
+			Rule:     rule,
+			Engine:   engine,
+			Seed:     seed,
+			MaxSteps: maxSteps,
+			Block:    block,
+			Init: func(trial int, dst []int, r *rand.Rand) error {
+				if dissenters > 0 {
+					_, err := core.TwoOpinionSplitInto(dst, dissenters, r)
+					return err
+				}
+				core.UniformOpinionsInto(dst, k, r)
+				return nil
+			},
+		}
+		if tw != nil || metricsProbe != nil {
+			cfg.Probe = func(trial int, probeSeed uint64) obs.Probe {
+				var probes []obs.Probe
+				if tw != nil {
+					probes = append(probes, tw.Probe(trial, probeSeed))
+				}
+				if metricsProbe != nil {
+					probes = append(probes, metricsProbe)
+				}
+				return obs.Multi(probes...)
+			}
+		}
+		out := make([]core.Result, trials)
+		if err := core.RunBlock(cfg, 0, trials, out); err != nil {
+			return err
+		}
+		for t, res := range out {
+			if t == 0 {
+				fmt.Printf("initial: simple average %.4f, degree-weighted average %.4f\n",
+					res.InitialAverage, res.InitialWeightedAverage)
+			}
+			if res.Consensus {
+				winners.Add(res.Winner)
+			}
+			stepsAll = append(stepsAll, float64(res.Steps))
+			if res.TwoAdjacentStep >= 0 {
+				reduceAll = append(reduceAll, float64(res.TwoAdjacentStep))
+			}
+			if trials == 1 {
+				if res.Consensus {
+					fmt.Printf("consensus on %d after %d steps (two adjacent at step %d)\n",
+						res.Winner, res.Steps, res.TwoAdjacentStep)
+				} else {
+					fmt.Printf("NO consensus after %d steps; final range [%d,%d]\n",
+						res.Steps, res.FinalMin, res.FinalMax)
+				}
+			}
+		}
+		return finish(winners, stepsAll, reduceAll, trials, tw, traceFile, metrics)
+	}
+
 	for t := 0; t < trials; t++ {
 		trialSeed := rng.DeriveSeed(seed, uint64(t))
 		r := rng.New(trialSeed)
@@ -185,6 +253,12 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 			}
 		}
 	}
+	return finish(winners, stepsAll, reduceAll, trials, tw, traceFile, metrics)
+}
+
+// finish prints the batch summary and flushes the probe sinks — the
+// common tail of the sequential and blocked trial paths.
+func finish(winners *stats.IntHistogram, stepsAll, reduceAll []float64, trials int, tw *obs.TraceWriter, traceFile string, metrics bool) error {
 	if trials > 1 {
 		fmt.Printf("winners over %d trials: %s\n", trials, winners)
 		fmt.Printf("mean steps to consensus: %.0f; mean steps to two adjacent: %.0f\n",

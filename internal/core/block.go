@@ -1,0 +1,979 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+
+	"div/internal/graph"
+	"div/internal/obs"
+	"div/internal/rng"
+)
+
+// This file implements the blocked multi-trial stepping kernel: B
+// independent trials of one (graph, initial-profile) experiment point
+// execute in an interleaved loop over structure-of-arrays state — the
+// trials' opinion rows live side by side in one int32 slab, all rows
+// share the graph's hot adjacency/arc structures, and stop checks,
+// engine-switch decisions, and metric flushes happen at chunk
+// granularity instead of per step.
+//
+// Why it is faster than B sequential runs: a consensus trial spends
+// almost all of its steps in tight draw→compare→update iterations whose
+// working set is the opinion row plus the graph. Running trials back to
+// back re-walks the same graph structures per trial with cold branch
+// history in between; running them blocked keeps the shared read-only
+// structures resident across rows and lets the per-row loops specialize
+// (the complete-graph DIV kernel below spends one bounded draw and no
+// adjacency traffic per step). The engine dispatch, probe plumbing, and
+// stop-condition checks are hoisted out of the per-step path entirely.
+//
+// Why it is deterministic regardless of blocking: every trial draws
+// from its own counter-based rng.Stream keyed by (Seed, trialIndex)
+// (see internal/rng/stream.go), and rows share no mutable state — so a
+// trial's trajectory is a pure function of its own indices. Running it
+// alone, inside a block of any size, or on any worker of the
+// work-stealing pool produces bit-identical Results, which is what the
+// suite's byte-identity test pins (internal/exp).
+//
+// The process law is exactly the naive engine's: every scheduler
+// invocation is realized individually from the trial's own stream, with
+// the same pair distribution (on K_n the single joint draw below is the
+// same uniform ordered pair the two-draw path realizes). Idle-draw
+// skip-sampling still pays off in the long final stage, so a row whose
+// windowed idle fraction crosses the hybrid engine's threshold retires
+// from the block and finishes under the sequential fast/hybrid loop,
+// borrowing the arena's shared FastState (one per process, rebound per
+// hand-off) instead of allocating its own O(arcs) index.
+
+// DefaultBlock is the number of trials a blocked batch keeps in flight
+// when BlockConfig.Block is zero. Eight int32 rows of a few thousand
+// vertices fit comfortably in L2 next to the shared graph structures;
+// measured throughput is flat from 4 to 16, so the default just picks
+// the middle of the plateau.
+const DefaultBlock = 8
+
+var (
+	// blockTrialsTotal counts trials completed by the blocked kernel
+	// (including rows that retired to the sequential engine mid-run).
+	blockTrialsTotal = obs.Default.Counter("core_block_trials_total")
+	// streamRefillsTotal counts per-trial counter-stream buffer refills,
+	// flushed once per finished trial (64 words each; see rng.Stream).
+	streamRefillsTotal = obs.Default.Counter("rng_stream_refills_total")
+)
+
+// BlockConfig describes a batch of independent trials of one
+// experiment point, all on the same graph under the same process, rule,
+// and stopping condition, differing only in their trial index. The
+// trial index determines both the RNG stream (rng.NewStream(Seed, t))
+// and the initial profile (Init is called with the trial's own stream-
+// backed generator), so a trial's Result is a pure function of
+// (configuration, Seed, t).
+//
+// Compared to Config, the blocked path does not support Observer or
+// TraceSupport: those are per-step interfaces at odds with batched
+// stepping, and the experiment harness that drives blocks uses neither.
+// Probes are supported with chunk-granular batch events (Regime
+// "block").
+type BlockConfig struct {
+	// Graph is the (connected, min-degree ≥ 1) interaction graph.
+	Graph *graph.Graph
+	// Process is the scheduler (vertex or edge). Default VertexProcess.
+	Process Process
+	// Rule is the update rule. Default DIV{}. Non-pairwise rules run on
+	// the generic scheduler path and never hand off to the fast engine.
+	Rule Rule
+	// Engine selects the stepping strategy, with the same semantics as
+	// Config.Engine reinterpreted for blocked execution: EngineNaive
+	// keeps every trial in the blocked loop to the end, EngineFast
+	// retires every trial to the sequential fast loop immediately
+	// (erroring if the run is ineligible), EngineAuto retires a trial
+	// when its windowed idle fraction crosses the hybrid threshold.
+	Engine Engine
+	// Stop selects the halting condition. Default UntilConsensus.
+	Stop StopCondition
+	// MaxSteps caps each trial. 0 means 200·n².
+	MaxSteps int64
+	// Seed is the experiment point's base seed; trial t draws from the
+	// counter stream keyed by (Seed, t).
+	Seed uint64
+	// Init fills dst (length n) with trial t's initial opinions, using r
+	// — the trial's own stream-backed generator — for any randomness.
+	// Required.
+	Init func(trial int, dst []int, r *rand.Rand) error
+	// Probe, when non-nil, builds a per-trial probe exactly as the sim
+	// harness does: Probe(t, rng.DeriveSeed(Seed, t)).
+	Probe obs.ProbeMaker
+	// ObserveEvery sets the probe's batch-event cadence (rounded up to
+	// chunk boundaries). Default n.
+	ObserveEvery int64
+	// Scratch, when non-nil, supplies the reusable block arena (opinion
+	// slab, row states, hand-off FastStates) so repeated batches on one
+	// graph allocate nothing. Must be bound to Graph.
+	Scratch *Scratch
+	// Block is the number of trials stepped concurrently. 0 means
+	// DefaultBlock. The value never affects results, only locality.
+	Block int
+}
+
+// RunBlock executes trials [t0, t1) of the point described by cfg and
+// stores trial t's Result in out[t-t0]. Trials are stepped in blocks of
+// cfg.Block rows; as a row finishes, the next pending trial is admitted
+// into its slot, so the tail of an uneven batch still runs blocked.
+func RunBlock(cfg BlockConfig, t0, t1 int, out []Result) error {
+	b, err := newBlockRun(cfg)
+	if err != nil {
+		return err
+	}
+	if t0 < 0 || t1 < t0 {
+		return fmt.Errorf("core: RunBlock trial range [%d,%d)", t0, t1)
+	}
+	if len(out) < t1-t0 {
+		return fmt.Errorf("core: RunBlock needs %d result slots, got %d", t1-t0, len(out))
+	}
+	bn := b.block
+	if r := t1 - t0; r < bn {
+		bn = r
+	}
+	if bn == 0 {
+		return nil
+	}
+	b.arena.grow(bn)
+	rows := make([]*blockRow, bn)
+	copy(rows, b.arena.rows[:bn])
+	next := t0
+	for i := range rows {
+		if err := b.initRow(rows[i], next); err != nil {
+			return err
+		}
+		next++
+	}
+	for len(rows) > 0 {
+		for i := 0; i < len(rows); {
+			row := rows[i]
+			if row.wantFast && !row.done {
+				if err := b.handoff(row); err != nil {
+					return err
+				}
+			}
+			if !row.done {
+				b.advanceChunk(row)
+				if row.wantFast && !row.done {
+					if err := b.handoff(row); err != nil {
+						return err
+					}
+				}
+			}
+			if !row.done {
+				i++
+				continue
+			}
+			b.finalize(row, out, t0)
+			if next < t1 {
+				if err := b.initRow(row, next); err != nil {
+					return err
+				}
+				next++
+				i++
+			} else {
+				rows[i] = rows[len(rows)-1]
+				rows = rows[:len(rows)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// kernelKind selects the specialized per-chunk stepping loop.
+type kernelKind int
+
+const (
+	kindGeneric  kernelKind = iota // any rule, via Scheduler.Pair + Rule.Step
+	kindComplete                   // DIV on K_n: one joint bounded draw per step
+	kindVertex                     // DIV, vertex process, CSR neighbour lookup
+	kindEdge                       // DIV, edge process, uniform arc
+)
+
+// blockRow is one trial's slot in a block: its State (opinions aliased
+// into the arena slab), its counter stream, and the bookkeeping the
+// sequential engines keep in locals.
+type blockRow struct {
+	trial  int
+	s      *State
+	stream rng.Stream
+	r      *rand.Rand // rand.New(&stream): generic path, Init, hand-off
+	sched  *Scheduler // built lazily, generic kernel only
+	probe  obs.Probe
+	batch  obs.StepBatch
+	res    Result
+
+	nextEmit int64
+	prevVer  uint64
+	// Hybrid-trigger window accounting (EngineAuto): counters over the
+	// row's own draws, plus the bounce-back cooldown in windows.
+	windowDraws, windowActive int64
+	cooldown, nextCooldown    int64
+
+	// Unused upper half of the last stream word drawn by the 32-bit
+	// K_n kernel (chunkCompleteSmall). Row-local so the word↔draw
+	// alignment follows the trial, not the chunk schedule.
+	spare     uint32
+	haveSpare bool
+
+	done     bool
+	wantFast bool // retire to the sequential fast/hybrid loop
+}
+
+// blockArena owns the reusable storage of the blocked kernel for one
+// graph: the SoA opinion slab, the per-slot rows (state + stream), the
+// initial-profile buffer, and one hand-off FastState per process. Like
+// Scratch, it is single-goroutine; Scratch.blockArenaFor caches one per
+// worker.
+type blockArena struct {
+	g       *graph.Graph
+	slab    []int32
+	rows    []*blockRow
+	initBuf []int
+	fast    [2]*FastState // indexed by Process; rebound per hand-off
+}
+
+func newBlockArena(g *graph.Graph) *blockArena { return &blockArena{g: g} }
+
+// grow ensures the arena holds at least bn rows, re-aliasing existing
+// rows into a larger slab when needed. Row states are fully rebuilt by
+// initRow, so re-aliasing need not preserve contents.
+func (a *blockArena) grow(bn int) {
+	n := a.g.N()
+	if len(a.rows) >= bn {
+		return
+	}
+	if cap(a.slab) < bn*n {
+		a.slab = make([]int32, bn*n)
+		for j, row := range a.rows {
+			row.s.opinions = a.slab[j*n : (j+1)*n : (j+1)*n]
+		}
+	} else {
+		a.slab = a.slab[:bn*n]
+	}
+	for j := len(a.rows); j < bn; j++ {
+		row := &blockRow{
+			s: &State{g: a.g, opinions: a.slab[j*n : (j+1)*n : (j+1)*n]},
+		}
+		row.r = rand.New(&row.stream)
+		a.rows = append(a.rows, row)
+	}
+}
+
+// fastFor returns the arena's shared hand-off FastState for proc,
+// rebound to row's State and Reset against its current opinions. The
+// arena keeps ONE per process — O(arcs) memory — and lends it to
+// whichever row is retiring; the retiring trial finishes sequentially
+// before any other row can need it.
+func (a *blockArena) fastFor(row *blockRow, proc Process) (*FastState, error) {
+	if f := a.fast[proc]; f != nil {
+		f.rebind(row.s)
+		f.Reset()
+		return f, nil
+	}
+	f, err := NewFastState(row.s, proc)
+	if err != nil {
+		return nil, err
+	}
+	a.fast[proc] = f
+	return f, nil
+}
+
+// blockRun is the resolved, validated configuration plus the
+// kernel-selection constants hoisted out of the stepping loops.
+type blockRun struct {
+	g     *graph.Graph
+	proc  Process
+	rule  Rule
+	pw    PairwiseRule // nil when the rule is not pairwise
+	isDIV bool
+	engine Engine
+	stop   StopCondition
+
+	seed         uint64
+	maxSteps     int64
+	observeEvery int64
+	init         func(trial int, dst []int, r *rand.Rand) error
+	probeMaker   obs.ProbeMaker
+	arena        *blockArena
+	block        int
+
+	kind  kernelKind
+	n     int
+	un    uint64 // n
+	arcs  uint64 // degree sum (edge kernel modulus)
+	m     uint64 // n(n-1), complete kernel modulus
+	d     uint64 // n-1
+	magic uint64 // ⌈2^40/d⌉ for the divide-free decomposition; 0 ⇒ q/d
+
+	// Hybrid hand-off thresholds (see hybrid.go's cost model) and the
+	// batch-wide kill switch set when FastState construction fails.
+	enterScale, exitScale int64
+	handoffDisabled       bool
+}
+
+func newBlockRun(cfg BlockConfig) (*blockRun, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("core: BlockConfig.Graph is required")
+	}
+	if cfg.Init == nil {
+		return nil, fmt.Errorf("core: BlockConfig.Init is required")
+	}
+	if g.MinDegree() == 0 {
+		return nil, fmt.Errorf("core: %v process requires min degree >= 1", cfg.Process)
+	}
+	rule := cfg.Rule
+	if rule == nil {
+		rule = DIV{}
+	}
+	pw, _ := rule.(PairwiseRule)
+	_, isDIV := rule.(DIV)
+	switch cfg.Engine {
+	case EngineNaive, EngineAuto:
+	case EngineFast:
+		if pw == nil {
+			return nil, fmt.Errorf("core: fast engine requires a PairwiseRule, got %q", rule.Name())
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
+	}
+	n := g.N()
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200 * int64(n) * int64(n)
+	}
+	observeEvery := cfg.ObserveEvery
+	if observeEvery <= 0 {
+		observeEvery = int64(n)
+	}
+	var arena *blockArena
+	if cfg.Scratch != nil {
+		var err error
+		if arena, err = cfg.Scratch.blockArenaFor(g); err != nil {
+			return nil, err
+		}
+	} else {
+		arena = newBlockArena(g)
+	}
+	block := cfg.Block
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	costUnits := hybridCostRatio * hybridCostUnits(g)
+	b := &blockRun{
+		g: g, proc: cfg.Process, rule: rule, pw: pw, isDIV: isDIV,
+		engine: cfg.Engine, stop: cfg.Stop,
+		seed: cfg.Seed, maxSteps: maxSteps, observeEvery: observeEvery,
+		init: cfg.Init, probeMaker: cfg.Probe, arena: arena, block: block,
+		n: n, un: uint64(n), arcs: uint64(g.DegreeSum()),
+		enterScale: 2 * costUnits, exitScale: costUnits,
+		handoffDisabled: pw == nil,
+	}
+	switch {
+	case !isDIV:
+		b.kind = kindGeneric
+	case g.IsComplete():
+		b.kind = kindComplete
+		b.m = uint64(n) * uint64(n-1)
+		b.d = uint64(n - 1)
+		// Divide-free decomposition of the joint draw q ∈ [0, n(n-1)):
+		// with M = ⌊2^40/d⌋+1, (q·M)>>40 equals ⌊q/d⌋ exactly because
+		// the rounding error q·(M - 2^40/d)/2^40 < q/2^40 < 2^-14 can
+		// never bridge frac(q/d) ≤ 1-1/d to 1 while d < 2^13 ≤ 2^14.
+		// The product stays under (d+1)·2^40 < 2^53. Above the gate the
+		// kernel falls back to a hardware divide per step.
+		if n <= 8192 {
+			b.magic = (1<<40)/b.d + 1
+		}
+	case cfg.Process == VertexProcess:
+		b.kind = kindVertex
+	default:
+		b.kind = kindEdge
+	}
+	return b, nil
+}
+
+// initRow prepares row to run trial, reusing every allocation: the
+// stream is reseeded to (Seed, trial), Init fills the arena's profile
+// buffer from the trial's own stream, and the row State is ResetTo it
+// (keeping its slab-aliased opinion row).
+func (b *blockRun) initRow(row *blockRow, trial int) error {
+	row.trial = trial
+	row.stream.Seed(b.seed, uint64(trial))
+	if b.arena.initBuf == nil {
+		b.arena.initBuf = make([]int, b.n)
+	}
+	if err := b.init(trial, b.arena.initBuf, row.r); err != nil {
+		return fmt.Errorf("core: block trial %d init: %w", trial, err)
+	}
+	if err := row.s.ResetTo(b.arena.initBuf); err != nil {
+		return fmt.Errorf("core: block trial %d: %w", trial, err)
+	}
+	if b.kind == kindGeneric && row.sched == nil {
+		sc, err := NewScheduler(row.s, b.proc)
+		if err != nil {
+			return err
+		}
+		row.sched = sc
+	}
+	s := row.s
+	row.res = Result{
+		ThreeStep:              -1,
+		TwoAdjacentStep:        -1,
+		InitialAverage:         s.Average(),
+		InitialWeightedAverage: s.WeightedAverage(),
+		WeightAtTwoAdjacent:    nan(),
+	}
+	row.probe = nil
+	if b.probeMaker != nil {
+		row.probe = b.probeMaker(trial, rng.DeriveSeed(b.seed, uint64(trial)))
+	}
+	row.batch = obs.StepBatch{}
+	row.nextEmit = b.observeEvery
+	row.prevVer = s.SupportVersion()
+	row.windowDraws, row.windowActive = 0, 0
+	row.cooldown, row.nextCooldown = 0, 1
+	row.spare, row.haveSpare = 0, false
+	row.done, row.wantFast = false, false
+	b.recordMilestones(row)
+	switch {
+	case stopMet(s, b.stop):
+		row.done = true
+	case b.engine == EngineFast:
+		row.wantFast = true
+	}
+	return nil
+}
+
+// weightAverage mirrors Scheduler.WeightAverage without needing a
+// Scheduler per row: the process-appropriate average opinion.
+func (b *blockRun) weightAverage(s *State) float64 {
+	if b.proc == EdgeProcess {
+		return s.Average()
+	}
+	return s.WeightedAverage()
+}
+
+func (b *blockRun) recordMilestones(row *blockRow) {
+	s := row.s
+	if row.res.ThreeStep < 0 && s.Range() <= 2 {
+		row.res.ThreeStep = s.Steps()
+	}
+	if row.res.TwoAdjacentStep < 0 && s.Range() <= 1 {
+		row.res.TwoAdjacentStep = s.Steps()
+		row.res.WeightAtTwoAdjacent = b.weightAverage(s)
+	}
+}
+
+// supportEvent records milestones and emits the probe Stage event; the
+// shared body of the blocked loops' support handling and the hand-off
+// loopEnv.onSupport.
+func (b *blockRun) supportEvent(row *blockRow) {
+	b.recordMilestones(row)
+	if row.probe != nil {
+		s := row.s
+		row.probe.Stage(obs.Stage{
+			Step:        s.Steps(),
+			Support:     s.SupportSize(),
+			Min:         s.Min(),
+			Max:         s.Max(),
+			TwoAdjacent: s.Range() <= 1,
+		})
+	}
+}
+
+// afterSupport is the cold path of an active step that changed the
+// support set: milestones, probe, stop re-evaluation. Returns done.
+func (b *blockRun) afterSupport(row *blockRow) bool {
+	row.prevVer = row.s.SupportVersion()
+	b.supportEvent(row)
+	if stopMet(row.s, b.stop) {
+		row.done = true
+	}
+	return row.done
+}
+
+// flushRow emits the accumulated block-regime step batch, if any.
+func (b *blockRun) flushRow(row *blockRow) {
+	to := row.s.Steps()
+	if row.probe == nil || to == row.batch.FromStep {
+		return
+	}
+	row.batch.ToStep = to
+	row.batch.Engine = obs.RegimeBlock
+	row.probe.StepBatch(row.batch)
+	row.batch = obs.StepBatch{FromStep: to}
+}
+
+// advanceChunk runs one chunk (hybridWindow draws, clipped at MaxSteps)
+// of row's trial through the specialized kernel, then handles the
+// chunk-granular bookkeeping: MaxSteps termination, probe batch
+// flushing on the ObserveEvery cadence, and the hybrid hand-off
+// trigger. All decisions depend only on the row's own draws and state,
+// which is what keeps results independent of block composition.
+func (b *blockRun) advanceChunk(row *blockRow) {
+	switch b.kind {
+	case kindComplete:
+		b.chunkComplete(row)
+	case kindVertex:
+		b.chunkVertex(row)
+	case kindEdge:
+		b.chunkEdge(row)
+	default:
+		b.chunkGeneric(row)
+	}
+	s := row.s
+	if !row.done && s.Steps() >= b.maxSteps {
+		row.done = true
+	}
+	if row.probe != nil && s.Steps() >= row.nextEmit {
+		b.flushRow(row)
+		row.nextEmit = (s.Steps()/b.observeEvery + 1) * b.observeEvery
+	}
+	if row.done || row.wantFast {
+		return
+	}
+	// Hybrid trigger, evaluated at chunk granularity: the same windowed
+	// idle-fraction policy as hybridLoop (see its cost model), which is
+	// a lawful stopping time here for the same reason — it is a
+	// function of the row's own realized draws.
+	if b.engine == EngineAuto && !b.handoffDisabled && row.windowDraws >= hybridWindow {
+		switch {
+		case row.cooldown > 0:
+			row.cooldown--
+		case row.windowActive*b.enterScale < row.windowDraws:
+			row.wantFast = true
+		}
+		row.windowDraws, row.windowActive = 0, 0
+	}
+}
+
+// chunkComplete is the K_n DIV kernel: one bounded draw per step over
+// ordered pairs. On K_n the vertex and edge processes coincide — both
+// schedule a uniform ordered pair (v, w), v ≠ w, the vertex path as
+// 1/n · 1/(n-1) and the edge path as 1/(n(n-1)) — so a single joint
+// draw q ∈ [0, n(n-1)) with v = ⌊q/(n-1)⌋, w = q mod (n-1) (+1 if
+// ≥ v) realizes either process exactly.
+//
+// At the magic-divide gate (n ≤ 8192, so m = n(n-1) < 2^26) the kernel
+// goes two steps further than the generic loops:
+//
+//   - Half-word draws: m < 2^32, so the Lemire bounded draw runs on 32
+//     bits — q = hi32(x·m) of a 32-bit half of a stream word, accepted
+//     when lo32(x·m) ≥ (2^32-m) mod m, exactly uniform by the same
+//     argument as the 64-bit version. Each stream word feeds two steps,
+//     halving the Philox refill cost per step. The spare half persists
+//     in the row, so the word↔step alignment is a pure function of the
+//     trial's own history.
+//
+//   - Inlined DIV update: the hot loop maintains only the opinion row
+//     and the counts histogram, accumulating the S-sum delta in a
+//     register. Everything else the State carries — degree masses,
+//     degree-weighted sum, extremes, support — is degenerate on K_n
+//     (uniform degree d makes degMass = d·counts and degSum = d·sum)
+//     or can only change when a counts cell crosses zero, which the
+//     loop detects directly (counts[to] == 1 or counts[from] == 0) and
+//     routes to a cold flush that restores the full State invariants
+//     before milestones and stop checks run.
+//
+// Above the gate the fallback loop uses full-word draws, a hardware
+// divide, and the general SetOpinion path.
+func (b *blockRun) chunkComplete(row *blockRow) {
+	if b.magic != 0 {
+		b.chunkCompleteSmall(row)
+	} else {
+		b.chunkCompleteBig(row)
+	}
+}
+
+func (b *blockRun) chunkCompleteSmall(row *blockRow) {
+	s := row.s
+	st := &row.stream
+	op := s.opinions
+	counts := s.counts
+	base := s.base
+	m := uint32(b.m)
+	d, magic := b.d, b.magic
+	thresh := -m % m // (2^32 - m) mod m
+	probe := row.probe != nil
+	limit := hybridWindow
+	if rem := b.maxSteps - s.Steps(); rem < limit {
+		limit = rem
+	}
+	spare, haveSpare := row.spare, row.haveSpare
+	var drawn, committed, active, sumDelta int64
+	for drawn < limit {
+		var x uint32
+		if haveSpare {
+			x, haveSpare = spare, false
+		} else {
+			word := st.Uint64()
+			x, spare, haveSpare = uint32(word), uint32(word>>32), true
+		}
+		prod := uint64(x) * uint64(m)
+		if uint32(prod) < thresh {
+			continue // rejected half-word: biased residue, redraw
+		}
+		q := uint64(prod >> 32)
+		drawn++
+		v := q * magic >> 40
+		w := q - v*d
+		if w >= v {
+			w++
+		}
+		xv := op[v]
+		xw := op[w]
+		if xv == xw {
+			if probe {
+				row.batch.Idle++
+			}
+			continue
+		}
+		active++
+		var nw int32
+		if xv < xw {
+			nw = xv + 1
+			sumDelta++
+		} else {
+			nw = xv - 1
+			sumDelta--
+		}
+		op[v] = nw
+		i := nw - base
+		j := xv - base
+		counts[i]++
+		counts[j]--
+		if probe {
+			row.batch.Active++
+		}
+		if counts[i] == 1 || counts[j] == 0 {
+			// Support changed: restore full State invariants, then run
+			// the shared milestone/probe/stop path.
+			s.addSteps(drawn - committed)
+			committed = drawn
+			b.syncCompleteState(s, sumDelta)
+			sumDelta = 0
+			s.supVer++
+			if b.afterSupport(row) {
+				break
+			}
+		}
+	}
+	s.addSteps(drawn - committed)
+	b.syncCompleteState(s, sumDelta)
+	row.spare, row.haveSpare = spare, haveSpare
+	row.windowDraws += drawn
+	row.windowActive += active
+}
+
+// syncCompleteState restores the State aggregates the small-K_n loop
+// leaves stale: the sums (from the accumulated delta; degrees are
+// uniformly d on K_n, so degSum = d·sum moves in lockstep) and the
+// counts-derived degree masses, support size, and extreme pointers.
+func (b *blockRun) syncCompleteState(s *State, sumDelta int64) {
+	d := int64(b.d)
+	s.sum += sumDelta
+	s.degSum += d * sumDelta
+	support := 0
+	minIdx, maxIdx := -1, 0
+	for i, c := range s.counts {
+		s.degMass[i] = d * c
+		if c > 0 {
+			support++
+			if minIdx < 0 {
+				minIdx = i
+			}
+			maxIdx = i
+		}
+	}
+	s.support = support
+	s.minIdx, s.maxIdx = minIdx, maxIdx
+}
+
+func (b *blockRun) chunkCompleteBig(row *blockRow) {
+	s := row.s
+	st := &row.stream
+	op := s.opinions
+	m, d := b.m, b.d
+	probe := row.probe != nil
+	limit := hybridWindow
+	if rem := b.maxSteps - s.Steps(); rem < limit {
+		limit = rem
+	}
+	var pending int64
+	for i := int64(0); i < limit; i++ {
+		x := st.Uint64()
+		hi, lo := bits.Mul64(x, m)
+		if lo < m {
+			hi = st.Uint64nSlow(hi, lo, m)
+		}
+		v := hi / d
+		w := hi - v*d
+		if w >= v {
+			w++
+		}
+		pending++
+		xv := op[v]
+		if xv == op[w] {
+			if probe {
+				row.batch.Idle++
+			}
+			continue
+		}
+		row.windowActive++
+		s.addSteps(pending)
+		pending = 0
+		if probe {
+			row.batch.Active++
+		}
+		if xv < op[w] {
+			s.SetOpinion(int(v), int(xv)+1)
+		} else {
+			s.SetOpinion(int(v), int(xv)-1)
+		}
+		if s.SupportVersion() != row.prevVer && b.afterSupport(row) {
+			row.windowDraws += i + 1
+			return
+		}
+	}
+	s.addSteps(pending)
+	row.windowDraws += limit
+}
+
+// chunkVertex is the CSR DIV kernel for the vertex process on general
+// graphs: v uniform over vertices, then a uniform neighbour via the
+// graph's CSR arrays. Two bounded draws per step.
+func (b *blockRun) chunkVertex(row *blockRow) {
+	s := row.s
+	st := &row.stream
+	g := b.g
+	op := s.opinions
+	un := b.un
+	probe := row.probe != nil
+	limit := hybridWindow
+	if rem := b.maxSteps - s.Steps(); rem < limit {
+		limit = rem
+	}
+	var pending int64
+	for i := int64(0); i < limit; i++ {
+		x := st.Uint64()
+		hi, lo := bits.Mul64(x, un)
+		if lo < un {
+			hi = st.Uint64nSlow(hi, lo, un)
+		}
+		v := int(hi)
+		deg := uint64(g.Degree(v))
+		x = st.Uint64()
+		hi, lo = bits.Mul64(x, deg)
+		if lo < deg {
+			hi = st.Uint64nSlow(hi, lo, deg)
+		}
+		w := g.Neighbor(v, int(hi))
+		pending++
+		xv := op[v]
+		if xv == op[w] {
+			if probe {
+				row.batch.Idle++
+			}
+			continue
+		}
+		row.windowActive++
+		s.addSteps(pending)
+		pending = 0
+		if probe {
+			row.batch.Active++
+		}
+		if xv < op[w] {
+			s.SetOpinion(v, int(xv)+1)
+		} else {
+			s.SetOpinion(v, int(xv)-1)
+		}
+		if s.SupportVersion() != row.prevVer && b.afterSupport(row) {
+			row.windowDraws += i + 1
+			return
+		}
+	}
+	s.addSteps(pending)
+	row.windowDraws += limit
+}
+
+// chunkEdge is the DIV kernel for the edge process on general graphs:
+// one bounded draw over directed arcs, endpoints from the shared
+// tails/heads arrays.
+func (b *blockRun) chunkEdge(row *blockRow) {
+	s := row.s
+	st := &row.stream
+	tails, heads := b.g.ArcTails(), b.g.Arcs()
+	op := s.opinions
+	arcs := b.arcs
+	probe := row.probe != nil
+	limit := hybridWindow
+	if rem := b.maxSteps - s.Steps(); rem < limit {
+		limit = rem
+	}
+	var pending int64
+	for i := int64(0); i < limit; i++ {
+		x := st.Uint64()
+		hi, lo := bits.Mul64(x, arcs)
+		if lo < arcs {
+			hi = st.Uint64nSlow(hi, lo, arcs)
+		}
+		v, w := tails[hi], heads[hi]
+		pending++
+		xv := op[v]
+		if xv == op[w] {
+			if probe {
+				row.batch.Idle++
+			}
+			continue
+		}
+		row.windowActive++
+		s.addSteps(pending)
+		pending = 0
+		if probe {
+			row.batch.Active++
+		}
+		if xv < op[w] {
+			s.SetOpinion(int(v), int(xv)+1)
+		} else {
+			s.SetOpinion(int(v), int(xv)-1)
+		}
+		if s.SupportVersion() != row.prevVer && b.afterSupport(row) {
+			row.windowDraws += i + 1
+			return
+		}
+	}
+	s.addSteps(pending)
+	row.windowDraws += limit
+}
+
+// chunkGeneric is the fallback for non-DIV rules: scheduler and rule
+// dispatched dynamically, steps committed eagerly (a rule may consume
+// randomness, so there is no lazy batching to reorder around).
+func (b *blockRun) chunkGeneric(row *blockRow) {
+	s := row.s
+	probe := row.probe != nil
+	limit := hybridWindow
+	if rem := b.maxSteps - s.Steps(); rem < limit {
+		limit = rem
+	}
+	for i := int64(0); i < limit; i++ {
+		v, w := row.sched.Pair(row.r)
+		s.countStep()
+		if probe {
+			if s.opinions[v] != s.opinions[w] {
+				row.batch.Active++
+			} else {
+				row.batch.Idle++
+			}
+		}
+		if s.opinions[v] != s.opinions[w] {
+			row.windowActive++
+		}
+		b.rule.Step(s, row.r, v, w)
+		if s.SupportVersion() != row.prevVer && b.afterSupport(row) {
+			row.windowDraws += i + 1
+			return
+		}
+	}
+	row.windowDraws += limit
+}
+
+// handoff retires row from the blocked loop to the sequential engine.
+// For EngineAuto the arena FastState's exact mass double-checks the
+// noisy windowed trigger first (as hybridLoop does): if discordance is
+// still above the exit threshold the row bounces back to blocked
+// stepping with an exponentially growing cooldown. A FastState
+// construction failure (degree-lcm overflow) is fatal under EngineFast
+// and disables hand-off for the whole batch under EngineAuto — it is a
+// property of (graph, process), not of the trial.
+func (b *blockRun) handoff(row *blockRow) error {
+	row.wantFast = false
+	f, err := b.arena.fastFor(row, b.proc)
+	if err != nil {
+		if b.engine == EngineFast {
+			return fmt.Errorf("core: block trial %d: %w", row.trial, err)
+		}
+		b.handoffDisabled = true
+		return nil
+	}
+	if b.engine == EngineAuto && f.num*b.exitScale > f.den {
+		row.cooldown = row.nextCooldown
+		if row.nextCooldown < hybridMaxCooldown {
+			row.nextCooldown *= 2
+		}
+		return nil
+	}
+	b.retire(row, f)
+	row.done = true
+	return nil
+}
+
+// retire finishes row's trial under the sequential engine — the fast
+// loop for EngineFast, the hybrid loop (seeded with the arena FastState
+// via fastPre) for EngineAuto. The trial keeps drawing from its own
+// stream through row.r, so the hand-off point being chunk-aligned does
+// not couple trials. The sequential loops run the trial to completion
+// before returning, which is what lets the block share one FastState.
+func (b *blockRun) retire(row *blockRow, f *FastState) {
+	sched, err := NewScheduler(row.s, b.proc)
+	if err != nil {
+		// Unreachable: min degree was validated at construction.
+		panic(err)
+	}
+	b.flushRow(row)
+	s := row.s
+	env := &loopEnv{
+		s:            s,
+		sched:        sched,
+		rule:         b.rule,
+		r:            row.r,
+		maxSteps:     b.maxSteps,
+		observeEvery: b.observeEvery,
+		probe:        row.probe,
+		batch:        obs.StepBatch{FromStep: s.Steps()},
+		nextEmit:     (s.Steps()/b.observeEvery + 1) * b.observeEvery,
+		res:          &row.res,
+		done:         func() bool { return stopMet(s, b.stop) },
+		onSupport:    func() { b.supportEvent(row) },
+	}
+	if b.engine == EngineFast {
+		f.loop(env, b.pw)
+	} else {
+		env.fastPre = f
+		env.hybridLoop(b.pw, b.proc)
+	}
+	// The arena FastState moves on to the next retiring row; drop its
+	// discordance hook from this row's state and realign the (already
+	// flushed) block batch so finalize doesn't re-emit the fast span.
+	f.detachDiscordance()
+	row.batch = obs.StepBatch{FromStep: s.Steps()}
+}
+
+// finalize completes row's Result, emits the probe Done event, stores
+// the Result, and flushes the per-trial counters.
+func (b *blockRun) finalize(row *blockRow, out []Result, t0 int) {
+	s := row.s
+	row.res.Steps = s.Steps()
+	row.res.FinalMin, row.res.FinalMax = s.Min(), s.Max()
+	if w, ok := s.Consensus(); ok {
+		row.res.Winner = w
+		row.res.Consensus = true
+	}
+	b.flushRow(row)
+	if row.probe != nil {
+		row.probe.Done(obs.Done{
+			Step:      row.res.Steps,
+			Winner:    row.res.Winner,
+			Consensus: row.res.Consensus,
+		})
+	}
+	out[row.trial-t0] = row.res
+	blockTrialsTotal.Inc()
+	streamRefillsTotal.Add(row.stream.TakeRefills())
+}

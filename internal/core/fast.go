@@ -186,6 +186,20 @@ func (f *FastState) detachDiscordance() { f.s.discordFn = nil }
 // edges maintained by the index.
 func (f *FastState) DiscordantEdges() int64 { return int64(len(f.list)) }
 
+// rebind repoints the index at another State over the same graph. The
+// blocked kernel's arena keeps ONE FastState per process and lends it
+// to whichever trial row is being handed off to the sequential engine
+// — the structural arrays (tails, rev, units) depend only on the graph,
+// and a Reset after rebinding rebuilds everything opinion-dependent.
+// The caller must not leave a stale discordance hook on the previous
+// state (State.ResetTo clears it; detachDiscordance does too).
+func (f *FastState) rebind(s *State) {
+	if s.Graph() != f.g {
+		panic("core: FastState.rebind across graphs")
+	}
+	f.s = s
+}
+
 // Reset rebuilds the discordant-arc list, bucket structure, and active
 // mass against the wrapped State's *current* opinions, reusing every
 // array — O(arcs) with no allocation in steady state. The hybrid

@@ -112,7 +112,7 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 				}
 			}
 			if active*enterScale < probes {
-				if fs, err := newFastStateFor(e.scratch, s, proc); err != nil {
+				if fs, err := e.newFast(s, proc); err != nil {
 					fastDisabled = true
 				} else if f = fs; f.num*exitScale <= f.den {
 					inFast = true
@@ -178,7 +178,7 @@ func (e *loopEnv) hybridLoop(rule PairwiseRule, proc Process) {
 					cooldown--
 				case !fastDisabled && windowActive*enterScale < windowDraws:
 					if f == nil {
-						fs, err := newFastStateFor(e.scratch, s, proc)
+						fs, err := e.newFast(s, proc)
 						if err != nil {
 							// e.g. degree-lcm overflow: naive-only from here on.
 							fastDisabled = true

@@ -193,21 +193,7 @@ func Run(cfg Config) (Result, error) {
 		res.Aborted = true
 	}
 
-	done := func() bool {
-		switch cfg.Stop {
-		case UntilConsensus:
-			_, ok := s.Consensus()
-			return ok
-		case UntilTwoAdjacent:
-			return s.Range() <= 1
-		case UntilThreeConsecutive:
-			return s.Range() <= 2
-		case UntilMaxSteps:
-			return false
-		default:
-			return false
-		}
-	}
+	done := func() bool { return stopMet(s, cfg.Stop) }
 
 	env := &loopEnv{
 		s:            s,
@@ -283,6 +269,42 @@ type loopEnv struct {
 	res          *Result
 	done         func() bool
 	onSupport    func() // milestone + stage recording on support change
+	// fastPre, when non-nil, is a ready-to-Reset FastState the hybrid
+	// loop must use for its first naive→fast entry instead of building
+	// one through newFastStateFor. The blocked kernel's hand-off path
+	// (block.go) sets it so a whole block of trials shares one arena
+	// FastState instead of allocating O(arcs) per trial.
+	fastPre *FastState
+}
+
+// stopMet evaluates a stopping condition against the current state.
+// Every condition is a predicate on the opinion support set, which is
+// why engines only re-check it when SupportVersion changes.
+func stopMet(s *State, stop StopCondition) bool {
+	switch stop {
+	case UntilConsensus:
+		_, ok := s.Consensus()
+		return ok
+	case UntilTwoAdjacent:
+		return s.Range() <= 1
+	case UntilThreeConsecutive:
+		return s.Range() <= 2
+	default: // UntilMaxSteps: only the step cap stops the run
+		return false
+	}
+}
+
+// newFast builds (or reuses) the FastState for the hybrid loop's next
+// fast entry: a pre-installed arena state (fastPre, consumed once) when
+// the blocked kernel handed this run off, the scratch's cached one
+// otherwise. The returned state is Reset against s's current opinions.
+func (e *loopEnv) newFast(s *State, proc Process) (*FastState, error) {
+	if f := e.fastPre; f != nil {
+		e.fastPre = nil
+		f.Reset()
+		return f, nil
+	}
+	return newFastStateFor(e.scratch, s, proc)
 }
 
 // flushBatch emits the step batch accumulated since the last flush,

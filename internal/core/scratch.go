@@ -32,6 +32,7 @@ type Scratch struct {
 	pcg     *rand.PCG
 	r       *rand.Rand
 	initBuf []int
+	blk     *blockArena // blocked multi-trial kernel arena (block.go)
 }
 
 // NewScratch returns an empty scratch bound to g. State and engine
@@ -104,6 +105,20 @@ func (sc *Scratch) fastFor(s *State, proc Process) (*FastState, error) {
 	}
 	sc.fast[proc] = f
 	return f, nil
+}
+
+// blockArenaFor returns the scratch's blocked-kernel arena, allocating
+// it on first use. The arena (block.go) owns the SoA opinion slab, the
+// per-trial row states, and the per-process hand-off FastStates; like
+// the rest of the scratch it is bound to one graph and one goroutine.
+func (sc *Scratch) blockArenaFor(g *graph.Graph) (*blockArena, error) {
+	if g != sc.g {
+		return nil, fmt.Errorf("core: Config.Scratch is bound to %v, but Config.Graph is %v", sc.g, g)
+	}
+	if sc.blk == nil {
+		sc.blk = newBlockArena(g)
+	}
+	return sc.blk, nil
 }
 
 // newFastStateFor builds (or reuses, when a scratch is present) the

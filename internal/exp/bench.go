@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"runtime"
 	"testing"
 	"time"
@@ -25,14 +26,18 @@ import (
 
 // The E2 reference point (K_n, k=8, extremes profile, vertex process,
 // auto engine, run to two adjacent opinions) measured immediately
-// before the zero-allocation pipeline landed, on the repository's CI
-// hardware. Recorded here so BENCH_engine.json always carries the
+// before the blocked SoA stepping kernel landed, on the repository's
+// CI hardware — i.e. the sequential zero-allocation pipeline's
+// throughput. Recorded here so BENCH_engine.json always carries the
 // pre-change baseline the speedup criterion is judged against.
 const (
 	e2BaselineN            = 3200
-	e2BaselineTrialsPerSec = 130.5
-	e2BaselineNsPerStep    = 110.5
+	e2BaselineTrialsPerSec = 425.9
+	e2BaselineNsPerStep    = 34.4
 )
+
+// e2BlockSizes is the block-size sweep measured on the E2 point.
+var e2BlockSizes = []int{1, 4, 8, 16}
 
 // BenchRow is one engine × process × graph-family measurement.
 type BenchRow struct {
@@ -63,12 +68,22 @@ type BenchE2 struct {
 	Trials            int     `json:"trials"`
 	Steps             int64   `json:"steps"`
 	TrialsPerSecFresh float64 `json:"trials_per_sec_fresh"`
-	// TrialsPerSecReused is the headline number: the E2 sweep endpoint
-	// throughput with per-worker Scratch reuse, to be compared against
-	// the recorded baseline (valid when N matches the baseline's N).
+	// TrialsPerSecReused is the sequential pipeline's throughput with
+	// per-worker Scratch reuse — the pre-blocked-kernel configuration,
+	// kept for continuity with earlier reports.
 	TrialsPerSecReused float64 `json:"trials_per_sec_reused"`
 	NsPerStepReused    float64 `json:"ns_per_step_reused"`
-	SpeedupVsBaseline  float64 `json:"speedup_vs_baseline"`
+	// BlockTrialsPerSec maps block size B to the blocked kernel's
+	// throughput on the same point (scratch arena reused, nil probes).
+	BlockTrialsPerSec map[int]float64 `json:"block_trials_per_sec"`
+	// BestBlock and BestBlockTrialsPerSec identify the headline number:
+	// the fastest block size of the sweep. SpeedupVsBaseline compares
+	// it against the recorded pre-blocked-kernel baseline (valid when N
+	// matches the baseline's N).
+	BestBlock             int     `json:"best_block"`
+	BestBlockTrialsPerSec float64 `json:"best_block_trials_per_sec"`
+	BestBlockNsPerStep    float64 `json:"best_block_ns_per_step"`
+	SpeedupVsBaseline     float64 `json:"speedup_vs_baseline"`
 }
 
 // BenchSuite compares one full quick-suite pass run serially (the
@@ -298,9 +313,56 @@ func BenchEngine(p Params) (*BenchReport, error) {
 		TrialsPerSecFresh:  float64(e2trials) / fresh.Seconds(),
 		TrialsPerSecReused: float64(e2trials) / reused.Seconds(),
 		NsPerStepReused:    float64(reused.Nanoseconds()) / float64(steps),
+		BlockTrialsPerSec:  map[int]float64{},
+	}
+
+	// Block-size sweep on the same point: the blocked kernel with a
+	// reused arena, one warm-up block outside the clock per size. The
+	// Results are byte-identical across sizes; only wall clock moves.
+	e2blockCfg := func(sc *core.Scratch, b int) core.BlockConfig {
+		return core.BlockConfig{
+			Engine:  core.EngineAuto,
+			Graph:   g,
+			Process: core.VertexProcess,
+			Stop:    core.UntilTwoAdjacent,
+			Seed:    seedBase,
+			Init: func(trial int, dst []int, r *rand.Rand) error {
+				core.ExtremesOpinionsInto(dst, e2k, r)
+				return nil
+			},
+			Scratch: sc,
+			Block:   b,
+		}
+	}
+	// All sizes warm on, then time, the same trial indices, so every
+	// size measures an identical workload.
+	warmN := e2BlockSizes[len(e2BlockSizes)-1]
+	warm := make([]core.Result, warmN)
+	blockOut := make([]core.Result, e2trials)
+	for _, b := range e2BlockSizes {
+		cfg := e2blockCfg(sc, b)
+		if err := core.RunBlock(cfg, 0, warmN, warm); err != nil {
+			return nil, fmt.Errorf("bench E2 block=%d warmup: %w", b, err)
+		}
+		start := time.Now()
+		if err := core.RunBlock(cfg, warmN, warmN+e2trials, blockOut); err != nil {
+			return nil, fmt.Errorf("bench E2 block=%d: %w", b, err)
+		}
+		el := time.Since(start)
+		var blockSteps int64
+		for _, r := range blockOut {
+			blockSteps += r.Steps
+		}
+		tps := float64(e2trials) / el.Seconds()
+		rep.E2.BlockTrialsPerSec[b] = tps
+		if tps > rep.E2.BestBlockTrialsPerSec {
+			rep.E2.BestBlock = b
+			rep.E2.BestBlockTrialsPerSec = tps
+			rep.E2.BestBlockNsPerStep = float64(el.Nanoseconds()) / float64(blockSteps)
+		}
 	}
 	if e2n == e2BaselineN {
-		rep.E2.SpeedupVsBaseline = rep.E2.TrialsPerSecReused / e2BaselineTrialsPerSec
+		rep.E2.SpeedupVsBaseline = rep.E2.BestBlockTrialsPerSec / e2BaselineTrialsPerSec
 	}
 
 	suite, err := benchSuite(p)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -19,6 +20,8 @@ func sampleBenchReport() *BenchReport {
 		E2: BenchE2{
 			N: 800, K: 8, Trials: 10, Steps: 123456,
 			TrialsPerSecFresh: 100, TrialsPerSecReused: 120, NsPerStepReused: 50,
+			BlockTrialsPerSec: map[int]float64{1: 110, 8: 130},
+			BestBlock:         8, BestBlockTrialsPerSec: 130, BestBlockNsPerStep: 45,
 		},
 		Suite: BenchSuite{
 			Experiments: []string{"E1", "E2"}, GOMAXPROCS: 1, PoolWidth: 1,
@@ -55,7 +58,7 @@ func TestBenchReportJSONSchema(t *testing.T) {
 	if !ok {
 		t.Fatalf("e2_point is %T, want object", doc["e2_point"])
 	}
-	for _, key := range []string{"n", "k", "trials", "steps", "trials_per_sec_fresh", "trials_per_sec_reused", "ns_per_step_reused", "speedup_vs_baseline"} {
+	for _, key := range []string{"n", "k", "trials", "steps", "trials_per_sec_fresh", "trials_per_sec_reused", "ns_per_step_reused", "speedup_vs_baseline", "block_trials_per_sec", "best_block", "best_block_trials_per_sec", "best_block_ns_per_step"} {
 		if _, ok := e2[key]; !ok {
 			t.Errorf("e2_point key %q missing", key)
 		}
@@ -112,7 +115,8 @@ func TestBenchReportJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.E2 != in.E2 || out.Baseline != in.Baseline {
+	// BenchE2 holds a map (block -> trials/sec), so compare with DeepEqual.
+	if !reflect.DeepEqual(out.E2, in.E2) || out.Baseline != in.Baseline {
 		t.Errorf("round trip changed E2/Baseline: %+v vs %+v", out, in)
 	}
 	if len(out.Rows) != len(in.Rows) || out.Rows[0] != in.Rows[0] {

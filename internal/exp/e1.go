@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"div/internal/core"
 	"div/internal/rng"
@@ -58,24 +59,13 @@ func E1WinnerDistribution(p Params) (*Report, error) {
 		"graph", "n", "lambda", "trials", "frac winner in {lo,hi}", "P[hi] measured", "P[hi] predicted", "z",
 	)
 
-	results, err := Sweep(p, "E1", points, func(pi, trial int, seed uint64, sc *core.Scratch) (int, error) {
-		r := sc.Rand(seed)
-		init, err := core.BlockOpinionsInto(sc.Initial(), counts, r)
-		if err != nil {
-			return 0, err
-		}
-		res, err := core.Run(core.Config{
-			Engine:  p.coreEngine(),
-			Probe:   p.probeFor(trial, seed),
-			Graph:   points[pi].G,
-			Initial: init,
-			Process: core.VertexProcess,
-			Seed:    rng.SplitMix64(seed),
-			Scratch: sc,
-		})
-		if err != nil {
-			return 0, err
-		}
+	results, err := SweepBlocked(p, "E1", points, BlockTrial{
+		Process: core.VertexProcess,
+		Init: func(_, _ int, dst []int, r *rand.Rand) error {
+			_, err := core.BlockOpinionsInto(dst, counts, r)
+			return err
+		},
+	}, func(_, _ int, res core.Result) (int, error) {
 		if !res.Consensus {
 			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
 		}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"div/internal/core"
 	"div/internal/netsim"
@@ -78,18 +79,28 @@ func E14Distributed(p Params) (*Report, error) {
 	for li := range latencies {
 		latPoints[li] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0xf00+li)), Trials: trials}
 	}
+	// Event-queue and opinion buffers are reused across trials via a
+	// pool (netsim reuse never changes results; trials draw all
+	// randomness from their seeds).
+	var nsScratch sync.Pool
 	futLat := StartSweep(p, "E14lat", latPoints, func(li, trial int, seed uint64, _ *core.Scratch) (out, error) {
 		r := rng.New(seed)
 		init, err := core.BlockOpinions(n, counts, r)
 		if err != nil {
 			return out{}, err
 		}
+		nsc, _ := nsScratch.Get().(*netsim.Scratch)
+		if nsc == nil {
+			nsc = &netsim.Scratch{}
+		}
+		defer nsScratch.Put(nsc)
 		res, err := netsim.Run(netsim.Config{
 			Graph:           g,
 			Initial:         init,
 			Latency:         latencies[li],
 			Seed:            rng.SplitMix64(seed),
 			StopOnConsensus: true,
+			Scratch:         nsc,
 		})
 		if err != nil {
 			return out{}, err

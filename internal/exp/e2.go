@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 
 	"div/internal/core"
 	"div/internal/rng"
@@ -37,21 +38,14 @@ func E2ReductionTime(p Params) (*Report, error) {
 	for i, n := range ns {
 		pointsN[i] = Point{G: gs.Complete(n), Seed: rng.DeriveSeed(p.Seed, uint64(0x200+i)), Trials: trials}
 	}
-	futN := StartSweep(p, "E2a", pointsN, func(pi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
-		r := sc.Rand(seed)
-		res, err := core.Run(core.Config{
-			Engine:  p.coreEngine(),
-			Probe:   p.probeFor(trial, seed),
-			Graph:   pointsN[pi].G,
-			Initial: core.ExtremesOpinionsInto(sc.Initial(), k, r),
-			Process: core.VertexProcess,
-			Stop:    core.UntilTwoAdjacent,
-			Seed:    rng.SplitMix64(seed),
-			Scratch: sc,
-		})
-		if err != nil {
-			return 0, err
-		}
+	futN := StartSweepBlocked(p, "E2a", pointsN, BlockTrial{
+		Process: core.VertexProcess,
+		Stop:    core.UntilTwoAdjacent,
+		Init: func(_, _ int, dst []int, r *rand.Rand) error {
+			core.ExtremesOpinionsInto(dst, k, r)
+			return nil
+		},
+	}, func(pi, _ int, res core.Result) (float64, error) {
 		if res.TwoAdjacentStep < 0 {
 			return 0, fmt.Errorf("n=%d: reduction incomplete after %d steps", ns[pi], res.Steps)
 		}
@@ -72,21 +66,14 @@ func E2ReductionTime(p Params) (*Report, error) {
 	for i := range ks {
 		pointsK[i] = Point{G: g, Seed: rng.DeriveSeed(p.Seed, uint64(0x280+i)), Trials: trials}
 	}
-	futK := StartSweep(p, "E2b", pointsK, func(pi, trial int, seed uint64, sc *core.Scratch) (float64, error) {
-		r := sc.Rand(seed)
-		res, err := core.Run(core.Config{
-			Engine:  p.coreEngine(),
-			Probe:   p.probeFor(trial, seed),
-			Graph:   g,
-			Initial: core.ExtremesOpinionsInto(sc.Initial(), ks[pi], r),
-			Process: core.VertexProcess,
-			Stop:    core.UntilTwoAdjacent,
-			Seed:    rng.SplitMix64(seed),
-			Scratch: sc,
-		})
-		if err != nil {
-			return 0, err
-		}
+	futK := StartSweepBlocked(p, "E2b", pointsK, BlockTrial{
+		Process: core.VertexProcess,
+		Stop:    core.UntilTwoAdjacent,
+		Init: func(pi, _ int, dst []int, r *rand.Rand) error {
+			core.ExtremesOpinionsInto(dst, ks[pi], r)
+			return nil
+		},
+	}, func(_, _ int, res core.Result) (float64, error) {
 		return float64(res.TwoAdjacentStep), nil
 	})
 

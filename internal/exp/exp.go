@@ -48,6 +48,21 @@ type Params struct {
 	// either way (seeds derive per point and trial); only scheduling
 	// and wall-clock change.
 	Serial bool
+	// Block is the blocked kernel's trials-per-block B for sweeps on
+	// the blocked pipeline (core.RunBlock: E1's winner sweep and both
+	// E2 sweeps); 0 means core.DefaultBlock. Each trial draws from its
+	// own counter-based RNG stream keyed by (point seed, trial), so
+	// reports are byte-identical across block sizes and scheduling —
+	// `divbench -block` is purely a performance knob.
+	Block int
+}
+
+// blockSize resolves Block, defaulting to core.DefaultBlock.
+func (p Params) blockSize() int {
+	if p.Block > 0 {
+		return p.Block
+	}
+	return core.DefaultBlock
 }
 
 func (p Params) withDefaults() Params {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -147,6 +148,162 @@ func SweepTrials[T any](p Params, id string, g *graph.Graph, baseSeed uint64, tr
 		return nil, err
 	}
 	return res[0], nil
+}
+
+// BlockTrial is the per-trial core configuration of a blocked sweep:
+// everything core.RunBlock needs beyond the grid point itself. Init
+// fills dst with the initial opinions of (point, trial), drawing only
+// from r; the zero values of Rule, Stop, and MaxSteps inherit the
+// core defaults (DIV, run to consensus, 200n² steps).
+type BlockTrial struct {
+	Process  core.Process
+	Rule     core.Rule
+	Stop     core.StopCondition
+	MaxSteps int64
+	Init     func(point, trial int, dst []int, r *rand.Rand) error
+}
+
+// config assembles the core.BlockConfig for one point of a blocked
+// sweep. The point's Seed becomes the kernel's stream base, so every
+// trial's randomness is the counter stream keyed (Seed, trial) —
+// independent of block size, span boundaries, and scheduling.
+func (bt BlockTrial) config(p Params, pi int, pt Point, sc *core.Scratch) core.BlockConfig {
+	return core.BlockConfig{
+		Graph:    pt.G,
+		Process:  bt.Process,
+		Rule:     bt.Rule,
+		Engine:   p.coreEngine(),
+		Stop:     bt.Stop,
+		MaxSteps: bt.MaxSteps,
+		Seed:     pt.Seed,
+		Init: func(trial int, dst []int, r *rand.Rand) error {
+			return bt.Init(pi, trial, dst, r)
+		},
+		Probe:   p.Probe,
+		Scratch: sc,
+		Block:   p.blockSize(),
+	}
+}
+
+// StartSweepBlocked launches a sweep on the blocked multi-trial kernel
+// and returns a future. Work is submitted at *span* granularity — each
+// task runs one block of consecutive trials of one point through
+// core.RunBlock on the worker's scratch arena — so the scheduler
+// steals whole blocks and the SoA slab stays hot within each task.
+// post maps each trial's core.Result to the sweep's element type (and
+// may reject it with an error); it runs inside the span task, ordered
+// by trial within the span.
+func StartSweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial, post func(point, trial int, res core.Result) (T, error)) *SweepFuture[T] {
+	if p.Serial {
+		return resolved(runSweepBlockedSerial(p, points, bt, post))
+	}
+	pool := sched.Shared(p.Parallelism)
+	f := &SweepFuture[T]{done: make(chan struct{})}
+	res := make([][]T, len(points))
+	span := p.blockSize()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		canceled atomic.Bool
+	)
+	for pi, pt := range points {
+		res[pi] = make([]T, pt.Trials)
+		wg.Add((pt.Trials + span - 1) / span)
+	}
+	for pi := range points {
+		pi := pi
+		pt := points[pi]
+		if pt.Trials == 0 {
+			continue
+		}
+		pool.Submit(sched.Task{Tag: sched.Tag{Exp: id, Point: pi}, Run: func(w *sched.Worker) {
+			var ts []sched.Task
+			for t0 := 0; t0 < pt.Trials; t0 += span {
+				t0 := t0
+				t1 := t0 + span
+				if t1 > pt.Trials {
+					t1 = pt.Trials
+				}
+				ts = append(ts, sched.Task{Tag: sched.Tag{Exp: id, Point: pi, Trial: t0, Span: t1 - t0}, Run: func(w *sched.Worker) {
+					defer wg.Done()
+					if canceled.Load() {
+						return
+					}
+					sc := workerScratch(w, pt.G)
+					out := make([]core.Result, t1-t0)
+					_, err := sim.InstrumentedBlock(t1-t0, func() error {
+						if err := core.RunBlock(bt.config(p, pi, pt, sc), t0, t1, out); err != nil {
+							return err
+						}
+						for t := t0; t < t1; t++ {
+							v, err := post(pi, t, out[t-t0])
+							if err != nil {
+								return fmt.Errorf("trial %d: %w", t, err)
+							}
+							res[pi][t] = v
+						}
+						return nil
+					})
+					if err != nil {
+						canceled.Store(true)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("sim: trials [%d,%d): %w", t0, t1, err)
+						}
+						errMu.Unlock()
+					}
+				}})
+			}
+			w.Submit(ts...)
+		}})
+	}
+	go func() {
+		wg.Wait()
+		if firstErr != nil {
+			f.err = firstErr
+		} else {
+			f.res = res
+		}
+		close(f.done)
+	}()
+	return f
+}
+
+// SweepBlocked is StartSweepBlocked + Wait.
+func SweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial, post func(point, trial int, res core.Result) (T, error)) ([][]T, error) {
+	return StartSweepBlocked(p, id, points, bt, post).Wait()
+}
+
+// runSweepBlockedSerial is the Serial path of a blocked sweep: points
+// in order, each a sim.TrialBlocks batch of span-granularity tasks.
+// Same kernel, same streams, hence byte-identical results.
+func runSweepBlockedSerial[T any](p Params, points []Point, bt BlockTrial, post func(point, trial int, res core.Result) (T, error)) ([][]T, error) {
+	out := make([][]T, len(points))
+	for pi, pt := range points {
+		pi, pt := pi, pt
+		out[pi] = make([]T, pt.Trials)
+		err := sim.TrialBlocks(pt.Trials, p.blockSize(), p.Parallelism,
+			func() *core.Scratch { return core.NewScratch(pt.G) },
+			func(t0, t1 int, sc *core.Scratch) error {
+				buf := make([]core.Result, t1-t0)
+				if err := core.RunBlock(bt.config(p, pi, pt, sc), t0, t1, buf); err != nil {
+					return err
+				}
+				for t := t0; t < t1; t++ {
+					v, err := post(pi, t, buf[t-t0])
+					if err != nil {
+						return fmt.Errorf("trial %d: %w", t, err)
+					}
+					out[pi][t] = v
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // runSweepSerial is the pre-scheduler path: points in order, each a

@@ -21,7 +21,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"div/internal/graph"
@@ -60,24 +59,68 @@ type event struct {
 	t0      float64 // when the originating pull fired (staleness accounting)
 }
 
-// eventQueue is a min-heap on (at, seq).
+// eventQueue is a direct 4-ary min-heap on (at, seq), replacing the
+// earlier container/heap binary heap: the wider fan-out halves the
+// tree depth (fewer comparison levels per pop, and pops dominate — a
+// simulated message is pushed once but sifted down log₄ levels on
+// extraction) and the monomorphic methods avoid the interface
+// boxing/indirection of heap.Push/heap.Pop. The key (at, seq) is a
+// total order — seq is unique — so the extraction sequence, and hence
+// every simulated trajectory, is identical to the binary heap's.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // keep stale payloads out of the reusable buffer
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h.less(j, m) {
+				m = j
+			}
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
 }
 
 // Config describes one distributed run.
@@ -106,6 +149,18 @@ type Config struct {
 	// (pending requests are then harmless — their responses will carry
 	// the consensus opinion too).
 	StopOnConsensus bool
+	// Scratch, when non-nil, lends reusable buffers (the event queue
+	// and the opinion array) to the run, so repeated trials perform
+	// O(1) slice allocations instead of re-growing the queue to its
+	// high-water mark every time. Reuse never changes results. Not safe
+	// for concurrent runs; own one per worker.
+	Scratch *Scratch
+}
+
+// Scratch is a per-worker arena of reusable netsim run memory.
+type Scratch struct {
+	q        eventQueue
+	opinions []int
 }
 
 // Result summarizes a distributed run.
@@ -182,11 +237,27 @@ func Run(cfg Config) (Result, error) {
 
 	r := rng.New(cfg.Seed)
 	s := &sim{
-		cfg:      cfg,
-		g:        g,
-		opinions: append([]int(nil), cfg.Initial...),
-		counts:   make(map[int]int),
-		respBy:   make(map[int]int),
+		cfg:    cfg,
+		g:      g,
+		counts: make(map[int]int),
+		respBy: make(map[int]int),
+	}
+	if sc := cfg.Scratch; sc != nil {
+		s.q = sc.q[:0]
+		if cap(sc.opinions) >= n {
+			s.opinions = sc.opinions[:n]
+			copy(s.opinions, cfg.Initial)
+		}
+	}
+	if s.opinions == nil {
+		s.opinions = append([]int(nil), cfg.Initial...)
+	}
+	if sc := cfg.Scratch; sc != nil {
+		// Hand the (possibly re-grown) buffers back for the next trial.
+		defer func() {
+			sc.q = s.q[:0]
+			sc.opinions = s.opinions
+		}()
 	}
 	var res Result
 	var sum, degSum int64
@@ -215,8 +286,8 @@ func Run(cfg Config) (Result, error) {
 	stale := Metrics.Histogram("netsim_staleness_micro")
 
 	now := 0.0
-	for s.q.Len() > 0 {
-		ev := heap.Pop(&s.q).(event)
+	for len(s.q) > 0 {
+		ev := s.q.pop()
 		if ev.at > maxTime {
 			now = maxTime
 			break
@@ -303,7 +374,7 @@ func (s *sim) stableConsensus() bool {
 
 func (s *sim) push(at float64, kind eventKind, node, peer, opinion int, t0 float64) {
 	s.seq++
-	heap.Push(&s.q, event{at: at, seq: s.seq, kind: kind, node: node, peer: peer, opinion: opinion, t0: t0})
+	s.q.push(event{at: at, seq: s.seq, kind: kind, node: node, peer: peer, opinion: opinion, t0: t0})
 	if len(s.q) > s.highWater {
 		s.highWater = len(s.q)
 	}

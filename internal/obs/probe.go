@@ -39,6 +39,10 @@ type Probe interface {
 const (
 	RegimeNaive = "naive"
 	RegimeFast  = "fast"
+	// RegimeBlock labels step batches executed by the blocked multi-trial
+	// kernel (core/block.go): naive-law stepping, interleaved across a
+	// block of trials and flushed at chunk granularity.
+	RegimeBlock = "block"
 )
 
 // Switch reasons.

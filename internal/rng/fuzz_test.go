@@ -1,8 +1,54 @@
 package rng
 
 import (
+	"math/bits"
 	"testing"
 )
+
+// FuzzStreamUint64n cross-checks the buffered Lemire bounded draw
+// against the classical modulo-with-rejection reference on the same
+// word stream: draw x, reject while x ≥ 2^64 - (2^64 mod n), return
+// x mod n. Lemire's multiply-shift is that scheme composed with the
+// measure-preserving map x ↦ ⌊x·n/2^64⌋ restricted to accepted words,
+// so on any prefix both must consume the same number of words and both
+// results must lie in range; additionally the Lemire output must equal
+// hi(x·n) of the accepted word.
+func FuzzStreamUint64n(f *testing.F) {
+	f.Add(uint64(1), uint64(3))
+	f.Add(uint64(0x5eed), uint64(1))
+	f.Add(uint64(42), uint64(1)<<62)
+	f.Add(uint64(7), ^uint64(0))
+	f.Fuzz(func(t *testing.T, seed, n uint64) {
+		if n == 0 {
+			return
+		}
+		lem := NewStream(seed, 0)
+		ref := NewStream(seed, 0)
+		thresh := -n % n // (2^64 - n) mod n: identical accept set both ways
+		for i := 0; i < 64; i++ {
+			got := lem.Uint64n(n)
+			if got >= n {
+				t.Fatalf("n=%d: Uint64n out of range: %d", n, got)
+			}
+			// Reference: first word whose low product clears the threshold.
+			var want uint64
+			for {
+				x := ref.Uint64()
+				hi, lo := bits.Mul64(x, n)
+				if lo >= thresh {
+					want = hi
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d draw %d: lemire %d, reference %d", n, i, got, want)
+			}
+			if lem.pos != ref.pos || lem.ctrLo != ref.ctrLo {
+				t.Fatalf("n=%d draw %d: word consumption diverged (%d vs %d)", n, i, lem.pos, ref.pos)
+			}
+		}
+	})
+}
 
 // FuzzAliasWeights hardens the alias-table builder: any finite
 // non-negative weight vector with positive mass must build a sampler

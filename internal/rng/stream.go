@@ -1,0 +1,190 @@
+package rng
+
+import "math/bits"
+
+// This file implements the counter-based RNG stream behind the blocked
+// trial kernel (internal/core/block.go). A Stream is a Philox2x64-10
+// generator: the i-th 128-bit output block is a pure function
+// philox(key, counter=i), so the whole stream is determined by its key
+// and a trial's key is DeriveSeed(pointSeed, trialIndex). Unlike the
+// stateful PCG used by the sequential engines, a trial's stream
+// therefore depends only on its own indices — never on which worker ran
+// it, which block it was batched into, or how many draws its neighbours
+// consumed — which is what makes suite reports byte-identical across
+// block sizes and across the work-stealing pool.
+//
+// Philox (Salmon, Moraes, Dreitlein, Shaw: "Parallel Random Numbers: As
+// Easy as 1, 2, 3", SC'11) passes BigCrush; the 2x64 variant does 10
+// rounds of a multiply-hi/lo mix with a Weyl key schedule. Outputs are
+// produced 64 words at a time into a buffer, so the hot-path cost of
+// Uint64 is a load, an increment, and a bounds check; the block
+// generation loop has independent iterations the hardware can overlap.
+//
+// Bounded draws use Lemire's multiply-shift method ("Fast Random
+// Integer Generation in an Interval", ACM TOMACS 2019): hi of x·n is an
+// unbiased sample of [0,n) whenever lo ≥ (2^64 - n) mod n, and the
+// rare rejection loop is outlined so the fast path stays inlinable.
+// This is the same debiasing the stdlib rand/v2 uses (minus its
+// power-of-two special case), here applied directly to the buffered
+// stream with no interface indirection.
+
+const (
+	// streamBufWords is the number of 64-bit outputs generated per
+	// refill: 64 words = 32 Philox blocks = 512 bytes, small enough to
+	// live in L1 next to the opinion rows it feeds.
+	streamBufWords = 64
+
+	philoxRounds = 10
+	philoxM      = 0xD2B74407B1CE6E93 // PHILOX_M2x64
+	philoxW      = 0x9E3779B97F4A7C15 // Weyl key increment (golden ratio)
+)
+
+// Philox2x64 returns the two 64-bit outputs of the Philox2x64-10 block
+// cipher for the given key and 128-bit counter (hi, lo). It is the
+// reference point for Stream: buffer word 2i of a stream with key k and
+// counter-high h is Philox2x64(k, h, i)'s first output, word 2i+1 the
+// second.
+func Philox2x64(key, ctrHi, ctrLo uint64) (uint64, uint64) {
+	x0, x1 := ctrLo, ctrHi
+	k := key
+	for r := 0; r < philoxRounds; r++ {
+		hi, lo := bits.Mul64(philoxM, x0)
+		x0 = hi ^ k ^ x1
+		x1 = lo
+		k += philoxW
+	}
+	return x0, x1
+}
+
+// Stream is a buffered counter-based generator for one trial. The zero
+// value is not ready; call Seed (or NewStream). A Stream must not be
+// copied after first use and is not safe for concurrent use. It
+// implements math/rand/v2.Source, so rand.New(&stream) adapts it to the
+// full *rand.Rand API for code that wants one (the blocked kernel's
+// generic-rule path and its sequential hand-off do exactly that) —
+// every draw still comes out of the same per-trial buffer.
+type Stream struct {
+	buf     [streamBufWords]uint64
+	pos     int
+	key     uint64 // Philox key: DeriveSeed(base, trial)
+	ctrHi   uint64 // counter high word: the trial index, extra separation
+	ctrLo   uint64 // counter low word of the NEXT block to generate
+	refills int64  // buffer refills since the last TakeRefills
+}
+
+// NewStream returns the stream for trial index trial under base seed
+// base.
+func NewStream(base uint64, trial uint64) *Stream {
+	s := &Stream{}
+	s.Seed(base, trial)
+	return s
+}
+
+// Seed (re)initializes the stream in place to the exact state
+// NewStream(base, trial) would produce, reusing the buffer storage.
+// The key is DeriveSeed(base, trial) and the 128-bit counter starts at
+// (trial, 0), so distinct trials use disjoint counter ranges even under
+// (astronomically unlikely) key collisions.
+func (s *Stream) Seed(base uint64, trial uint64) {
+	s.key = DeriveSeed(base, trial)
+	s.ctrHi = trial
+	s.ctrLo = 0
+	s.pos = streamBufWords // buffer empty: first draw refills
+	s.refills = 0
+}
+
+// refill regenerates the output buffer from the current counter. The
+// iterations are independent (the only loop-carried state is the
+// counter increment), so an out-of-order core overlaps the 10-round
+// multiply chains of neighbouring blocks.
+func (s *Stream) refill() {
+	k0, hi := s.key, s.ctrHi
+	c := s.ctrLo
+	for i := 0; i < streamBufWords; i += 2 {
+		x0, x1 := c, hi
+		k := k0
+		for r := 0; r < philoxRounds; r++ {
+			mhi, mlo := bits.Mul64(philoxM, x0)
+			x0 = mhi ^ k ^ x1
+			x1 = mlo
+			k += philoxW
+		}
+		s.buf[i] = x0
+		s.buf[i+1] = x1
+		c++
+	}
+	s.ctrLo = c
+	s.pos = 0
+	s.refills++
+}
+
+// Uint64 returns the next 64-bit output. It implements rand/v2.Source.
+func (s *Stream) Uint64() uint64 {
+	if s.pos == streamBufWords {
+		s.refill()
+	}
+	x := s.buf[s.pos]
+	s.pos++
+	return x
+}
+
+// Uint64n returns a uniform value in [0, n) by Lemire multiply-shift
+// debiasing: accept hi(x·n) unless lo(x·n) falls below the bias
+// threshold (probability n/2^64), in which case the outlined slow path
+// redraws. n must be nonzero.
+//
+// The method itself exceeds the compiler's inlining budget (it embeds
+// the refill check and the slow-path call). Hot loops that cannot
+// afford a call per draw replicate the fast path manually —
+//
+//	x := s.Uint64()            // inlinable
+//	hi, lo := bits.Mul64(x, n)
+//	if lo < n {
+//		hi = s.Uint64nSlow(hi, lo, n)
+//	}
+//	// hi is the bounded draw
+//
+// — which consumes exactly the same words and yields exactly the same
+// values as Uint64n(n); the blocked kernel's complete-graph loops do
+// this.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if s.pos == streamBufWords {
+		s.refill()
+	}
+	x := s.buf[s.pos]
+	s.pos++
+	hi, lo := bits.Mul64(x, n)
+	if lo < n {
+		return s.Uint64nSlow(hi, lo, n)
+	}
+	return hi
+}
+
+// Uint64nSlow finishes a bounded draw whose first sample landed in the
+// ambiguous band lo < n: compute the exact threshold (2^64 - n) mod n
+// and redraw until the low word clears it. Outlined so the fast path —
+// both Uint64n's and a caller's manual replica of it — stays within
+// the inlining budget. Exported only for that manual-inline pattern;
+// ordinary callers use Uint64n.
+func (s *Stream) Uint64nSlow(hi, lo, n uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(s.Uint64(), n)
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits, the
+// same construction rand/v2 uses.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()<<11>>11) / (1 << 53)
+}
+
+// TakeRefills returns the number of buffer refills since the last call
+// (or Seed) and resets the count — the flush-at-block-granularity hook
+// behind the rng_stream_refills_total counter.
+func (s *Stream) TakeRefills() int64 {
+	r := s.refills
+	s.refills = 0
+	return r
+}

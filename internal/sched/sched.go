@@ -38,11 +38,15 @@ var (
 )
 
 // Tag identifies a task for diagnostics: which experiment submitted
-// it, which sweep point it belongs to, and its trial index.
+// it, which sweep point it belongs to, and its trial index. Span is
+// the number of consecutive trials the task covers starting at Trial
+// (0 or 1 for single-trial tasks; > 1 for the blocked kernel's span
+// tasks, which step several trials of one point in lockstep).
 type Tag struct {
 	Exp   string
 	Point int
 	Trial int
+	Span  int
 }
 
 // Task is one unit of work. Run receives the worker executing it, for

@@ -66,6 +66,126 @@ func Instrumented[T any](fn func() (T, error)) (res T, elapsed time.Duration, er
 	return res, elapsed, err
 }
 
+// InstrumentedBlock executes one span of trials with the same
+// instrumentation and containment as Instrumented, amortized over the
+// span: the body runs once for all `trials` trials (the blocked
+// kernel steps them together, so per-trial wall times are not
+// individually observable), sim_trial_micros records the per-trial
+// mean, sim_trials_total advances by the span size, and a panic is
+// recovered into an error counted once in sim_trial_errors_total.
+func InstrumentedBlock(trials int, fn func() error) (elapsed time.Duration, err error) {
+	start := time.Now()
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return fn()
+	}()
+	elapsed = time.Since(start)
+	if trials > 0 {
+		h := Metrics.Histogram("sim_trial_micros")
+		per := (elapsed / time.Duration(trials)).Microseconds()
+		for i := 0; i < trials; i++ {
+			h.Observe(per)
+		}
+		Metrics.Counter("sim_trials_total").Add(int64(trials))
+	}
+	if err != nil {
+		Metrics.Counter("sim_trial_errors_total").Inc()
+	}
+	return elapsed, err
+}
+
+// TrialBlocks partitions trials 0..trials-1 into consecutive spans of
+// `block` trials and runs fn once per span across the worker pool —
+// the span-granularity analog of TrialsWorker, for trial bodies that
+// step a whole span together (core.RunBlock). Spans are claimed
+// dynamically, so the worker-to-span assignment is load-dependent; fn
+// must derive all randomness from its trial indices (counter-based
+// streams do) so results stay reproducible regardless. The scratch
+// rules match TrialsWorker: newScratch runs once per worker, carries
+// memory only.
+func TrialBlocks[W any](trials, block, parallelism int, newScratch func() W, fn func(t0, t1 int, scratch W) error) error {
+	if trials < 0 {
+		return fmt.Errorf("sim: negative trial count %d", trials)
+	}
+	if block <= 0 {
+		block = 1
+	}
+	spans := (trials + block - 1) / block
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > spans {
+		parallelism = spans
+	}
+	if spans == 0 {
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+		wg       sync.WaitGroup
+
+		busyNanos int64
+	)
+	Metrics.Gauge("sim_workers").Set(int64(parallelism))
+	batchStart := time.Now()
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= spans {
+			return 0, false
+		}
+		s := next
+		next++
+		return s, true
+	}
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch W
+			haveScratch := false
+			for {
+				s, ok := take()
+				if !ok {
+					return
+				}
+				if !haveScratch {
+					scratch = newScratch()
+					haveScratch = true
+				}
+				t0 := s * block
+				t1 := t0 + block
+				if t1 > trials {
+					t1 = trials
+				}
+				elapsed, err := InstrumentedBlock(t1-t0, func() error { return fn(t0, t1, scratch) })
+				mu.Lock()
+				busyNanos += elapsed.Nanoseconds()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("sim: trials [%d,%d): %w", t0, t1, err)
+				}
+				abort := firstErr != nil
+				mu.Unlock()
+				if abort {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wall := time.Since(batchStart).Nanoseconds(); wall > 0 {
+		util := 1000 * busyNanos / (wall * int64(parallelism))
+		Metrics.Gauge("sim_worker_utilization_permille").Set(util)
+	}
+	return firstErr
+}
+
 // Trials runs fn for trial = 0..trials-1 in parallel and returns the
 // results indexed by trial. Parallelism 0 means GOMAXPROCS. The first
 // error aborts outstanding work and is returned. A panic inside fn is
