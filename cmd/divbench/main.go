@@ -24,6 +24,11 @@
 //	                         # as JSON (per-step ns, allocs, trials/sec per
 //	                         # engine×process×graph-family; -full for the
 //	                         # tracked sizes)
+//	divbench -bench-json BENCH_engine.json -widths 1,2,4,0
+//	                         # additionally measure the multicore scaling
+//	                         # section: quick suite once per pool width
+//	                         # (0 = all CPUs, GOMAXPROCS set to match) plus
+//	                         # the CSR blocked-kernel block-size sweep
 //
 // The exit status is nonzero if any check fails or any table/CSV
 // write errors; failures are repeated in a consolidated FAILED block
@@ -37,6 +42,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,18 +69,28 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
 		benchJSON = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
+		widthsCSV = flag.String("widths", "", "with -bench-json: also measure the suite scaling curve at these pool widths (comma-separated; 0 = all online CPUs) plus the CSR blocked-kernel block sweep, recorded in the report's 'scaling' section")
 	)
 	flag.Parse()
 	if _, err := core.ParseEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "divbench:", err)
 		os.Exit(2)
 	}
+	widths, err := parseWidths(*widthsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divbench:", err)
+		os.Exit(2)
+	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
+		if err := runBenchJSON(*benchJSON, widths, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if len(widths) > 0 {
+		fmt.Fprintln(os.Stderr, "divbench: -widths requires -bench-json (the scaling curve is part of the JSON report)")
+		os.Exit(2)
 	}
 
 	defs, err := selectExperiments(*expList)
@@ -234,13 +250,21 @@ func main() {
 	}
 }
 
-// runBenchJSON runs the engine perf matrix and writes BENCH_engine.json,
-// echoing the headline E2 numbers to stdout.
-func runBenchJSON(path string, params exp.Params) error {
+// runBenchJSON runs the engine perf matrix (plus, when widths are
+// given, the multicore scaling section) and writes BENCH_engine.json,
+// echoing the headline numbers to stdout.
+func runBenchJSON(path string, widths []int, params exp.Params) error {
 	start := time.Now()
 	rep, err := exp.BenchEngine(params)
 	if err != nil {
 		return err
+	}
+	if len(widths) > 0 {
+		scaling, err := exp.BenchScalingRun(params, widths)
+		if err != nil {
+			return err
+		}
+		rep.Scaling = scaling
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -262,7 +286,34 @@ func runBenchJSON(path string, params exp.Params) error {
 	if rep.E2.SpeedupVsBaseline > 0 {
 		fmt.Printf("bench: E2 speedup vs pre-blocked-kernel baseline: %.2fx\n", rep.E2.SpeedupVsBaseline)
 	}
+	if rep.Scaling != nil {
+		fmt.Printf("bench: scaling: %d CPU(s) online\n", rep.Scaling.CPUsOnline)
+		for _, pt := range rep.Scaling.Widths {
+			fmt.Printf("bench: scaling width %d: %.2fs (%.2fx vs width 1), util %.1f%%, %d tasks, %d steals, %d parks\n",
+				pt.Width, pt.Seconds, pt.SpeedupVsWidth1, 100*pt.PoolUtilization, pt.Tasks, pt.Steals, pt.Parks)
+		}
+		for _, win := range rep.Scaling.BlockedWins {
+			fmt.Printf("bench: scaling: blocked kernel beats B=1 on %s\n", win)
+		}
+	}
 	return nil
+}
+
+// parseWidths parses the -widths flag: a comma-separated list of pool
+// widths, where 0 means all online CPUs.
+func parseWidths(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -widths entry %q (want a non-negative integer)", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 func selectExperiments(list string) ([]exp.Def, error) {

@@ -149,19 +149,15 @@ func RunBlock(cfg BlockConfig, t0, t1 int, out []Result) error {
 		next++
 	}
 	for len(rows) > 0 {
+		// Resolve phase: retire rows that want the sequential engine,
+		// finalize finished trials, and admit replacements, repeating on
+		// each slot until it stabilizes (an admitted trial may be born
+		// done, or want the fast engine immediately under EngineFast).
 		for i := 0; i < len(rows); {
 			row := rows[i]
 			if row.wantFast && !row.done {
 				if err := b.handoff(row); err != nil {
 					return err
-				}
-			}
-			if !row.done {
-				b.advanceChunk(row)
-				if row.wantFast && !row.done {
-					if err := b.handoff(row); err != nil {
-						return err
-					}
 				}
 			}
 			if !row.done {
@@ -174,10 +170,22 @@ func RunBlock(cfg BlockConfig, t0, t1 int, out []Result) error {
 					return err
 				}
 				next++
-				i++
-			} else {
-				rows[i] = rows[len(rows)-1]
-				rows = rows[:len(rows)-1]
+				continue // reprocess slot i with its new trial
+			}
+			rows[i] = rows[len(rows)-1]
+			rows = rows[:len(rows)-1]
+		}
+		if len(rows) == 0 {
+			break
+		}
+		// Advance phase: one chunk for every runnable row. CSR DIV rows
+		// step lane-interleaved (laneChunk) so independent cache misses
+		// overlap across trials; other kinds advance row by row.
+		if b.lane {
+			b.laneChunk(rows)
+		} else {
+			for _, row := range rows {
+				b.advanceChunk(row)
 			}
 		}
 	}
@@ -215,10 +223,32 @@ type blockRow struct {
 	cooldown, nextCooldown    int64
 
 	// Unused upper half of the last stream word drawn by the 32-bit
-	// K_n kernel (chunkCompleteSmall). Row-local so the word↔draw
-	// alignment follows the trial, not the chunk schedule.
+	// kernels (chunkCompleteSmall and the CSR lane loops). Row-local so
+	// the word↔draw alignment follows the trial, not the chunk schedule.
 	spare     uint32
 	haveSpare bool
+
+	// One-step lookahead slot of the CSR lane loops: step t+1's
+	// endpoints (and the tail's degree), pre-drawn — in stream order —
+	// while step t retires, so the CSR and opinion loads they imply
+	// start a full lane rotation before the pair is consumed (see
+	// laneLoopVertex). Row-local like the spare, so the draw↔step
+	// alignment is a pure function of the trial's own history.
+	nextV, nextW int32
+	nextDeg      int64
+	haveNext     bool
+
+	// Lane-loop accounting (CSR kernels): the chunk budget left for
+	// this lane, steps accepted but not yet added to the State, the
+	// deferred sum/degree-sum deltas, and the chunk's draw/active
+	// tallies. All row-local, so interleaving lanes cannot couple
+	// trials.
+	laneRemaining int64
+	lanePending   int64
+	laneSum       int64
+	laneDegSum    int64
+	laneDrawn     int64
+	laneActive    int64
 
 	done     bool
 	wantFast bool // retire to the sequential fast/hybrid loop
@@ -234,6 +264,7 @@ type blockArena struct {
 	slab    []int32
 	rows    []*blockRow
 	initBuf []int
+	lanes   []*blockRow   // scratch live-lane list for laneChunk
 	fast    [2]*FastState // indexed by Process; rebound per hand-off
 }
 
@@ -286,11 +317,11 @@ func (a *blockArena) fastFor(row *blockRow, proc Process) (*FastState, error) {
 // blockRun is the resolved, validated configuration plus the
 // kernel-selection constants hoisted out of the stepping loops.
 type blockRun struct {
-	g     *graph.Graph
-	proc  Process
-	rule  Rule
-	pw    PairwiseRule // nil when the rule is not pairwise
-	isDIV bool
+	g      *graph.Graph
+	proc   Process
+	rule   Rule
+	pw     PairwiseRule // nil when the rule is not pairwise
+	isDIV  bool
 	engine Engine
 	stop   StopCondition
 
@@ -309,6 +340,21 @@ type blockRun struct {
 	m     uint64 // n(n-1), complete kernel modulus
 	d     uint64 // n-1
 	magic uint64 // ⌈2^40/d⌉ for the divide-free decomposition; 0 ⇒ q/d
+
+	// CSR lane-kernel constants: lane is true when the vertex/edge DIV
+	// kernels can run the inline 32-bit lane loops (n and arc count fit
+	// a half word — always, in practice, since vertices are int32); off
+	// and adj alias the graph's CSR arrays, tails the ArcIndex tails.
+	lane  bool
+	off   []int64
+	adj   []int32
+	tails []int32
+	// laneSink absorbs the lane loops' lookahead touches of op[nextV]
+	// and op[nextW]: accumulating the loaded values into a heap field
+	// keeps the compiler from discarding the loads, which are the
+	// software prefetch that hides the next step's opinion misses
+	// behind the other lanes' work. Never read.
+	laneSink int64
 
 	// Hybrid hand-off thresholds (see hybrid.go's cost model) and the
 	// batch-wide kill switch set when FastState construction fails.
@@ -395,6 +441,14 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 	default:
 		b.kind = kindEdge
 	}
+	if b.kind == kindVertex || b.kind == kindEdge {
+		b.off = g.Offsets()
+		b.adj = g.Arcs()
+		b.lane = b.un <= 1<<32-1 && (b.kind == kindVertex || b.arcs <= 1<<32-1)
+		if b.kind == kindEdge {
+			b.tails = g.ArcTails()
+		}
+	}
 	return b, nil
 }
 
@@ -439,6 +493,10 @@ func (b *blockRun) initRow(row *blockRow, trial int) error {
 	row.windowDraws, row.windowActive = 0, 0
 	row.cooldown, row.nextCooldown = 0, 1
 	row.spare, row.haveSpare = 0, false
+	row.nextV, row.nextW, row.nextDeg, row.haveNext = 0, 0, 0, false
+	row.laneRemaining, row.lanePending = 0, 0
+	row.laneSum, row.laneDegSum = 0, 0
+	row.laneDrawn, row.laneActive = 0, 0
 	row.done, row.wantFast = false, false
 	b.recordMilestones(row)
 	switch {
@@ -511,22 +569,30 @@ func (b *blockRun) flushRow(row *blockRow) {
 }
 
 // advanceChunk runs one chunk (hybridWindow draws, clipped at MaxSteps)
-// of row's trial through the specialized kernel, then handles the
-// chunk-granular bookkeeping: MaxSteps termination, probe batch
-// flushing on the ObserveEvery cadence, and the hybrid hand-off
-// trigger. All decisions depend only on the row's own draws and state,
-// which is what keeps results independent of block composition.
+// of row's trial through the specialized per-row kernel, then the
+// chunk-granular bookkeeping. The CSR DIV kinds normally go through
+// laneChunk instead; they land here only above the 32-bit gates, where
+// the full-word fallbacks apply.
 func (b *blockRun) advanceChunk(row *blockRow) {
 	switch b.kind {
 	case kindComplete:
 		b.chunkComplete(row)
 	case kindVertex:
-		b.chunkVertex(row)
+		b.chunkVertexBig(row)
 	case kindEdge:
-		b.chunkEdge(row)
+		b.chunkEdgeBig(row)
 	default:
 		b.chunkGeneric(row)
 	}
+	b.afterChunk(row)
+}
+
+// afterChunk is the chunk-granular bookkeeping shared by the per-row
+// and lane-interleaved paths: MaxSteps termination, probe batch
+// flushing on the ObserveEvery cadence, and the hybrid hand-off
+// trigger. All decisions depend only on the row's own draws and state,
+// which is what keeps results independent of block composition.
+func (b *blockRun) afterChunk(row *blockRow) {
 	s := row.s
 	if !row.done && s.Steps() >= b.maxSteps {
 		row.done = true
@@ -745,10 +811,13 @@ func (b *blockRun) chunkCompleteBig(row *blockRow) {
 	row.windowDraws += limit
 }
 
-// chunkVertex is the CSR DIV kernel for the vertex process on general
-// graphs: v uniform over vertices, then a uniform neighbour via the
-// graph's CSR arrays. Two bounded draws per step.
-func (b *blockRun) chunkVertex(row *blockRow) {
+// chunkVertexBig is the fallback CSR DIV kernel for the vertex process
+// when the 32-bit lane gate fails: v uniform over vertices, then a
+// uniform neighbour via the graph's CSR arrays, full-word draws and
+// the general SetOpinion path. In practice unreachable (vertex ids are
+// int32), kept as the reference implementation of the lane loop's
+// semantics.
+func (b *blockRun) chunkVertexBig(row *blockRow) {
 	s := row.s
 	st := &row.stream
 	g := b.g
@@ -802,10 +871,11 @@ func (b *blockRun) chunkVertex(row *blockRow) {
 	row.windowDraws += limit
 }
 
-// chunkEdge is the DIV kernel for the edge process on general graphs:
-// one bounded draw over directed arcs, endpoints from the shared
-// tails/heads arrays.
-func (b *blockRun) chunkEdge(row *blockRow) {
+// chunkEdgeBig is the fallback DIV kernel for the edge process when
+// the arc count exceeds the 32-bit lane gate (degree sum ≥ 2^32): one
+// full-word bounded draw over directed arcs, endpoints from the shared
+// tails/heads arrays, general SetOpinion path.
+func (b *blockRun) chunkEdgeBig(row *blockRow) {
 	s := row.s
 	st := &row.stream
 	tails, heads := b.g.ArcTails(), b.g.Arcs()
@@ -850,6 +920,332 @@ func (b *blockRun) chunkEdge(row *blockRow) {
 	}
 	s.addSteps(pending)
 	row.windowDraws += limit
+}
+
+// laneChunk advances every runnable row by one chunk with the rows
+// interleaved step by step — the CSR analogue of advanceChunk. Each
+// row ("lane") gets the same budget it would get alone (hybridWindow
+// accepted draws, clipped at MaxSteps) and draws only from its own
+// stream, so the interleave order is unobservable in the results: a
+// trial's trajectory is identical whether it runs with 0 or 7
+// neighbours. What interleaving buys is memory-level parallelism — on
+// graphs whose opinion rows outgrow the close caches, the random
+// op[v] access of one lane misses while the other lanes' independent
+// work keeps the core busy, instead of every miss serializing behind
+// the previous step's data-dependent branch.
+func (b *blockRun) laneChunk(rows []*blockRow) {
+	live := b.arena.lanes[:0]
+	for _, row := range rows {
+		limit := hybridWindow
+		if rem := b.maxSteps - row.s.Steps(); rem < limit {
+			limit = rem
+		}
+		row.laneRemaining = limit
+		row.lanePending, row.laneSum, row.laneDegSum = 0, 0, 0
+		row.laneDrawn, row.laneActive = 0, 0
+		if limit > 0 {
+			live = append(live, row)
+		}
+	}
+	if b.kind == kindVertex {
+		live = b.laneLoopVertex(live)
+	} else {
+		live = b.laneLoopEdge(live)
+	}
+	b.arena.lanes = live[:0]
+	for _, row := range rows {
+		b.afterChunk(row)
+	}
+}
+
+// laneCommit applies the row's deferred step count and sum deltas to
+// its State. Idempotent between accumulations.
+func (b *blockRun) laneCommit(row *blockRow) {
+	s := row.s
+	if row.lanePending != 0 {
+		s.addSteps(row.lanePending)
+		row.lanePending = 0
+	}
+	if row.laneSum != 0 || row.laneDegSum != 0 {
+		s.sum += row.laneSum
+		s.degSum += row.laneDegSum
+		row.laneSum, row.laneDegSum = 0, 0
+	}
+}
+
+// laneRetire folds the row's chunk tallies into the hybrid-trigger
+// window when the lane leaves the live set (budget exhausted or done).
+func (b *blockRun) laneRetire(row *blockRow) {
+	b.laneCommit(row)
+	row.windowDraws += row.laneDrawn
+	row.windowActive += row.laneActive
+	row.laneDrawn, row.laneActive = 0, 0
+}
+
+// syncCSRSupport recomputes support size and the extreme pointers from
+// the counts histogram after the lane loops detect a cell crossing
+// zero. Unlike the K_n sync, only the support aggregates need
+// restoring: the lane loops maintain counts and degMass inline and
+// commit the sum deltas before calling here. Values outside the old
+// [minIdx, maxIdx] window are impossible (DIV moves opinions strictly
+// inward), so the rescan is bounded by the current range.
+func syncCSRSupport(s *State) {
+	support := 0
+	minIdx, maxIdx := -1, 0
+	for i := s.minIdx; i <= s.maxIdx; i++ {
+		if s.counts[i] > 0 {
+			support++
+			if minIdx < 0 {
+				minIdx = i
+			}
+			maxIdx = i
+		}
+	}
+	s.support = support
+	s.minIdx, s.maxIdx = minIdx, maxIdx
+}
+
+// drawLaneVertex draws the next vertex-process pair from row's own
+// stream — v by half-word Lemire over the fixed bound n, then a
+// neighbour index over [0, deg(v)), whose varying bound gets its exact
+// rejection threshold computed only in the ambiguous band — and
+// stashes (v, w, deg(v)) in the row's lookahead slot. Called one lane
+// visit before the pair is consumed, so the CSR offset and adjacency
+// loads it performs (plus the caller's touch of both opinion cells)
+// are the software prefetch of the NEXT step: by consumption time the
+// loads have had a full lane rotation to complete behind the other
+// lanes' work.
+func (b *blockRun) drawLaneVertex(row *blockRow) {
+	st := &row.stream
+	n32 := uint32(b.un)
+	threshN := -n32 % n32 // (2^32 - n) mod n
+	var v uint32
+	for {
+		var x uint32
+		if row.haveSpare {
+			x, row.haveSpare = row.spare, false
+		} else {
+			word := st.Uint64()
+			x, row.spare, row.haveSpare = uint32(word), uint32(word>>32), true
+		}
+		prod := uint64(x) * uint64(n32)
+		if uint32(prod) >= threshN {
+			v = uint32(prod >> 32)
+			break
+		}
+	}
+	o := b.off[v]
+	d32 := uint32(b.off[v+1] - o)
+	var ni uint32
+	for {
+		var x uint32
+		if row.haveSpare {
+			x, row.haveSpare = row.spare, false
+		} else {
+			word := st.Uint64()
+			x, row.spare, row.haveSpare = uint32(word), uint32(word>>32), true
+		}
+		prod := uint64(x) * uint64(d32)
+		lo := uint32(prod)
+		if lo >= d32 || lo >= -d32%d32 {
+			ni = uint32(prod >> 32)
+			break
+		}
+	}
+	row.nextV = int32(v)
+	row.nextW = b.adj[o+int64(ni)]
+	row.nextDeg = int64(d32)
+}
+
+// drawLaneEdge is drawLaneVertex's edge-process counterpart: one
+// half-word Lemire draw over the fixed arc count selects a directed
+// arc, endpoints come from the shared tails/heads arrays, and the
+// tail's degree (needed by the degree-mass update) is read from the
+// CSR offsets at pre-draw time, which doubles as its prefetch.
+func (b *blockRun) drawLaneEdge(row *blockRow) {
+	st := &row.stream
+	a32 := uint32(b.arcs)
+	threshA := -a32 % a32 // (2^32 - arcs) mod arcs
+	var ai uint32
+	for {
+		var x uint32
+		if row.haveSpare {
+			x, row.haveSpare = row.spare, false
+		} else {
+			word := st.Uint64()
+			x, row.spare, row.haveSpare = uint32(word), uint32(word>>32), true
+		}
+		prod := uint64(x) * uint64(a32)
+		if uint32(prod) >= threshA {
+			ai = uint32(prod >> 32)
+			break
+		}
+	}
+	v := b.tails[ai]
+	row.nextV = v
+	row.nextW = b.adj[ai]
+	row.nextDeg = b.off[v+1] - b.off[v]
+}
+
+// laneLoopVertex is the interleaved CSR DIV kernel for the vertex
+// process, stepped with one-step lookahead: each visit consumes the
+// pair stashed by the PREVIOUS visit's drawLaneVertex, immediately
+// pre-draws the pair after it, and touches the pre-drawn opinion
+// cells, so every lane keeps its next random-access misses in flight
+// while the other lanes execute. The draws still leave the stream in
+// exactly the order the non-lookahead kernel consumed them — pair t is
+// the t-th pair drawn either way — so trajectories are unchanged, and
+// the stash lives in the row, so the alignment survives chunk and span
+// boundaries at any block size. The inlined DIV update maintains
+// opinions, counts, and degree masses directly, accumulates the sum
+// deltas in row-local registers, and routes counts-cell zero-crossings
+// to the cold commit/sync/milestone path, exactly the K_n small
+// kernel's structure generalized to CSR adjacency. Removing a finished
+// lane swaps from the end; service order among lanes is unobservable
+// (streams are per-trial), so no rotation bookkeeping is needed beyond
+// the round-robin index.
+func (b *blockRun) laneLoopVertex(live []*blockRow) []*blockRow {
+	var touch int32
+	for li := 0; len(live) > 0; {
+		if li >= len(live) {
+			li = 0
+		}
+		row := live[li]
+		s := row.s
+		op := s.opinions
+		if !row.haveNext {
+			// Trial's first lane visit: fill the lookahead slot so the
+			// steady state below always consumes a pair drawn one full
+			// lane rotation earlier.
+			b.drawLaneVertex(row)
+			row.haveNext = true
+		}
+		v, w, dv := row.nextV, row.nextW, row.nextDeg
+		b.drawLaneVertex(row)
+		touch += op[row.nextV] ^ op[row.nextW]
+		row.laneDrawn++
+		row.lanePending++
+		xv := op[v]
+		xw := op[w]
+		if xv != xw {
+			row.laneActive++
+			if row.probe != nil {
+				row.batch.Active++
+			}
+			var nw int32
+			var ds int64
+			if xv < xw {
+				nw, ds = xv+1, 1
+			} else {
+				nw, ds = xv-1, -1
+			}
+			op[v] = nw
+			i := nw - s.base
+			j := xv - s.base
+			s.counts[i]++
+			s.counts[j]--
+			s.degMass[i] += dv
+			s.degMass[j] -= dv
+			row.laneSum += ds
+			row.laneDegSum += ds * dv
+			if s.counts[i] == 1 || s.counts[j] == 0 {
+				b.laneCommit(row)
+				syncCSRSupport(s)
+				s.supVer++
+				if b.afterSupport(row) {
+					b.laneRetire(row)
+					live[li] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+			}
+		} else if row.probe != nil {
+			row.batch.Idle++
+		}
+		row.laneRemaining--
+		if row.laneRemaining == 0 {
+			b.laneRetire(row)
+			live[li] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		li++
+	}
+	b.laneSink += int64(touch)
+	return live
+}
+
+// laneLoopEdge is the interleaved CSR DIV kernel for the edge process,
+// with the same one-step lookahead as laneLoopVertex: consume the
+// stashed arc, pre-draw the next one (drawLaneEdge), touch its
+// endpoints. The update path is laneLoopVertex's, with the tail degree
+// carried in the stash.
+func (b *blockRun) laneLoopEdge(live []*blockRow) []*blockRow {
+	var touch int32
+	for li := 0; len(live) > 0; {
+		if li >= len(live) {
+			li = 0
+		}
+		row := live[li]
+		s := row.s
+		op := s.opinions
+		if !row.haveNext {
+			b.drawLaneEdge(row)
+			row.haveNext = true
+		}
+		v, w, dv := row.nextV, row.nextW, row.nextDeg
+		b.drawLaneEdge(row)
+		touch += op[row.nextV] ^ op[row.nextW]
+		row.laneDrawn++
+		row.lanePending++
+		xv := op[v]
+		xw := op[w]
+		if xv != xw {
+			row.laneActive++
+			if row.probe != nil {
+				row.batch.Active++
+			}
+			var nw int32
+			var ds int64
+			if xv < xw {
+				nw, ds = xv+1, 1
+			} else {
+				nw, ds = xv-1, -1
+			}
+			op[v] = nw
+			i := nw - s.base
+			j := xv - s.base
+			s.counts[i]++
+			s.counts[j]--
+			s.degMass[i] += dv
+			s.degMass[j] -= dv
+			row.laneSum += ds
+			row.laneDegSum += ds * dv
+			if s.counts[i] == 1 || s.counts[j] == 0 {
+				b.laneCommit(row)
+				syncCSRSupport(s)
+				s.supVer++
+				if b.afterSupport(row) {
+					b.laneRetire(row)
+					live[li] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+			}
+		} else if row.probe != nil {
+			row.batch.Idle++
+		}
+		row.laneRemaining--
+		if row.laneRemaining == 0 {
+			b.laneRetire(row)
+			live[li] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		li++
+	}
+	b.laneSink += int64(touch)
+	return live
 }
 
 // chunkGeneric is the fallback for non-DIV rules: scheduler and rule

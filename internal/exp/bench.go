@@ -117,7 +117,10 @@ type BenchReport struct {
 	Baseline BenchBaseline `json:"baseline_pre_pipeline"`
 	E2       BenchE2       `json:"e2_point"`
 	Suite    BenchSuite    `json:"suite"`
-	Rows     []BenchRow    `json:"rows"`
+	// Scaling is the multicore section (scaling.go), present when the
+	// run requested a width sweep (`divbench -widths`).
+	Scaling *BenchScaling `json:"scaling,omitempty"`
+	Rows    []BenchRow    `json:"rows"`
 }
 
 // benchFamily is one graph under test.

@@ -28,6 +28,25 @@ func sampleBenchReport() *BenchReport {
 			SerialSeconds: 2.0, ScheduledSeconds: 1.5, Speedup: 4.0 / 3.0,
 			PoolUtilization: 0.9, CacheHits: 3, CacheMisses: 5,
 		},
+		Scaling: &BenchScaling{
+			CPUsOnline: 1,
+			Widths: []BenchWidthPoint{
+				{Width: 1, GOMAXPROCS: 1, Seconds: 2.0, SpeedupVsWidth1: 1.0,
+					PoolUtilization: 0.95, Tasks: 100, Steals: 2, Injects: 40, Parks: 7,
+					CacheHits: 3, CacheMisses: 5},
+				{Width: 2, GOMAXPROCS: 2, Seconds: 1.9, SpeedupVsWidth1: 2.0 / 1.9,
+					PoolUtilization: 0.5, Tasks: 100, Steals: 9, Injects: 40, Parks: 15,
+					CacheHits: 8, CacheMisses: 0},
+			},
+			Blocked: []BenchBlockRow{
+				{Graph: "rr(n=32768,d=8)", Process: "vertex", Block: 1, Trials: 6, Steps: 786432,
+					Seconds: 0.02, NsPerStep: 25, TrialsPerSec: 300, SpeedupVsBlock1: 1.0},
+				{Graph: "rr(n=32768,d=8)", Process: "vertex", Block: 8, Trials: 6, Steps: 786432,
+					Seconds: 0.015, NsPerStep: 19, TrialsPerSec: 400, SpeedupVsBlock1: 4.0 / 3.0},
+			},
+			BlockedWins: []string{"rr(n=32768,d=8)/vertex"},
+			Note:        "test",
+		},
 		Rows: []BenchRow{
 			{Graph: "complete(n=256)", Process: "vertex", Engine: "fast", Trials: 6, Steps: 1000,
 				NsPerStepReused: 40, TrialsPerSecFresh: 90, TrialsPerSecReused: 110,
@@ -49,7 +68,7 @@ func TestBenchReportJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"quick", "note", "baseline_pre_pipeline", "e2_point", "suite", "rows"} {
+	for _, key := range []string{"quick", "note", "baseline_pre_pipeline", "e2_point", "suite", "scaling", "rows"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("top-level key %q missing", key)
 		}
@@ -72,6 +91,34 @@ func TestBenchReportJSONSchema(t *testing.T) {
 			t.Errorf("suite key %q missing", key)
 		}
 	}
+	scaling, ok := doc["scaling"].(map[string]any)
+	if !ok {
+		t.Fatalf("scaling is %T, want object", doc["scaling"])
+	}
+	for _, key := range []string{"cpus_online", "widths", "blocked", "blocked_wins", "note"} {
+		if _, ok := scaling[key]; !ok {
+			t.Errorf("scaling key %q missing", key)
+		}
+	}
+	widths, ok := scaling["widths"].([]any)
+	if !ok || len(widths) == 0 {
+		t.Fatalf("scaling.widths = %#v, want non-empty array", scaling["widths"])
+	}
+	for _, key := range []string{"width", "gomaxprocs", "seconds", "speedup_vs_width1", "pool_utilization", "sched_tasks", "sched_steals", "sched_injects", "sched_parks", "graph_cache_hits", "graph_cache_misses"} {
+		if _, ok := widths[0].(map[string]any)[key]; !ok {
+			t.Errorf("scaling.widths key %q missing", key)
+		}
+	}
+	blockedRows, ok := scaling["blocked"].([]any)
+	if !ok || len(blockedRows) == 0 {
+		t.Fatalf("scaling.blocked = %#v, want non-empty array", scaling["blocked"])
+	}
+	for _, key := range []string{"graph", "process", "block", "trials", "steps", "seconds", "ns_per_step", "trials_per_sec", "speedup_vs_block1"} {
+		if _, ok := blockedRows[0].(map[string]any)[key]; !ok {
+			t.Errorf("scaling.blocked key %q missing", key)
+		}
+	}
+
 	rows, ok := doc["rows"].([]any)
 	if !ok || len(rows) != 1 {
 		t.Fatalf("rows = %#v, want 1-element array", doc["rows"])
@@ -124,6 +171,9 @@ func TestBenchReportJSONRoundTrip(t *testing.T) {
 	}
 	if out.Suite.PoolWidth != in.Suite.PoolWidth || out.Suite.Speedup != in.Suite.Speedup {
 		t.Errorf("round trip changed Suite: %+v", out.Suite)
+	}
+	if !reflect.DeepEqual(out.Scaling, in.Scaling) {
+		t.Errorf("round trip changed Scaling: %+v vs %+v", out.Scaling, in.Scaling)
 	}
 
 	bad := sampleBenchReport()

@@ -100,6 +100,41 @@ func TestSuiteDeterministicAcrossBlockSizes(t *testing.T) {
 	}
 }
 
+// TestSuiteByteIdentityWidthBlockMatrix extends the two gates above to
+// the full width × block grid: pool widths {1, 2, 4} crossed with
+// block sizes {1, 8} must all reproduce the serial block=8 reference
+// byte for byte, so suite reports are proven identical at any
+// parallelism, not just width 1. The (width 1, block 1) corner is
+// already pinned by TestSuiteDeterministicAcrossBlockSizes and is
+// skipped here. Under -short the matrix shrinks to width 2 at both
+// block sizes — the CI race matrix runs that trimmed form at
+// GOMAXPROCS 2 and 4, which varies the real scheduling interleave
+// underneath the same two-pass comparison.
+func TestSuiteByteIdentityWidthBlockMatrix(t *testing.T) {
+	base := Params{Quick: true, Seed: 7}
+
+	ref := base
+	ref.Serial = true
+	ref.Block = 8
+	want := suiteText(t, ref)
+
+	type cell struct{ width, block int }
+	cells := []cell{{1, 8}, {2, 1}, {2, 8}, {4, 1}, {4, 8}}
+	if testing.Short() {
+		cells = []cell{{2, 1}, {2, 8}}
+	}
+	for _, c := range cells {
+		p := base
+		p.Parallelism = c.width
+		p.Block = c.block
+		got := suiteText(t, p)
+		if got != want {
+			t.Errorf("width=%d block=%d report differs from serial block=8 reference:\n%s",
+				c.width, c.block, firstDiff(want, got))
+		}
+	}
+}
+
 // firstDiff locates the first differing line, for a readable failure.
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")

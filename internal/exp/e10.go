@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 
 	"div/internal/core"
@@ -73,37 +74,40 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 	meanWinner[1] = map[string]float64{}
 	scens := []scen{{gB, initBA, "BA"}, {gS, initStar, "star"}}
 	procs := []core.Process{core.EdgeProcess, core.VertexProcess}
-	// Flattened grid: (scenario, process) pairs as sweep points.
-	var points []Point
-	for si := range scens {
-		for pi := range procs {
-			points = append(points, Point{
+	// One blocked sweep per process (a blocked sweep fixes Process for
+	// all its points); the two futures overlap on the scheduler, and the
+	// BA/star points run the generic CSR lane kernels — exactly the
+	// irregular-graph regime where SoA memory-level parallelism pays.
+	var futs [2]*SweepFuture[float64]
+	for pi, proc := range procs {
+		points := make([]Point, len(scens))
+		for si := range scens {
+			points[si] = Point{
 				G:      scens[si].g,
 				Seed:   rng.DeriveSeed(p.Seed, uint64(0xa00+10*si+pi)),
 				Trials: trials,
-			})
+			}
 		}
-	}
-	results, err := Sweep(p, "E10", points, func(fi, trial int, seed uint64, _ *core.Scratch) (float64, error) {
-		sc, proc := scens[fi/len(procs)], procs[fi%len(procs)]
-		res, err := core.Run(core.Config{
-			Engine:  p.coreEngine(),
-			Probe:   p.probeFor(trial, seed),
-			Graph:   sc.g,
-			Initial: sc.init,
+		futs[pi] = StartSweepBlocked(p, "E10", points, BlockTrial{
 			Process: proc,
-			Seed:    seed,
+			Init: func(si, _ int, dst []int, _ *rand.Rand) error {
+				copy(dst, scens[si].init)
+				return nil
+			},
+		}, func(_, _ int, res core.Result) (float64, error) {
+			if !res.Consensus {
+				return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
+			}
+			return float64(res.Winner), nil
 		})
+	}
+	var results [2][][]float64 // results[process][scenario][trial]
+	for pi := range futs {
+		r, err := futs[pi].Wait()
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		if !res.Consensus {
-			return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
-		}
-		return float64(res.Winner), nil
-	})
-	if err != nil {
-		return nil, err
+		results[pi] = r
 	}
 	for si, sc := range scens {
 		st := core.MustState(sc.g, sc.init)
@@ -112,7 +116,7 @@ func E10EdgeVsVertex(p Params) (*Report, error) {
 			core.VertexProcess: st.WeightedAverage(),
 		}
 		for pi, proc := range procs {
-			winners := results[si*len(procs)+pi]
+			winners := results[pi][si]
 			s := stats.Summarize(winners)
 			h := stats.NewIntHistogram()
 			for _, w := range winners {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"div/internal/core"
 	"div/internal/graph"
@@ -48,30 +49,27 @@ func E9PathCounterexample(p Params) (*Report, error) {
 	gs := newGraphs()
 	defer gs.Release()
 
+	// Both graphs run on the blocked multi-trial kernel: the path point
+	// exercises the generic CSR lane loops (the K_n point the complete
+	// kernel), so E9's slow Θ(n³) trials get SoA memory-level
+	// parallelism instead of one cache miss at a time.
 	run := func(g *graph.Graph, shuffle bool, stream uint64) (*SweepFuture[int], float64) {
 		n := g.N()
 		base := blocks(n)
 		c := core.MustState(g, base).Average()
-		fut := StartSweep(p, "E9", []Point{{G: g, Seed: rng.DeriveSeed(p.Seed, stream), Trials: trials}},
-			func(_, trial int, seed uint64, sc *core.Scratch) (int, error) {
-				r := sc.Rand(seed)
-				init := append([]int(nil), base...)
-				if shuffle {
-					rng.Shuffle(r, init)
-				}
-				res, err := core.Run(core.Config{
-					Engine:   p.coreEngine(),
-					Probe:    p.probeFor(trial, seed),
-					Graph:    g,
-					Initial:  init,
-					Process:  core.VertexProcess,
-					MaxSteps: 400 * int64(n) * int64(n) * int64(n), // path consensus is Θ(n³)-ish
-					Seed:     rng.SplitMix64(seed),
-					Scratch:  sc,
-				})
-				if err != nil {
-					return 0, err
-				}
+		fut := StartSweepBlocked(p, "E9", []Point{{G: g, Seed: rng.DeriveSeed(p.Seed, stream), Trials: trials}},
+			BlockTrial{
+				Process:  core.VertexProcess,
+				MaxSteps: 400 * int64(n) * int64(n) * int64(n), // path consensus is Θ(n³)-ish
+				Init: func(_, _ int, dst []int, r *rand.Rand) error {
+					copy(dst, base)
+					if shuffle {
+						rng.Shuffle(r, dst)
+					}
+					return nil
+				},
+			},
+			func(_, _ int, res core.Result) (int, error) {
 				if !res.Consensus {
 					return 0, fmt.Errorf("no consensus after %d steps", res.Steps)
 				}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"div/internal/obs"
 )
@@ -68,6 +69,9 @@ type entry struct {
 }
 
 // Cache is a ref-counted byte-bounded LRU of built graph artifacts.
+// The hit/miss/eviction tallies are atomics updated outside the lock,
+// so Stats readers and the per-Get bookkeeping never extend the
+// critical section that guards the entry map.
 type Cache struct {
 	mu       sync.Mutex
 	entries  map[Key]*entry
@@ -75,7 +79,7 @@ type Cache struct {
 	bytes    int64      // Σ bytes of resident entries
 	capacity int64
 
-	hits, misses, evictions int64
+	hits, misses, evictions atomic.Int64
 }
 
 // NewCache returns a cache bounded to roughly capBytes of graph +
@@ -147,8 +151,8 @@ func (c *Cache) Get(key Key, build func() (*Graph, error)) (*Handle, error) {
 			c.lru.Remove(e.elem)
 			e.elem = nil
 		}
-		c.hits++
 		c.mu.Unlock()
+		c.hits.Add(1)
 		cacheHits.Inc()
 		<-e.ready
 		if e.err != nil {
@@ -160,8 +164,8 @@ func (c *Cache) Get(key Key, build func() (*Graph, error)) (*Handle, error) {
 	}
 	e := &entry{key: key, refs: 1, ready: make(chan struct{})}
 	c.entries[key] = e
-	c.misses++
 	c.mu.Unlock()
+	c.misses.Add(1)
 	cacheMisses.Inc()
 
 	g, err := build()
@@ -177,9 +181,10 @@ func (c *Cache) Get(key Key, build func() (*Graph, error)) (*Handle, error) {
 	e.bytes = g.MemBytes()
 	c.bytes += e.bytes
 	c.evictLocked()
+	resident := c.bytes
 	close(e.ready)
 	c.mu.Unlock()
-	cacheBytes.Set(c.Bytes())
+	cacheBytes.Set(resident)
 	return &Handle{c: c, e: e}, nil
 }
 
@@ -192,8 +197,9 @@ func (c *Cache) release(e *entry) {
 		e.elem = c.lru.PushFront(e)
 		c.evictLocked()
 	}
+	resident := c.bytes
 	c.mu.Unlock()
-	cacheBytes.Set(c.Bytes())
+	cacheBytes.Set(resident)
 }
 
 // evictLocked drops least-recently-used unpinned entries until the
@@ -214,7 +220,7 @@ func (c *Cache) evictLocked() {
 		e.elem = nil
 		delete(c.entries, e.key)
 		c.bytes -= e.bytes
-		c.evictions++
+		c.evictions.Add(1)
 		cacheEvictions.Inc()
 	}
 }
@@ -229,8 +235,9 @@ func (c *Cache) Bytes() int64 {
 // Stats returns cumulative hit/miss/eviction counts and resident size.
 func (c *Cache) Stats() (hits, misses, evictions, bytes int64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.bytes
+	b := c.bytes
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), b
 }
 
 // Len returns the number of resident entries (pinned + unpinned).

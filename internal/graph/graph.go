@@ -114,6 +114,13 @@ func (g *Graph) Neighbor(v, i int) int {
 	return int(g.adj[g.offsets[v]+int64(i)])
 }
 
+// Offsets returns the CSR offset array: vertex v's neighbours occupy
+// Arcs()[Offsets()[v]:Offsets()[v+1]]. The returned slice aliases the
+// graph's internal storage and must not be modified. Hot kernels hoist
+// it (together with Arcs) into locals so per-step degree and neighbour
+// lookups compile to two indexed loads with no method calls.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
 // HasEdge reports whether {u,v} is an edge, via binary search.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v {

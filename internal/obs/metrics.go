@@ -11,19 +11,56 @@ import (
 	"sync/atomic"
 )
 
-// Counter is a monotonically increasing atomic int64.
+// counterShards is the number of independent cells a Counter spreads
+// updates over. Hot writers that know a stable small index (scheduler
+// workers use their worker ID) call AddShard/IncShard so concurrent
+// increments land on distinct cache lines instead of bouncing one line
+// between cores. A power of two keeps the shard mask a single AND.
+const counterShards = 8
+
+// counterCell pads one shard out to a cache line so neighbouring
+// shards never false-share.
+type counterCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter. Plain Add/Inc hit a
+// fixed cell and stay as cheap as a single atomic; writers with a
+// stable shard hint use AddShard/IncShard to spread contention. Value
+// sums the cells, so reads are O(counterShards) — fine for snapshots,
+// which is the only place counters are read.
 type Counter struct {
-	v atomic.Int64
+	cells [counterShards]counterCell
 }
 
 // Add increments the counter by d (d may be any nonnegative amount).
-func (c *Counter) Add(d int64) { c.v.Add(d) }
+func (c *Counter) Add(d int64) { c.cells[0].n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.cells[0].n.Add(1) }
+
+// AddShard increments the counter by d on the cell selected by shard
+// (reduced mod the shard count). Concurrent writers with distinct
+// shard hints do not contend.
+func (c *Counter) AddShard(shard int, d int64) {
+	c.cells[uint(shard)%counterShards].n.Add(d)
+}
+
+// IncShard increments the counter by one on the cell selected by
+// shard.
+func (c *Counter) IncShard(shard int) {
+	c.cells[uint(shard)%counterShards].n.Add(1)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+func (c *Counter) Value() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].n.Load()
+	}
+	return s
+}
 
 // Gauge is an atomic int64 that can move in both directions.
 type Gauge struct {
@@ -94,11 +131,48 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // Registry is a named collection of counters, gauges, and histograms.
 // Instruments are created on first use and live forever; Snapshot
 // renders them in deterministic (sorted-name) order.
+//
+// Lookups are lock-free after an instrument's first creation: the
+// registry keeps an immutable copy-on-write view that readers load
+// with a single atomic, so per-task instrument lookups on wide pools
+// never serialize on the registry mutex. The mutex guards only
+// creation (rare), Reset, and Snapshot.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	view atomic.Pointer[registryView]
+}
+
+// registryView is an immutable snapshot of the instrument maps.
+// Rebuilt (fully copied) under Registry.mu whenever an instrument is
+// created; readers must never mutate it.
+type registryView struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// rebuildViewLocked publishes a fresh immutable view of the maps.
+// Callers must hold r.mu.
+func (r *Registry) rebuildViewLocked() {
+	v := &registryView{
+		counters: make(map[string]*Counter, len(r.counters)),
+		gauges:   make(map[string]*Gauge, len(r.gauges)),
+		hists:    make(map[string]*Histogram, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		v.counters[k] = c
+	}
+	for k, g := range r.gauges {
+		v.gauges[k] = g
+	}
+	for k, h := range r.hists {
+		v.hists[k] = h
+	}
+	r.view.Store(v)
 }
 
 // NewRegistry returns an empty registry.
@@ -115,40 +189,58 @@ func NewRegistry() *Registry {
 var Default = NewRegistry()
 
 // Counter returns the counter with the given name, creating it on
-// first use.
+// first use. Hits on an existing name are lock-free.
 func (r *Registry) Counter(name string) *Counter {
+	if v := r.view.Load(); v != nil {
+		if c, ok := v.counters[name]; ok {
+			return c
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.rebuildViewLocked()
 	}
 	return c
 }
 
 // Gauge returns the gauge with the given name, creating it on first
-// use.
+// use. Hits on an existing name are lock-free.
 func (r *Registry) Gauge(name string) *Gauge {
+	if v := r.view.Load(); v != nil {
+		if g, ok := v.gauges[name]; ok {
+			return g
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.rebuildViewLocked()
 	}
 	return g
 }
 
 // Histogram returns the histogram with the given name, creating it on
-// first use.
+// first use. Hits on an existing name are lock-free.
 func (r *Registry) Histogram(name string) *Histogram {
+	if v := r.view.Load(); v != nil {
+		if h, ok := v.hists[name]; ok {
+			return h
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
+		r.rebuildViewLocked()
 	}
 	return h
 }
@@ -159,7 +251,9 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range r.counters {
-		c.v.Store(0)
+		for i := range c.cells {
+			c.cells[i].n.Store(0)
+		}
 	}
 	for _, g := range r.gauges {
 		g.v.Store(0)

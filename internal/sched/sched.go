@@ -16,8 +16,14 @@
 //	sched_tasks_total       tasks executed
 //	sched_steals_total      tasks taken from another worker's deque
 //	sched_injects_total     tasks submitted from outside the pool
+//	sched_parks_total       times a worker went to sleep empty-handed
 //	sched_busy_nanos_total  Σ task wall time (utilization numerator)
 //	sched_pool_width        workers in the most recently created pool
+//
+// Hot-path counter updates use the worker's ID as an obs shard hint,
+// and the submission barrier (notify) is lock-free when no worker is
+// parked, so per-task bookkeeping never serializes a wide pool on a
+// mutex or a single cache line.
 package sched
 
 import (
@@ -33,6 +39,7 @@ var (
 	tasksTotal   = obs.Default.Counter("sched_tasks_total")
 	stealsTotal  = obs.Default.Counter("sched_steals_total")
 	injectsTotal = obs.Default.Counter("sched_injects_total")
+	parksTotal   = obs.Default.Counter("sched_parks_total")
 	busyNanos    = obs.Default.Counter("sched_busy_nanos_total")
 	widthGauge   = obs.Default.Gauge("sched_pool_width")
 )
@@ -130,6 +137,7 @@ type Worker struct {
 	id     int
 	dq     deque
 	locals map[any]any
+	busy   atomic.Int64 // Σ task wall nanos; written only by the owner
 }
 
 // Submit pushes tasks onto this worker's own deque, where they run
@@ -166,12 +174,25 @@ type Pool struct {
 	cond     *sync.Cond
 	inject   []Task // FIFO submissions from outside the pool
 	injHead  int
-	version  uint64 // bumped on every submission; prevents lost wakeups
-	sleeping int
-	closed   bool
+	sleeping int // workers parked on cond; guarded by mu
+
+	// version is bumped (atomically, outside the mutex) on every
+	// submission; a parking worker re-reads it under the mutex after a
+	// fruitless scan, which closes the race between scanning and
+	// sleeping without making submitters take the lock.
+	version atomic.Uint64
+	// sleepers mirrors sleeping so notify can skip the mutex entirely
+	// when nobody is parked — the common case while the pool is busy,
+	// and previously the dominant contention point: every worker-local
+	// Submit serialized on the pool mutex just to discover there was
+	// nobody to wake.
+	sleepers atomic.Int32
+	// injLen mirrors the injector backlog so idle workers scanning for
+	// work skip the mutex when there is nothing to pop.
+	injLen atomic.Int64
+	closed atomic.Bool
 
 	workers []*Worker
-	busy    atomic.Int64 // Σ task wall nanos
 	wg      sync.WaitGroup
 }
 
@@ -200,7 +221,13 @@ func (p *Pool) Width() int { return len(p.workers) }
 // BusyNanos returns the cumulative wall time workers have spent
 // executing tasks. Utilization over a window of wall-clock length W is
 // Δbusy / (W · Width()).
-func (p *Pool) BusyNanos() int64 { return p.busy.Load() }
+func (p *Pool) BusyNanos() int64 {
+	var s int64
+	for _, w := range p.workers {
+		s += w.busy.Load()
+	}
+	return s
+}
 
 // Submit enqueues tasks from outside the pool (experiment goroutines).
 // Safe for concurrent use. Submitting to a closed pool panics.
@@ -209,27 +236,36 @@ func (p *Pool) Submit(ts ...Task) {
 		return
 	}
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		panic("sched: Submit on closed pool")
 	}
 	p.inject = append(p.inject, ts...)
+	p.injLen.Add(int64(len(ts)))
 	injectsTotal.Add(int64(len(ts)))
-	p.bumpLocked(len(ts))
+	p.version.Add(1)
+	p.wakeLocked(len(ts))
 	p.mu.Unlock()
 }
 
 // notify is the submission barrier for worker-local pushes: it bumps
 // the version (so a parking worker rescans instead of sleeping) and
-// wakes sleepers.
+// wakes sleepers. The fast path — nobody parked — is a single atomic
+// add plus an atomic load; the mutex is taken only when a sleeper must
+// actually be signalled.
 func (p *Pool) notify(k int) {
+	p.version.Add(1)
+	if p.sleepers.Load() == 0 {
+		return
+	}
 	p.mu.Lock()
-	p.bumpLocked(k)
+	p.wakeLocked(k)
 	p.mu.Unlock()
 }
 
-func (p *Pool) bumpLocked(k int) {
-	p.version++
+// wakeLocked signals up to k sleepers (all of them when k covers the
+// whole set). Callers must hold p.mu.
+func (p *Pool) wakeLocked(k int) {
 	for i := 0; i < k && i < p.sleeping; i++ {
 		p.cond.Signal()
 	}
@@ -249,6 +285,7 @@ func (p *Pool) popInjectLocked() (Task, bool) {
 	t := p.inject[p.injHead]
 	p.inject[p.injHead] = Task{}
 	p.injHead++
+	p.injLen.Add(-1)
 	return t, true
 }
 
@@ -257,7 +294,7 @@ func (p *Pool) popInjectLocked() (Task, bool) {
 // all workers exit; a closed pool must not be reused.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	p.closed = true
+	p.closed.Store(true)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -273,9 +310,9 @@ func (w *Worker) loop() {
 		start := time.Now()
 		w.run(t)
 		el := time.Since(start).Nanoseconds()
-		w.pool.busy.Add(el)
-		busyNanos.Add(el)
-		tasksTotal.Inc()
+		w.busy.Add(el)
+		busyNanos.AddShard(w.id, el)
+		tasksTotal.IncShard(w.id)
 	}
 }
 
@@ -291,41 +328,50 @@ func (w *Worker) run(t Task) {
 }
 
 // next finds the next task: own deque, then the injector, then a
-// steal sweep over the other workers, then park. The version check
-// closes the race between a fruitless scan and going to sleep.
+// steal sweep over the other workers, then park. The version is read
+// before any emptiness check and re-read under the mutex before
+// sleeping, which closes the race between a fruitless scan and going
+// to sleep: any submission after the first read bumps the version and
+// the worker rescans instead of parking. The injector is only locked
+// when its atomic backlog mirror says there is something to pop, so an
+// idle scan with no injected work touches no mutex at all.
 func (w *Worker) next() (Task, bool) {
 	if t, ok := w.dq.pop(); ok {
 		return t, true
 	}
 	p := w.pool
 	for {
-		p.mu.Lock()
-		v0 := p.version
-		if t, ok := p.popInjectLocked(); ok {
+		v0 := p.version.Load()
+		if p.injLen.Load() > 0 {
+			p.mu.Lock()
+			t, ok := p.popInjectLocked()
 			p.mu.Unlock()
-			return t, true
+			if ok {
+				return t, true
+			}
 		}
-		closed := p.closed
-		p.mu.Unlock()
-		if closed {
+		if p.closed.Load() {
 			return Task{}, false
 		}
 		for off := 1; off < len(p.workers); off++ {
 			victim := p.workers[(w.id+off)%len(p.workers)]
 			if t, ok := victim.dq.steal(); ok {
-				stealsTotal.Inc()
+				stealsTotal.IncShard(w.id)
 				return t, true
 			}
 		}
 		p.mu.Lock()
-		if p.closed {
+		if p.closed.Load() {
 			p.mu.Unlock()
 			return Task{}, false
 		}
-		if p.version == v0 {
+		if p.version.Load() == v0 {
 			p.sleeping++
+			p.sleepers.Store(int32(p.sleeping))
+			parksTotal.IncShard(w.id)
 			p.cond.Wait()
 			p.sleeping--
+			p.sleepers.Store(int32(p.sleeping))
 		}
 		p.mu.Unlock()
 	}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests are the concurrency battery for the pool's parking path
+// and lock-free submission barrier. They are written to be run under
+// -race (the CI race matrix runs them at GOMAXPROCS 2 and 4): the
+// assertions are "no task lost, clean drain", and the race detector
+// checks the atomic version/sleepers/injLen mirrors really synchronize
+// with the mutex-guarded state they shadow.
+
+// drained reports whether the pool has no queued work left anywhere:
+// the injector is empty and every worker deque is empty.
+func drained(p *Pool) bool {
+	if p.injLen.Load() != 0 {
+		return false
+	}
+	p.mu.Lock()
+	inj := len(p.inject) - p.injHead
+	p.mu.Unlock()
+	if inj > 0 {
+		return false
+	}
+	for _, w := range p.workers {
+		w.dq.mu.Lock()
+		n := w.dq.n
+		w.dq.mu.Unlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStressBurstyInjection drives the pool with several submitter
+// goroutines that alternate bursts of external Submits with idle gaps
+// long enough for workers to park — so every burst exercises the
+// park/wake handoff, not just the busy-pool fast path. Every task must
+// run exactly once and the pool must drain clean.
+func TestStressBurstyInjection(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const submitters = 4
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	const burst = 50
+	total := submitters * rounds * burst
+	ran := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	wg.Add(total)
+	var sub sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		sub.Add(1)
+		go func(s int) {
+			defer sub.Done()
+			r := rand.New(rand.NewSource(int64(s)))
+			for round := 0; round < rounds; round++ {
+				ts := make([]Task, burst)
+				for i := range ts {
+					id := s*rounds*burst + round*burst + i
+					ts[i] = Task{Tag: Tag{Exp: "burst", Trial: id}, Run: func(*Worker) {
+						ran[id].Add(1)
+						wg.Done()
+					}}
+				}
+				p.Submit(ts...)
+				// Gap long enough for the pool to go fully idle and park.
+				time.Sleep(time.Duration(100+r.Intn(400)) * time.Microsecond)
+			}
+		}(s)
+	}
+	sub.Wait()
+	wg.Wait()
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want exactly 1", i, got)
+		}
+	}
+	if !drained(p) {
+		t.Fatal("pool not drained after all tasks completed")
+	}
+}
+
+// TestStressStealStorm piles a large expansion onto a single worker's
+// deque while every other worker is idle, so the whole pool descends
+// on one deque at once. All tasks must complete, work must actually
+// migrate off the owner, and the pool must drain clean.
+func TestStressStealStorm(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	tasks := 800
+	if testing.Short() {
+		tasks = 200
+	}
+	steals0 := stealsTotal.Value()
+	var ran atomic.Int64
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var wg sync.WaitGroup
+	wg.Add(tasks)
+	p.Submit(Task{Tag: Tag{Exp: "storm"}, Run: func(w *Worker) {
+		ts := make([]Task, tasks)
+		for i := range ts {
+			ts[i] = Task{Tag: Tag{Exp: "storm", Trial: i}, Run: func(w *Worker) {
+				time.Sleep(50 * time.Microsecond) // yield so thieves get a turn
+				ran.Add(1)
+				mu.Lock()
+				seen[w.ID()]++
+				mu.Unlock()
+				wg.Done()
+			}}
+		}
+		w.Submit(ts...)
+	}})
+	wg.Wait()
+	if got := ran.Load(); got != int64(tasks) {
+		t.Fatalf("ran %d tasks, want %d", got, tasks)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("steal storm stayed on one worker: %v", seen)
+	}
+	if d := stealsTotal.Value() - steals0; d == 0 {
+		t.Error("no steals recorded during a steal storm")
+	}
+	if !drained(p) {
+		t.Fatal("pool not drained after steal storm")
+	}
+}
+
+// TestStressParkUnparkChurn forces maximal churn through the
+// version-counter wakeup: single tasks arrive with gaps that let all
+// workers park between arrivals, and each task locally expands one
+// follow-up (exercising notify's with-sleepers slow path while the
+// rest of the pool sleeps). Parks must actually happen, and no task
+// may be lost across thousands of park/unpark transitions.
+func TestStressParkUnparkChurn(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	rounds := 300
+	if testing.Short() {
+		rounds = 60
+	}
+	parks0 := parksTotal.Value()
+	var ran atomic.Int64
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		p.Submit(Task{Tag: Tag{Exp: "churn", Trial: round}, Run: func(w *Worker) {
+			ran.Add(1)
+			// Local expansion while siblings are (likely) parked: the
+			// notify must wake one of them or run it here — either way
+			// it must not be lost.
+			w.Submit(Task{Tag: Tag{Exp: "churn-child", Trial: round}, Run: func(*Worker) {
+				ran.Add(1)
+				wg.Done()
+			}})
+			wg.Done()
+		}})
+		wg.Wait()
+		if round%8 == 0 {
+			// Let the pool go fully idle so the next round starts from
+			// parked workers.
+			time.Sleep(300 * time.Microsecond)
+		}
+	}
+	if got := ran.Load(); got != int64(2*rounds) {
+		t.Fatalf("ran %d tasks, want %d", got, 2*rounds)
+	}
+	if d := parksTotal.Value() - parks0; d == 0 {
+		t.Error("no parks recorded during park/unpark churn")
+	}
+	if !drained(p) {
+		t.Fatal("pool not drained after churn")
+	}
+}
+
+// TestStressMixedSubmitSteal combines all three pressures at once:
+// external bursts, local expansions, and idle thieves, with enough
+// tasks that any lost-wakeup or lost-task bug has room to show up.
+func TestStressMixedSubmitSteal(t *testing.T) {
+	p := New(6)
+	defer p.Close()
+	outer := 120
+	if testing.Short() {
+		outer = 30
+	}
+	const inner = 16
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for o := 0; o < outer; o++ {
+		wg.Add(1)
+		p.Submit(Task{Tag: Tag{Exp: "mixed", Point: o}, Run: func(w *Worker) {
+			wg.Add(inner)
+			ts := make([]Task, inner)
+			for i := range ts {
+				ts[i] = Task{Tag: Tag{Exp: "mixed", Trial: i}, Run: func(*Worker) {
+					if i%4 == 0 {
+						time.Sleep(20 * time.Microsecond)
+					}
+					ran.Add(1)
+					wg.Done()
+				}}
+			}
+			w.Submit(ts...)
+			ran.Add(1)
+			wg.Done()
+		}})
+		if o%16 == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != int64(outer*(inner+1)) {
+		t.Fatalf("ran %d tasks, want %d", got, outer*(inner+1))
+	}
+	if !drained(p) {
+		t.Fatal("pool not drained after mixed stress")
+	}
+}
