@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help check vet build test race invariants bench bench-engine bench-scaling full-suite cover trace-artifact
+.PHONY: help check vet build test race invariants bench bench-engine bench-scaling bench-compare serve-smoke full-suite cover trace-artifact
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-12s %s\n", $$1, $$2}'
@@ -39,6 +39,13 @@ bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.t
 
 bench-scaling: ## regenerate BENCH_engine.json with the multicore 'scaling' section: quick suite at widths {1,2,4,all} (GOMAXPROCS matched) + the CSR blocked-kernel block sweep B∈{1,2,4,8}
 	$(GO) run ./cmd/divbench -bench-json BENCH_engine.json -full -widths 1,2,4,0
+
+bench-compare: ## measure a fresh full perf matrix and gate it against the checked-in BENCH_engine.json (exit 1 on >10% regressions; noise-prone on shared hardware, informative in CI)
+	$(GO) run ./cmd/divbench -bench-json /tmp/BENCH_new.json -full
+	$(GO) run ./cmd/divbench -compare BENCH_engine.json /tmp/BENCH_new.json
+
+serve-smoke: ## run the quick suite under -serve and assert the live /metrics, /progress, /snapshot.json surface
+	./scripts/serve_smoke.sh
 
 full-suite: ## publication-size experiment suite (minutes)
 	$(GO) run ./cmd/divbench -full

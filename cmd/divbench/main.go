@@ -18,6 +18,8 @@
 //	divbench -min-util 100   # fail if pool utilization < 100‰ (10%)
 //	divbench -metrics        # print the aggregated metrics snapshot on exit
 //	divbench -trace t.jsonl  # write a JSONL probe trace of every core run
+//	divbench -serve :9090    # serve live /metrics (Prometheus text),
+//	                         # /snapshot.json, and /progress while running
 //	divbench -pprof :6060    # serve /debug/pprof/ + /debug/vars while running
 //	divbench -bench-json BENCH_engine.json
 //	                         # run only the engine perf matrix and write it
@@ -29,6 +31,10 @@
 //	                         # section: quick suite once per pool width
 //	                         # (0 = all CPUs, GOMAXPROCS set to match) plus
 //	                         # the CSR blocked-kernel block-size sweep
+//	divbench -compare old.json new.json
+//	                         # compare two -bench-json reports; exit 1 if
+//	                         # any throughput/allocation metric regressed
+//	                         # beyond -compare-threshold (default 10%)
 //
 // The exit status is nonzero if any check fails or any table/CSV
 // write errors; failures are repeated in a consolidated FAILED block
@@ -36,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -56,22 +63,28 @@ import (
 
 func main() {
 	var (
-		full      = flag.Bool("full", false, "publication sizes (slower)")
-		expList   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
-		seed      = flag.Uint64("seed", 0, "master seed (0 = package default)")
-		csvDir    = flag.String("csv", "", "directory to write per-table CSV files into")
-		par       = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
-		engine    = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
-		serial    = flag.Bool("serial", false, "pre-scheduler behavior: experiments in order, every sweep through the per-experiment worker path (results are byte-identical either way)")
-		block     = flag.Int("block", 0, "trials per block for the blocked stepping kernel (0 = core default); results are byte-identical across block sizes")
-		minUtil   = flag.Int("min-util", 0, "fail the run if work-stealing pool utilization is below this many permille (scheduled mode only)")
-		metrics   = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
-		traceFile = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
-		benchJSON = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
-		widthsCSV = flag.String("widths", "", "with -bench-json: also measure the suite scaling curve at these pool widths (comma-separated; 0 = all online CPUs) plus the CSR blocked-kernel block sweep, recorded in the report's 'scaling' section")
+		full       = flag.Bool("full", false, "publication sizes (slower)")
+		expList    = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
+		seed       = flag.Uint64("seed", 0, "master seed (0 = package default)")
+		csvDir     = flag.String("csv", "", "directory to write per-table CSV files into")
+		par        = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
+		engine     = flag.String("engine", "auto", "stepping engine for every run: naive, fast, or auto")
+		serial     = flag.Bool("serial", false, "pre-scheduler behavior: experiments in order, every sweep through the per-experiment worker path (results are byte-identical either way)")
+		block      = flag.Int("block", 0, "trials per block for the blocked stepping kernel (0 = core default); results are byte-identical across block sizes")
+		minUtil    = flag.Int("min-util", 0, "fail the run if work-stealing pool utilization is below this many permille (scheduled mode only)")
+		metrics    = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
+		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
+		benchJSON  = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
+		widthsCSV  = flag.String("widths", "", "with -bench-json: also measure the suite scaling curve at these pool widths (comma-separated; 0 = all online CPUs) plus the CSR blocked-kernel block sweep, recorded in the report's 'scaling' section")
+		serveAddr  = flag.String("serve", "", "serve live /metrics (Prometheus text), /snapshot.json, and /progress on this address during the run (e.g. :9090)")
+		compareOld = flag.String("compare", "", "compare this baseline -bench-json report against the report given as the positional argument; exit 1 on regressions")
+		compareThr = flag.Float64("compare-threshold", 0.10, "tolerated relative degradation for -compare (0.10 = 10%)")
 	)
 	flag.Parse()
+	if *compareOld != "" {
+		os.Exit(runCompare(*compareOld, flag.Arg(0), *compareThr))
+	}
 	if _, err := core.ParseEngine(*engine); err != nil {
 		fmt.Fprintln(os.Stderr, "divbench:", err)
 		os.Exit(2)
@@ -115,6 +128,15 @@ func main() {
 	}
 
 	params := exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Serial: *serial, Block: *block}
+	prov := obs.CollectProvenance("divbench", params.Seed, *engine)
+	var progress *obs.Progress
+	if *serveAddr != "" {
+		progress = obs.NewProgress(len(defs))
+		obs.Serve(*serveAddr, obs.Default, &prov, progress, func(err error) {
+			fmt.Fprintln(os.Stderr, "divbench: serve:", err)
+		})
+		fmt.Printf("serve: /metrics, /snapshot.json, /progress on http://%s\n", *serveAddr)
+	}
 	var makers []obs.ProbeMaker
 	var tw *obs.TraceWriter
 	if *traceFile != "" {
@@ -125,9 +147,12 @@ func main() {
 		}
 		defer f.Close()
 		tw = obs.NewTraceWriter(f)
+		tw.WriteProvenance(prov)
 		makers = append(makers, tw.Probe)
 	}
-	if *metrics {
+	if *metrics || *serveAddr != "" {
+		// -serve attaches the metrics probe too, so the live /metrics page
+		// carries the div_* engine counters, not just harness telemetry.
 		makers = append(makers, obs.ConstMaker(obs.MetricsProbe(obs.Default)))
 	}
 	params.Probe = obs.MultiMaker(makers...)
@@ -149,13 +174,20 @@ func main() {
 		elapsed time.Duration
 	}
 	runDef := func(d exp.Def) outcome {
+		if progress != nil {
+			progress.Start(d.ID)
+			defer progress.Done(d.ID)
+		}
+		sp := obs.Default.Span(obs.SpanSuite + "_" + obs.SpanExperiment)
 		start := time.Now()
 		rep, err := d.Run(params)
+		sp.End()
 		return outcome{rep: rep, err: err, elapsed: time.Since(start)}
 	}
 	results := make([]chan outcome, len(defs))
 	pool := sched.Shared(*par)
 	busy0 := pool.BusyNanos()
+	suiteSpan := obs.Default.Span(obs.SpanSuite)
 	suiteStart := time.Now()
 	if !*serial {
 		for i, d := range defs {
@@ -210,6 +242,7 @@ func main() {
 		}
 	}
 	suiteWall := time.Since(suiteStart)
+	suiteSpan.End()
 
 	fmt.Printf("\nsuite: %d experiment(s) in %v", len(defs), suiteWall.Round(time.Millisecond))
 	if !*serial {
@@ -297,6 +330,48 @@ func runBenchJSON(path string, widths []int, params exp.Params) error {
 		}
 	}
 	return nil
+}
+
+// runCompare is the bench regression gate: it loads two -bench-json
+// reports and returns the process exit code — 0 when the new report is
+// within the noise threshold of the old, 1 when any metric regressed
+// beyond it, 2 on usage or I/O problems.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	if newPath == "" {
+		fmt.Fprintln(os.Stderr, "divbench: -compare needs the new report as a positional argument: divbench -compare old.json new.json")
+		return 2
+	}
+	load := func(path string) (*exp.BenchReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep exp.BenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divbench:", err)
+		return 2
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divbench:", err)
+		return 2
+	}
+	opts := exp.CompareOptions{Threshold: threshold}
+	res := exp.CompareReports(oldRep, newRep, opts)
+	if err := res.WriteText(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "divbench:", err)
+		return 2
+	}
+	if res.Regressions > 0 {
+		return 1
+	}
+	return 0
 }
 
 // parseWidths parses the -widths flag: a comma-separated list of pool

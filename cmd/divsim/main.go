@@ -10,6 +10,7 @@
 //	divsim -graph complete:120 -rule loadbalance -process edge -k 16
 //	divsim -graph regular:10000,8 -dissenters 20 -trace run.jsonl -metrics
 //	divsim -graph regular:2000,8 -trials 50 -pprof localhost:6060
+//	divsim -graph regular:2000,8 -trials 50 -serve :9090
 package main
 
 import (
@@ -45,14 +46,24 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every run to this file")
 		metrics    = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address (e.g. localhost:6060)")
+		serveAddr  = flag.String("serve", "", "serve live /metrics (Prometheus text), /snapshot.json, and /progress on this address during the run (e.g. :9090)")
 	)
 	flag.Parse()
 
 	if *pprofAddr != "" {
 		servePprof(*pprofAddr)
 	}
+	prov := obs.CollectProvenance("divsim", *seed, *engName)
+	var progress *obs.Progress
+	if *serveAddr != "" {
+		progress = obs.NewProgress(*trials)
+		obs.Serve(*serveAddr, obs.Default, &prov, progress, func(err error) {
+			fmt.Fprintln(os.Stderr, "divsim: serve:", err)
+		})
+		fmt.Printf("serve: /metrics, /snapshot.json, /progress on http://%s\n", *serveAddr)
+	}
 	if err := run(*graphSpec, *k, *dissenters, *procName, *ruleName, *engName, *seed, *trials,
-		*trace, *series, *maxSteps, *block, *traceFile, *metrics); err != nil {
+		*trace, *series, *maxSteps, *block, *traceFile, *metrics, prov, progress); err != nil {
 		fmt.Fprintln(os.Stderr, "divsim:", err)
 		os.Exit(1)
 	}
@@ -71,7 +82,8 @@ func servePprof(addr string) {
 }
 
 func run(graphSpec string, k, dissenters int, procName, ruleName, engName string, seed uint64, trials int,
-	trace, series bool, maxSteps int64, block int, traceFile string, metrics bool) error {
+	trace, series bool, maxSteps int64, block int, traceFile string, metrics bool,
+	prov obs.Provenance, progress *obs.Progress) error {
 	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
 	if err != nil {
 		return err
@@ -104,9 +116,12 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		}
 		defer f.Close()
 		tw = obs.NewTraceWriter(f)
+		tw.WriteProvenance(prov)
 	}
 	var metricsProbe obs.Probe
-	if metrics {
+	if metrics || progress != nil {
+		// -serve implies the metrics probe, so the live /metrics page
+		// carries the div_* engine counters, not just harness telemetry.
 		metricsProbe = obs.MetricsProbe(obs.Default)
 	}
 
@@ -153,6 +168,11 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		if err := core.RunBlock(cfg, 0, trials, out); err != nil {
 			return err
 		}
+		if progress != nil {
+			for t := 0; t < trials; t++ {
+				progress.Done(fmt.Sprintf("trial %d", t))
+			}
+		}
 		for t, res := range out {
 			if t == 0 {
 				fmt.Printf("initial: simple average %.4f, degree-weighted average %.4f\n",
@@ -179,6 +199,9 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 	}
 
 	for t := 0; t < trials; t++ {
+		if progress != nil {
+			progress.Start(fmt.Sprintf("trial %d", t))
+		}
 		trialSeed := rng.DeriveSeed(seed, uint64(t))
 		r := rng.New(trialSeed)
 		var init []int
@@ -251,6 +274,9 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 				fmt.Printf("NO consensus after %d steps; final range [%d,%d]\n",
 					res.Steps, res.FinalMin, res.FinalMax)
 			}
+		}
+		if progress != nil {
+			progress.Done(fmt.Sprintf("trial %d", t))
 		}
 	}
 	return finish(winners, stepsAll, reduceAll, trials, tw, traceFile, metrics)

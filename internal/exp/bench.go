@@ -11,6 +11,7 @@ import (
 
 	"div/internal/core"
 	"div/internal/graph"
+	"div/internal/obs"
 	"div/internal/rng"
 	"div/internal/sched"
 )
@@ -112,11 +113,15 @@ type BenchSuite struct {
 
 // BenchReport is the document written to BENCH_engine.json.
 type BenchReport struct {
-	Quick    bool          `json:"quick"`
-	Note     string        `json:"note"`
-	Baseline BenchBaseline `json:"baseline_pre_pipeline"`
-	E2       BenchE2       `json:"e2_point"`
-	Suite    BenchSuite    `json:"suite"`
+	Quick bool   `json:"quick"`
+	Note  string `json:"note"`
+	// Provenance attributes the numbers to the code, configuration, and
+	// machine that produced them — without it a checked-in report is
+	// uninterpretable once the hardware or commit changes.
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
+	Baseline   BenchBaseline   `json:"baseline_pre_pipeline"`
+	E2         BenchE2         `json:"e2_point"`
+	Suite      BenchSuite      `json:"suite"`
 	// Scaling is the multicore section (scaling.go), present when the
 	// run requested a width sweep (`divbench -widths`).
 	Scaling *BenchScaling `json:"scaling,omitempty"`
@@ -211,9 +216,11 @@ func benchSteadyAllocs(g *graph.Graph, proc core.Process, eng core.Engine, seed 
 // BenchEngine measures the whole matrix and returns the report.
 func BenchEngine(p Params) (*BenchReport, error) {
 	p = p.withDefaults()
+	prov := obs.CollectProvenance("divbench", p.Seed, p.Engine)
 	rep := &BenchReport{
-		Quick: p.Quick,
-		Note:  "generated by divbench -bench-json; trials_per_sec_* compare per-trial construction (fresh) vs per-worker Scratch reuse (reused); nil probes throughout",
+		Quick:      p.Quick,
+		Provenance: &prov,
+		Note:       "generated by divbench -bench-json; trials_per_sec_* compare per-trial construction (fresh) vs per-worker Scratch reuse (reused); nil probes throughout",
 		Baseline: BenchBaseline{
 			N:            e2BaselineN,
 			TrialsPerSec: e2BaselineTrialsPerSec,

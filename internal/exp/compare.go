@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the bench regression gate behind `divbench -compare
+// old.json new.json` (and `make bench-compare`): it pairs up the rows
+// of two BENCH_engine.json reports and flags throughput or allocation
+// regressions beyond a noise threshold. Wall-clock metrics on shared
+// CI hardware are noisy, so the gate is deliberately tolerant: a
+// relative threshold (default 10%) on the throughput ratios, and an
+// absolute floor on allocation counts (which are near-deterministic —
+// a step from 0 to 1 alloc/step is real, a 0.01 flutter is not).
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the tolerated relative degradation, e.g. 0.10 means
+	// a metric may be up to 10% worse before it counts as a regression.
+	// Zero means the default 0.10.
+	Threshold float64
+	// AllocFloor is the absolute allocation-count slack: an allocs
+	// metric regresses only when new > old + AllocFloor. Zero means the
+	// default 0.5 (half an allocation per step/trial — below any real
+	// code change, above measurement flutter).
+	AllocFloor float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.10
+	}
+	if o.AllocFloor == 0 {
+		o.AllocFloor = 0.5
+	}
+	return o
+}
+
+// CompareMetric is one paired measurement.
+type CompareMetric struct {
+	// Name identifies the metric, e.g.
+	// "rows[complete(n=256)|vertex|fast].trials_per_sec_reused".
+	Name string
+	Old  float64
+	New  float64
+	// Change is the relative change in the direction of "worse": for
+	// higher-is-better metrics (old-new)/old, for lower-is-better
+	// (new-old)/old. Positive means the new report is worse.
+	Change    float64
+	Regressed bool
+}
+
+// CompareResult is the outcome of CompareReports.
+type CompareResult struct {
+	Metrics []CompareMetric
+	// Skipped lists row keys present in only one report (and the E2
+	// section when its configuration differs) — compared against
+	// nothing, flagged so a silently shrunk report can't pass as clean.
+	Skipped     []string
+	Regressions int
+}
+
+// compareCtx accumulates paired metrics.
+type compareCtx struct {
+	opts CompareOptions
+	res  *CompareResult
+}
+
+// higherBetter records a throughput-style metric: regression when the
+// new value drops more than Threshold below the old.
+func (c *compareCtx) higherBetter(name string, old, new float64) {
+	m := CompareMetric{Name: name, Old: old, New: new}
+	if old > 0 {
+		m.Change = (old - new) / old
+		m.Regressed = m.Change > c.opts.Threshold
+	}
+	if m.Regressed {
+		c.res.Regressions++
+	}
+	c.res.Metrics = append(c.res.Metrics, m)
+}
+
+// lowerBetter records a latency-style metric: regression when the new
+// value rises more than Threshold above the old.
+func (c *compareCtx) lowerBetter(name string, old, new float64) {
+	m := CompareMetric{Name: name, Old: old, New: new}
+	if old > 0 {
+		m.Change = (new - old) / old
+		m.Regressed = m.Change > c.opts.Threshold
+	}
+	if m.Regressed {
+		c.res.Regressions++
+	}
+	c.res.Metrics = append(c.res.Metrics, m)
+}
+
+// allocs records an allocation-count metric with the absolute floor.
+func (c *compareCtx) allocs(name string, old, new float64) {
+	m := CompareMetric{Name: name, Old: old, New: new}
+	if old > 0 {
+		m.Change = (new - old) / old
+	}
+	m.Regressed = new > old+c.opts.AllocFloor
+	if m.Regressed {
+		c.res.Regressions++
+	}
+	c.res.Metrics = append(c.res.Metrics, m)
+}
+
+// CompareReports pairs the rows of two bench reports and flags
+// regressions beyond the noise threshold. Rows are matched by
+// graph × process × engine; rows present in only one report are
+// recorded in Skipped, never silently dropped. The E2 section is
+// compared only when both reports measured the same point (N and K
+// match — quick and full reports use different sizes).
+func CompareReports(old, new *BenchReport, opts CompareOptions) *CompareResult {
+	c := &compareCtx{opts: opts.withDefaults(), res: &CompareResult{}}
+
+	oldRows := make(map[string]BenchRow, len(old.Rows))
+	for _, r := range old.Rows {
+		oldRows[r.Graph+"|"+r.Process+"|"+r.Engine] = r
+	}
+	seen := make(map[string]bool, len(new.Rows))
+	for _, nr := range new.Rows {
+		key := nr.Graph + "|" + nr.Process + "|" + nr.Engine
+		seen[key] = true
+		or, ok := oldRows[key]
+		if !ok {
+			c.res.Skipped = append(c.res.Skipped, "rows["+key+"]: only in new report")
+			continue
+		}
+		pfx := "rows[" + key + "]."
+		c.higherBetter(pfx+"trials_per_sec_reused", or.TrialsPerSecReused, nr.TrialsPerSecReused)
+		c.lowerBetter(pfx+"ns_per_step_reused", or.NsPerStepReused, nr.NsPerStepReused)
+		c.allocs(pfx+"allocs_per_step", or.AllocsPerStep, nr.AllocsPerStep)
+		c.allocs(pfx+"allocs_per_trial_reused", or.AllocsPerTrialReused, nr.AllocsPerTrialReused)
+	}
+	for key := range oldRows {
+		if !seen[key] {
+			c.res.Skipped = append(c.res.Skipped, "rows["+key+"]: only in old report")
+		}
+	}
+
+	if old.E2.N == new.E2.N && old.E2.K == new.E2.K {
+		c.higherBetter("e2.trials_per_sec_reused", old.E2.TrialsPerSecReused, new.E2.TrialsPerSecReused)
+		c.higherBetter("e2.best_block_trials_per_sec", old.E2.BestBlockTrialsPerSec, new.E2.BestBlockTrialsPerSec)
+		c.lowerBetter("e2.best_block_ns_per_step", old.E2.BestBlockNsPerStep, new.E2.BestBlockNsPerStep)
+	} else {
+		c.res.Skipped = append(c.res.Skipped,
+			fmt.Sprintf("e2: points differ (old n=%d k=%d, new n=%d k=%d)", old.E2.N, old.E2.K, new.E2.N, new.E2.K))
+	}
+
+	sort.Slice(c.res.Metrics, func(i, j int) bool { return c.res.Metrics[i].Name < c.res.Metrics[j].Name })
+	sort.Strings(c.res.Skipped)
+	return c.res
+}
+
+// WriteText renders the comparison as a human-readable table:
+// regressions first, then improvements/no-change, then skips.
+func (r *CompareResult) WriteText(w io.Writer, opts CompareOptions) error {
+	opts = opts.withDefaults()
+	write := func(only bool) {
+		for _, m := range r.Metrics {
+			if m.Regressed != only {
+				continue
+			}
+			mark := "ok  "
+			if m.Regressed {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(w, "%s %-60s old=%-12.4g new=%-12.4g worse=%+.1f%%\n",
+				mark, m.Name, m.Old, m.New, 100*m.Change)
+		}
+	}
+	write(true)
+	write(false)
+	for _, s := range r.Skipped {
+		fmt.Fprintf(w, "skip %s\n", s)
+	}
+	if r.Regressions > 0 {
+		_, err := fmt.Fprintf(w, "%d regression(s) beyond %.0f%% threshold\n", r.Regressions, 100*opts.Threshold)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "no regressions beyond %.0f%% threshold (%d metrics compared, %d skipped)\n",
+		100*opts.Threshold, len(r.Metrics), len(r.Skipped))
+	return err
+}

@@ -5,9 +5,11 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"div/internal/core"
 	"div/internal/graph"
+	"div/internal/obs"
 	"div/internal/rng"
 	"div/internal/sched"
 	"div/internal/sim"
@@ -38,6 +40,49 @@ type Point struct {
 	G      *graph.Graph
 	Seed   uint64
 	Trials int
+}
+
+// Span telemetry for the sweep layer (obs span hierarchy
+// suite→experiment→point→block, DESIGN.md §12). Point latency is the
+// wall time from a point's first trial starting to its last trial
+// completing — under parallelism that is the real end-to-end latency
+// of the grid point, stragglers included. Block latency is one blocked
+// span task. Per-engine trial histograms slice sim_trial_micros by the
+// stepping engine that ran the sweep.
+var (
+	pointTimer = obs.Default.Timer("suite_experiment_point")
+	blockTimer = obs.Default.Timer("suite_experiment_point_block")
+)
+
+// engineTrialHist returns the per-engine trial duration histogram for
+// the sweep's engine selection.
+func engineTrialHist(p Params) *obs.Histogram {
+	eng := p.Engine
+	if eng == "" {
+		eng = "auto"
+	}
+	return obs.Default.Histogram("sim_trial_nanos_engine_" + obs.SanitizeMetricName(eng))
+}
+
+// pointSpan tracks one point's completion across its concurrently
+// executing trials: the last trial (or block) to finish observes the
+// point's wall time.
+type pointSpan struct {
+	start     time.Time
+	remaining atomic.Int32
+}
+
+func newPointSpan(units int) *pointSpan {
+	ps := &pointSpan{start: time.Now()}
+	ps.remaining.Store(int32(units))
+	return ps
+}
+
+// unitDone marks one unit complete; the final unit records the span.
+func (ps *pointSpan) unitDone() {
+	if ps.remaining.Add(-1) == 0 {
+		pointTimer.ObserveSince(ps.start)
+	}
 }
 
 // SweepFuture is a pending sweep's result: one slice per point,
@@ -74,6 +119,7 @@ func StartSweep[T any](p Params, id string, points []Point, fn func(point, trial
 	pool := sched.Shared(p.Parallelism)
 	f := &SweepFuture[T]{done: make(chan struct{})}
 	res := make([][]T, len(points))
+	engHist := engineTrialHist(p)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -95,17 +141,20 @@ func StartSweep[T any](p Params, id string, points []Point, fn func(point, trial
 		// scratch affinity with the point while idle workers steal the
 		// tail of the trial list.
 		pool.Submit(sched.Task{Tag: sched.Tag{Exp: id, Point: pi}, Run: func(w *sched.Worker) {
+			ps := newPointSpan(pt.Trials)
 			ts := make([]sched.Task, pt.Trials)
 			for t := range ts {
 				t := t
 				ts[t] = sched.Task{Tag: sched.Tag{Exp: id, Point: pi, Trial: t}, Run: func(w *sched.Worker) {
 					defer wg.Done()
+					defer ps.unitDone()
 					if canceled.Load() {
 						return
 					}
 					sc := workerScratch(w, pt.G)
 					seed := rng.DeriveSeed(pt.Seed, uint64(t))
-					v, _, err := sim.Instrumented(func() (T, error) { return fn(pi, t, seed, sc) })
+					v, elapsed, err := sim.Instrumented(func() (T, error) { return fn(pi, t, seed, sc) })
+					engHist.Observe(elapsed.Nanoseconds())
 					if err != nil {
 						canceled.Store(true)
 						errMu.Lock()
@@ -218,6 +267,7 @@ func StartSweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial
 			continue
 		}
 		pool.Submit(sched.Task{Tag: sched.Tag{Exp: id, Point: pi}, Run: func(w *sched.Worker) {
+			ps := newPointSpan((pt.Trials + span - 1) / span)
 			var ts []sched.Task
 			for t0 := 0; t0 < pt.Trials; t0 += span {
 				t0 := t0
@@ -227,12 +277,13 @@ func StartSweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial
 				}
 				ts = append(ts, sched.Task{Tag: sched.Tag{Exp: id, Point: pi, Trial: t0, Span: t1 - t0}, Run: func(w *sched.Worker) {
 					defer wg.Done()
+					defer ps.unitDone()
 					if canceled.Load() {
 						return
 					}
 					sc := workerScratch(w, pt.G)
 					out := make([]core.Result, t1-t0)
-					_, err := sim.InstrumentedBlock(t1-t0, func() error {
+					elapsed, err := sim.InstrumentedBlock(t1-t0, func() error {
 						if err := core.RunBlock(bt.config(p, pi, pt, sc), t0, t1, out); err != nil {
 							return err
 						}
@@ -245,6 +296,7 @@ func StartSweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial
 						}
 						return nil
 					})
+					blockTimer.Observe(elapsed)
 					if err != nil {
 						canceled.Store(true)
 						errMu.Lock()

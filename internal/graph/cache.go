@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"div/internal/obs"
 )
@@ -28,12 +29,20 @@ import (
 //	graph_cache_misses_total  Get calls that built the artifact
 //	graph_cache_bytes         resident bytes after the last Get/Release
 //	graph_cache_evictions_total entries evicted to stay under the bound
+//	graph_cache_build_nanos   artifact build duration per miss
+//	graph_cache_wait_nanos    time a hit waited on an in-flight build
+//	graph_cache_evict_nanos   duration of each eviction pass that
+//	                          actually evicted something
 
 var (
 	cacheHits      = obs.Default.Counter("graph_cache_hits_total")
 	cacheMisses    = obs.Default.Counter("graph_cache_misses_total")
 	cacheBytes     = obs.Default.Gauge("graph_cache_bytes")
 	cacheEvictions = obs.Default.Counter("graph_cache_evictions_total")
+
+	cacheBuildNanos = obs.Default.Histogram("graph_cache_build_nanos")
+	cacheWaitNanos  = obs.Default.Histogram("graph_cache_wait_nanos")
+	cacheEvictNanos = obs.Default.Histogram("graph_cache_evict_nanos")
 )
 
 // Key identifies one cached graph artifact. Family is the builder name
@@ -154,7 +163,15 @@ func (c *Cache) Get(key Key, build func() (*Graph, error)) (*Handle, error) {
 		c.mu.Unlock()
 		c.hits.Add(1)
 		cacheHits.Inc()
-		<-e.ready
+		select {
+		case <-e.ready:
+			// Built already: the overwhelmingly common hit, kept free of
+			// timestamp reads.
+		default:
+			waitStart := time.Now()
+			<-e.ready
+			cacheWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
+		}
 		if e.err != nil {
 			// Failed build: drop our pin and report.
 			c.release(e)
@@ -168,7 +185,9 @@ func (c *Cache) Get(key Key, build func() (*Graph, error)) (*Handle, error) {
 	c.misses.Add(1)
 	cacheMisses.Inc()
 
+	buildStart := time.Now()
 	g, err := build()
+	cacheBuildNanos.Observe(time.Since(buildStart).Nanoseconds())
 	c.mu.Lock()
 	if err != nil {
 		e.err = err
@@ -210,10 +229,16 @@ func (c *Cache) evictLocked() {
 	if c.capacity <= 0 {
 		return
 	}
+	var passStart time.Time
+	evicted := false
 	for c.bytes > c.capacity {
 		back := c.lru.Back()
 		if back == nil {
-			return
+			break
+		}
+		if !evicted {
+			passStart = time.Now()
+			evicted = true
 		}
 		e := back.Value.(*entry)
 		c.lru.Remove(back)
@@ -222,6 +247,9 @@ func (c *Cache) evictLocked() {
 		c.bytes -= e.bytes
 		c.evictions.Add(1)
 		cacheEvictions.Inc()
+	}
+	if evicted {
+		cacheEvictNanos.Observe(time.Since(passStart).Nanoseconds())
 	}
 }
 

@@ -22,6 +22,7 @@ package netsim
 
 import (
 	"fmt"
+	"time"
 
 	"div/internal/graph"
 	"div/internal/obs"
@@ -32,11 +33,12 @@ import (
 // test swaps it): the event-queue high-water mark across runs
 // (netsim_queue_highwater), message counters by kind
 // (netsim_firings_total, netsim_requests_total,
-// netsim_responses_total, netsim_dropped_total), and the staleness
-// histogram netsim_staleness_micro: the request-to-apply latency of
+// netsim_responses_total, netsim_dropped_total), the staleness
+// histogram netsim_staleness_micro — the request-to-apply latency of
 // each completed pull, in millionths of a firing period (the delay
 // that makes an observed opinion stale relative to the paper's
-// instantaneous model).
+// instantaneous model) — and netsim_run_nanos, the wall-clock
+// duration of each run's event loop.
 var Metrics = obs.Default
 
 // eventKind discriminates queue entries.
@@ -285,6 +287,7 @@ func Run(cfg Config) (Result, error) {
 	drops := Metrics.Counter("netsim_dropped_total")
 	stale := Metrics.Histogram("netsim_staleness_micro")
 
+	loopStart := time.Now()
 	now := 0.0
 	for len(s.q) > 0 {
 		ev := s.q.pop()
@@ -354,6 +357,7 @@ func Run(cfg Config) (Result, error) {
 			break
 		}
 	}
+	Metrics.Histogram("netsim_run_nanos").Observe(time.Since(loopStart).Nanoseconds())
 	return s.finish(res, now), nil
 }
 

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the live exposition surface behind the commands'
+// -serve flag (and the surface the divd job service will mount):
+//
+//	/metrics        Prometheus text format (WriteProm)
+//	/snapshot.json  {provenance, progress, metrics} as one JSON doc
+//	/progress       the progress tracker alone, as JSON
+//
+// Handlers read the registry through Snapshot, so scraping a running
+// sweep costs one registry mutex acquisition and never perturbs the
+// hot paths.
+
+// Progress tracks completion of a known-size batch of named units
+// (experiments for divbench, trials for divsim). Safe for concurrent
+// use.
+type Progress struct {
+	mu      sync.Mutex
+	total   int
+	done    int
+	running map[string]struct{}
+	start   time.Time
+}
+
+// NewProgress returns a tracker expecting total units.
+func NewProgress(total int) *Progress {
+	return &Progress{total: total, running: make(map[string]struct{}), start: time.Now()}
+}
+
+// Start marks the named unit as running.
+func (p *Progress) Start(id string) {
+	p.mu.Lock()
+	p.running[id] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Done marks the named unit as finished (and no longer running).
+func (p *Progress) Done(id string) {
+	p.mu.Lock()
+	delete(p.running, id)
+	p.done++
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is the JSON document served at /progress.
+type ProgressSnapshot struct {
+	Total          int      `json:"total"`
+	Done           int      `json:"done"`
+	Running        []string `json:"running,omitempty"`
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+}
+
+// Snapshot freezes the tracker. Running units are sorted so the
+// rendering is deterministic.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	s := ProgressSnapshot{Total: p.total, Done: p.done, ElapsedSeconds: time.Since(p.start).Seconds()}
+	for id := range p.running {
+		s.Running = append(s.Running, id)
+	}
+	p.mu.Unlock()
+	sort.Strings(s.Running)
+	return s
+}
+
+// ServeState is the full document served at /snapshot.json.
+type ServeState struct {
+	Provenance *Provenance       `json:"provenance,omitempty"`
+	Progress   *ProgressSnapshot `json:"progress,omitempty"`
+	Metrics    Snapshot          `json:"metrics"`
+}
+
+// NewServeMux builds the exposition mux over the given registry.
+// prov and prog may be nil; the corresponding /snapshot.json fields
+// are then omitted and /progress serves an empty tracker.
+func NewServeMux(r *Registry, prov *Provenance, prog *Progress) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := r.Snapshot().WriteProm(w); err != nil {
+			// Too late for an HTTP error status; the next scrape retries.
+			return
+		}
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, req *http.Request) {
+		state := ServeState{Provenance: prov, Metrics: r.Snapshot()}
+		if prog != nil {
+			ps := prog.Snapshot()
+			state.Progress = &ps
+		}
+		writeJSON(w, state)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		var ps ProgressSnapshot
+		if prog != nil {
+			ps = prog.Snapshot()
+		}
+		writeJSON(w, ps)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve mounts NewServeMux on addr in a background goroutine and
+// returns the listening server. Callers that outlive the run (the
+// commands don't — the process exits with the suite) may Close it.
+// Errors after startup are reported through errf (may be nil).
+func Serve(addr string, r *Registry, prov *Provenance, prog *Progress, errf func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: NewServeMux(r, prov, prog)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+	return srv
+}

@@ -142,6 +142,12 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// gaugeFns are callback gauges evaluated at snapshot time — the
+	// hook for live values that would be too hot (or too awkward) to
+	// maintain as stored gauges, like the scheduler's queue depth. The
+	// callback must not create instruments on this registry (Snapshot
+	// holds the mutex while evaluating it).
+	gaugeFns map[string]func() int64
 
 	view atomic.Pointer[registryView]
 }
@@ -181,6 +187,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		gaugeFns: make(map[string]func() int64),
 	}
 }
 
@@ -245,6 +252,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// GaugeFunc registers a callback gauge: fn is evaluated on every
+// Snapshot and its result appears among the gauges under name. A
+// second registration under the same name replaces the first. fn must
+// be safe for concurrent use and must not touch this registry (it
+// runs under the registry mutex). Reset does not affect callback
+// gauges — they have no stored state.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
 // Reset zeroes every instrument (the names survive). Tests use it to
 // isolate assertions against the Default registry.
 func (r *Registry) Reset() {
@@ -299,6 +318,37 @@ func (h HistogramSnapshot) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile returns an upper estimate of the q-quantile (q in (0,1]):
+// the upper edge of the log₂ bucket holding the ⌈q·Count⌉-th smallest
+// observation, capped at the observed maximum. With ≤2× bucket
+// resolution the estimate is within a factor of two of the true
+// order statistic, which is what latency percentiles need. Returns 0
+// for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.Count) + 0.9999999)
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			hi := b.Hi - 1
+			if b.Lo == 0 && b.Hi == 1 {
+				hi = 0 // bucket 0 holds values ≤ 0
+			}
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
 // Snapshot is a frozen, deterministically ordered view of a registry.
 type Snapshot struct {
 	Counters   []NamedValue        `json:"counters"`
@@ -317,6 +367,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, NamedValue{name, g.Value()})
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges = append(s.Gauges, NamedValue{name, fn()})
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum(), Max: h.max.Load()}
@@ -380,8 +433,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%d mean=%.1f max=%d\n",
-			h.Name, h.Count, h.Sum, h.Mean(), h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%d mean=%.1f p50≤%d p90≤%d p99≤%d max=%d\n",
+			h.Name, h.Count, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max); err != nil {
 			return err
 		}
 		for _, b := range h.Buckets {

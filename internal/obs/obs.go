@@ -1,11 +1,18 @@
 // Package obs is the repository's zero-dependency observability layer:
-// a metrics registry of atomic counters, gauges, and log-bucketed
-// histograms with a deterministic snapshot (metrics.go); a structured
-// run-probe interface that the core stepping engines feed with semantic
-// events — step batches, hybrid engine switches, discordance-mass
-// samples, stage transitions, and winner resolution (probe.go); and a
-// JSONL trace sink that serializes probe events with trial/seed context
-// for offline analysis (trace.go).
+// a metrics registry of atomic counters, gauges (stored and callback),
+// and log-bucketed histograms with a deterministic snapshot
+// (metrics.go); a low-overhead span API timing hierarchical work units
+// into latency histograms (span.go); a Prometheus text-format
+// exposition writer (prom.go) and the HTTP surface behind the
+// commands' -serve flag — /metrics, /snapshot.json, /progress
+// (http.go); a run-provenance manifest identifying the code,
+// configuration, and machine behind a report or trace
+// (provenance.go); a structured run-probe interface that the core
+// stepping engines feed with semantic events — step batches, hybrid
+// engine switches, discordance-mass samples, stage transitions, and
+// winner resolution (probe.go); and a JSONL trace sink that serializes
+// probe events with trial/seed context for offline analysis
+// (trace.go).
 //
 // The package imports nothing but the standard library and is imported
 // by every layer that emits telemetry (core, sim, netsim, the

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4), so a running suite — or the future divd job
+// service — can be scraped by any Prometheus-compatible collector.
+// The rendering is a pure function of the snapshot: deterministic
+// order (snapshots are name-sorted), no timestamps, no labels except
+// the histogram `le` buckets.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the snapshot as Prometheus text format:
+//
+//	# TYPE sched_tasks_total counter
+//	sched_tasks_total 42
+//	# TYPE sched_queue_depth gauge
+//	sched_queue_depth 3
+//	# TYPE sim_trial_micros histogram
+//	sim_trial_micros_bucket{le="127"} 9
+//	sim_trial_micros_bucket{le="+Inf"} 10
+//	sim_trial_micros_sum 1042
+//	sim_trial_micros_count 10
+//
+// Histogram buckets are cumulative, as the format requires. Our log₂
+// buckets hold integer observations in [2^(i-1), 2^i), so the
+// inclusive upper bound of bucket i is 2^i − 1 — that is the `le`
+// value emitted (with le="0" for the ≤0 bucket). Metric names are
+// sanitized into the exposition alphabet, but every name the
+// repository registers is already clean.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		name := SanitizeMetricName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := SanitizeMetricName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := SanitizeMetricName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := b.Hi - 1
+			if b.Lo == 0 && b.Hi == 1 {
+				le = 0 // the ≤0 bucket
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	return bw.Flush()
+}

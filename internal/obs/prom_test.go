@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWritePromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tasks_total").Add(42)
+	reg.Gauge("queue_depth").Set(3)
+	h := reg.Histogram("latency_nanos")
+	h.Observe(0) // bucket 0: ≤0
+	h.Observe(1) // bucket 1: [1,2)
+	h.Observe(5) // bucket 3: [4,8)
+	h.Observe(5)
+	h.Observe(100) // bucket 7: [64,128)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE tasks_total counter
+tasks_total 42
+# TYPE queue_depth gauge
+queue_depth 3
+# TYPE latency_nanos histogram
+latency_nanos_bucket{le="0"} 1
+latency_nanos_bucket{le="1"} 2
+latency_nanos_bucket{le="7"} 4
+latency_nanos_bucket{le="127"} 5
+latency_nanos_bucket{le="+Inf"} 5
+latency_nanos_sum 111
+latency_nanos_count 5
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("WriteProm output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePromCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h")
+	for v := int64(1); v <= 1024; v *= 2 {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket counts must be non-decreasing, and the +Inf bucket must
+	// equal the total count (the format's cumulative invariant).
+	var prev int64 = -1
+	var inf int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		le, n, ok := parseBucketLine(line)
+		if !ok {
+			continue
+		}
+		if n < prev {
+			t.Fatalf("bucket counts decreased at %q (prev %d)", line, prev)
+		}
+		prev = n
+		if le == "+Inf" {
+			inf = n
+		}
+	}
+	if inf != h.Count() {
+		t.Fatalf("+Inf bucket = %d, want total count %d", inf, h.Count())
+	}
+}
+
+// parseBucketLine pulls the le label and count out of a _bucket line.
+func parseBucketLine(line string) (le string, n int64, ok bool) {
+	const open, clos = `_bucket{le="`, `"} `
+	i := strings.Index(line, open)
+	if i < 0 {
+		return "", 0, false
+	}
+	rest := line[i+len(open):]
+	j := strings.Index(rest, clos)
+	if j < 0 {
+		return "", 0, false
+	}
+	le = rest[:j]
+	for _, c := range rest[j+len(clos):] {
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return le, n, true
+}
+
+func TestGaugeFuncAppearsInSnapshotAndProm(t *testing.T) {
+	reg := NewRegistry()
+	var depth int64 = 7
+	reg.GaugeFunc("live_depth", func() int64 { return depth })
+	if got := reg.Snapshot().GaugeValue("live_depth"); got != 7 {
+		t.Fatalf("snapshot gauge = %d, want 7", got)
+	}
+	depth = 9
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE live_depth gauge\nlive_depth 9\n") {
+		t.Fatalf("prom output missing callback gauge:\n%s", buf.String())
+	}
+	// Re-registration replaces.
+	reg.GaugeFunc("live_depth", func() int64 { return -1 })
+	if got := reg.Snapshot().GaugeValue("live_depth"); got != -1 {
+		t.Fatalf("replaced gauge = %d, want -1", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	hs := reg.Snapshot().Histograms[0]
+	// The log₂ estimate is an upper bound within 2× of the true order
+	// statistic, capped at the max.
+	if p50 := hs.Quantile(0.50); p50 < 50 || p50 > 100 {
+		t.Errorf("p50 = %d, want in [50,100]", p50)
+	}
+	if p100 := hs.Quantile(1.0); p100 != 100 {
+		t.Errorf("p100 = %d, want exactly the max 100", p100)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestRegistrySnapshotUnderConcurrentWriters drives writers on every
+// instrument type while snapshots render both text formats, for the
+// race detector: snapshots must stay internally consistent and
+// deterministic in order regardless of writer interleaving.
+func TestRegistrySnapshotUnderConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("fn_gauge", func() int64 { return 1 })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("c")
+			g := reg.Gauge("g")
+			h := reg.Histogram("h")
+			tm := reg.Timer("work")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.AddShard(w, 1)
+				g.Set(int64(i))
+				h.Observe(int64(i % 1000))
+				tm.Start().End()
+				// Churn instrument creation to race the copy-on-write view.
+				reg.Counter(string(rune('a' + i%8)))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		s := reg.Snapshot()
+		for j := 1; j < len(s.Counters); j++ {
+			if s.Counters[j-1].Name >= s.Counters[j].Name {
+				t.Fatalf("counters out of order: %q >= %q", s.Counters[j-1].Name, s.Counters[j].Name)
+			}
+		}
+		for _, h := range s.Histograms {
+			var bucketSum int64
+			for _, b := range h.Buckets {
+				bucketSum += b.Count
+			}
+			// Observe increments the bucket before the total and Snapshot
+			// reads the total before the buckets, so the bucket sum can
+			// only run ahead of the count, never behind it.
+			if bucketSum < h.Count {
+				t.Fatalf("%s: bucket sum %d below count %d", h.Name, bucketSum, h.Count)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := s.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWriteTextIncludesGaugesAndHistograms is the -metrics footer
+// regression test: the text rendering must carry every instrument
+// class with deterministic ordering and the quantile columns.
+func TestWriteTextIncludesGaugesAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_counter").Inc()
+	reg.Counter("a_counter").Inc()
+	reg.Gauge("m_gauge").Set(5)
+	reg.GaugeFunc("n_gauge_fn", func() int64 { return 6 })
+	reg.Histogram("lat").Observe(100)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"counter   a_counter",
+		"counter   z_counter",
+		"gauge     m_gauge",
+		"gauge     n_gauge_fn",
+		"histogram lat",
+		"p50≤", "p90≤", "p99≤", "max=100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_counter") > strings.Index(out, "z_counter") {
+		t.Error("counters not name-sorted")
+	}
+	if strings.Index(out, "m_gauge") > strings.Index(out, "n_gauge_fn") {
+		t.Error("stored and callback gauges not merged in sorted order")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Provenance is the run manifest: everything needed to attribute a
+// benchmark report or trace to the code, configuration, and machine
+// that produced it. It is embedded in BENCH_engine.json, served at
+// /snapshot.json, and written (time- and argv-stripped, so seeded
+// traces stay byte-identical across reruns) as the first line of
+// JSONL traces.
+type Provenance struct {
+	// Command is the producing binary ("divbench", "divsim", "divd").
+	Command string `json:"command"`
+	// Args is the raw command line (flags included), absent in trace
+	// headers where it would break byte-identity across reruns that
+	// differ only in output paths.
+	Args []string `json:"args,omitempty"`
+	// Seed is the master seed of the run; Engine the stepping-engine
+	// selection string as given ("auto", "naive", "fast").
+	Seed   uint64 `json:"seed"`
+	Engine string `json:"engine,omitempty"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Host       string `json:"host,omitempty"`
+
+	// GitSHA is the VCS revision stamped into the binary by the go
+	// toolchain ("unknown" when built without VCS metadata, e.g. test
+	// binaries); GitDirty marks uncommitted changes at build time.
+	GitSHA   string `json:"git_sha"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
+
+	// Time is the RFC3339 wall-clock start of the run, absent in trace
+	// headers.
+	Time string `json:"time,omitempty"`
+}
+
+// CollectProvenance gathers the manifest for the current process.
+func CollectProvenance(command string, seed uint64, engine string) Provenance {
+	p := Provenance{
+		Command:    command,
+		Args:       os.Args[1:],
+		Seed:       seed,
+		Engine:     engine,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     "unknown",
+		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				p.GitSHA = s.Value
+			case "vcs.modified":
+				p.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return p
+}
+
+// ForTrace returns a copy with the fields that legitimately vary
+// between reruns of the same seeded configuration (wall-clock time,
+// argv — which carries output file paths) cleared, so a trace header
+// never breaks the byte-identity guarantee of seeded traces.
+func (p Provenance) ForTrace() Provenance {
+	p.Args = nil
+	p.Time = ""
+	return p
+}

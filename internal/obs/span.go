@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// This file is the span layer: low-overhead wall-clock timing of
+// hierarchical work units, recorded into the registry's log₂ latency
+// histograms. A span is a value type (no allocation) holding a timer
+// and a start instant; ending it observes the elapsed nanoseconds.
+// Hierarchy is expressed in the histogram *name*: a child span of
+// "suite" named "experiment" records into span_suite_experiment_nanos,
+// so the suite→experiment→point→block nesting the experiment harness
+// uses shows up as four separate latency distributions with
+// self-describing names.
+//
+// Disabled telemetry is free by construction: a nil *Timer and the
+// zero Span both make Start/End no-ops costing a single predictable
+// branch, mirroring the nil-Probe contract.
+
+// Standard hierarchy level names used by the suite commands. They are
+// only conventions — any name works — but sharing them keeps divbench
+// and divsim dashboards aligned.
+const (
+	SpanSuite      = "suite"
+	SpanExperiment = "experiment"
+	SpanPoint      = "point"
+	SpanBlock      = "block"
+)
+
+// Timer is a named latency recorder: durations observed through it
+// land in the registry histogram "span_<path>_nanos". Timers are
+// cheap to hold and safe for concurrent use (the histogram is
+// lock-free). A nil *Timer discards every observation.
+type Timer struct {
+	r    *Registry
+	path string
+	h    *Histogram
+}
+
+// Timer returns the latency timer for the given span path, creating
+// its histogram ("span_<path>_nanos", path sanitized) on first use.
+func (r *Registry) Timer(path string) *Timer {
+	return &Timer{r: r, path: path, h: r.Histogram(spanHistName(path))}
+}
+
+// spanHistName maps a span path to its histogram name.
+func spanHistName(path string) string {
+	return "span_" + SanitizeMetricName(path) + "_nanos"
+}
+
+// SanitizeMetricName rewrites s into the metric-name alphabet
+// [a-zA-Z0-9_]: every other rune (spaces, slashes, dots, colons)
+// becomes '_'. Names the repository constructs from tags (experiment
+// IDs, graph families) pass through this so the Prometheus exposition
+// never emits an invalid name.
+func SanitizeMetricName(s string) string {
+	ok := func(c byte) bool {
+		return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !ok(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if ok(s[i]) {
+			b.WriteByte(s[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Start begins a span on the timer. Starting on a nil timer returns
+// the zero Span, whose End is a no-op.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now()}
+}
+
+// Observe records an already-measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Nanoseconds())
+}
+
+// ObserveSince records the time elapsed since start.
+func (t *Timer) ObserveSince(start time.Time) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Span is one in-flight timed unit of work. The zero Span is valid
+// and inert: End returns 0 and records nothing, Child returns another
+// inert span. Spans are values — copy them freely, but End each one
+// at most once (a second End would record a second observation).
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Span starts a top-level span on the registry: shorthand for
+// r.Timer(path).Start(). The histogram is span_<path>_nanos.
+func (r *Registry) Span(path string) Span {
+	return r.Timer(path).Start()
+}
+
+// Active reports whether the span will record on End.
+func (s Span) Active() bool { return s.t != nil }
+
+// Child starts a nested span whose path extends the parent's:
+// a child named "experiment" of a span at "suite" records into
+// span_suite_experiment_nanos. The child's timer is resolved through
+// the same registry; ending the child is independent of ending the
+// parent.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return s.t.r.Timer(s.t.path + "_" + name).Start()
+}
+
+// End observes the span's elapsed wall-clock time into its latency
+// histogram and returns the duration (0 for the zero Span).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.h.Observe(d.Nanoseconds())
+	return d
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsIntoPathHistogram(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.Span("suite")
+	if !sp.Active() {
+		t.Fatal("span from a live registry should be active")
+	}
+	if d := sp.End(); d < 0 {
+		t.Fatalf("End returned negative duration %v", d)
+	}
+	if got := reg.Histogram("span_suite_nanos").Count(); got != 1 {
+		t.Fatalf("span_suite_nanos count = %d, want 1", got)
+	}
+}
+
+func TestSpanChildExtendsPath(t *testing.T) {
+	reg := NewRegistry()
+	suite := reg.Span("suite")
+	exp := suite.Child("experiment")
+	point := exp.Child("point")
+	point.End()
+	exp.End()
+	suite.End()
+	for _, name := range []string{
+		"span_suite_nanos",
+		"span_suite_experiment_nanos",
+		"span_suite_experiment_point_nanos",
+	} {
+		if got := reg.Histogram(name).Count(); got != 1 {
+			t.Errorf("%s count = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	// A parent's wall time covers its children: sum of child durations
+	// cannot exceed the parent's recorded duration.
+	reg := NewRegistry()
+	parent := reg.Span("outer")
+	child := parent.Child("inner")
+	time.Sleep(time.Millisecond)
+	childDur := child.End()
+	parentDur := parent.End()
+	if childDur > parentDur {
+		t.Fatalf("child duration %v exceeds parent %v", childDur, parentDur)
+	}
+	if childDur < time.Millisecond {
+		t.Fatalf("child duration %v below the slept millisecond", childDur)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var tm *Timer
+	sp := tm.Start()
+	if sp.Active() {
+		t.Fatal("span from a nil timer should be inert")
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatalf("inert End returned %v", d)
+	}
+	grand := sp.Child("x").Child("y")
+	if grand.Active() || grand.End() != 0 {
+		t.Fatal("children of an inert span should stay inert")
+	}
+	tm.Observe(time.Second)     // must not panic
+	tm.ObserveSince(time.Now()) // must not panic
+	var zero Span
+	if zero.Active() || zero.End() != 0 {
+		t.Fatal("the zero Span should be inert")
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	reg := NewRegistry()
+	tm := reg.Timer("suite/experiment point")
+	tm.Observe(3 * time.Microsecond)
+	tm.ObserveSince(time.Now().Add(-time.Microsecond))
+	h := reg.Histogram("span_suite_experiment_point_nanos")
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2 (path should sanitize '/' and ' ' to '_')", got)
+	}
+	if h.Sum() < (3 * time.Microsecond).Nanoseconds() {
+		t.Fatalf("sum = %d, below the observed 3µs", h.Sum())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"already_clean_09": "already_clean_09",
+		"a/b c.d:e":        "a_b_c_d_e",
+		"rr(n=512,d=8)":    "rr_n_512_d_8_",
+		"":                 "",
+	} {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasPrefix(spanHistName("x"), "span_") || !strings.HasSuffix(spanHistName("x"), "_nanos") {
+		t.Errorf("spanHistName(x) = %q", spanHistName("x"))
+	}
+}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -15,6 +17,10 @@ const (
 	KindDiscordance = "discordance"
 	KindStage       = "stage"
 	KindDone        = "done"
+	// KindMeta is the run-provenance header: written once, first, by
+	// commands that know their manifest. Its trial/seed stamps are
+	// zero; the payload identifies the producing code and machine.
+	KindMeta = "meta"
 )
 
 // Event is one line of a JSONL trace: a tagged union of the probe
@@ -30,6 +36,7 @@ type Event struct {
 	Discordance *Discordance  `json:"discordance,omitempty"`
 	Stage       *Stage        `json:"stage,omitempty"`
 	Done        *Done         `json:"done,omitempty"`
+	Meta        *Provenance   `json:"meta,omitempty"`
 }
 
 // TraceWriter serializes probe events to an io.Writer as JSON Lines.
@@ -92,6 +99,15 @@ func (t *TraceWriter) Close() error {
 	return t.err
 }
 
+// WriteProvenance writes the run-provenance header event. Call it
+// once, before any probe events. The manifest is stripped of its
+// wall-clock time and argv (Provenance.ForTrace) so traces of the
+// same seeded configuration stay byte-identical across invocations.
+func (t *TraceWriter) WriteProvenance(p Provenance) {
+	stripped := p.ForTrace()
+	t.Write(Event{Kind: KindMeta, Meta: &stripped})
+}
+
 // Probe returns a Probe that serializes every event into the trace,
 // stamped with the given trial index and seed. Create one per run.
 func (t *TraceWriter) Probe(trial int, seed uint64) Probe {
@@ -138,19 +154,78 @@ func (p *traceProbe) Done(d Done) {
 	p.t.Write(ev)
 }
 
+// Sentinel categories for trace decoding failures, matched with
+// errors.Is against the *TraceError a failed ReadTrace returns.
+var (
+	// ErrTraceTruncated marks a trace whose final line is incomplete —
+	// the writer was killed mid-line or the file was cut short. The
+	// events before the cut are still returned.
+	ErrTraceTruncated = errors.New("truncated trace")
+	// ErrTraceBadEvent marks a complete line that is not a valid
+	// event: unparseable JSON, an unknown kind tag, or a kind whose
+	// payload is missing.
+	ErrTraceBadEvent = errors.New("bad trace event")
+)
+
+// TraceError is the typed error ReadTrace returns on a malformed
+// trace: the 1-based line number, the category (ErrTraceTruncated or
+// ErrTraceBadEvent, matchable with errors.Is), and the underlying
+// cause.
+type TraceError struct {
+	Line int
+	Kind error // ErrTraceTruncated or ErrTraceBadEvent
+	Err  error // underlying cause, nil for structural problems
+}
+
+func (e *TraceError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("obs: trace line %d: %v: %v", e.Line, e.Kind, e.Err)
+	}
+	return fmt.Sprintf("obs: trace line %d: %v", e.Line, e.Kind)
+}
+
+// Unwrap exposes both the category sentinel and the cause to
+// errors.Is/errors.As.
+func (e *TraceError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{e.Kind, e.Err}
+	}
+	return []error{e.Kind}
+}
+
 // ReadTrace decodes a JSONL trace back into events, validating that
 // each line's payload matches its kind tag. It is the inverse of
 // TraceWriter up to JSON number formatting (which is canonical for the
 // integer fields used here, so write→read→write round-trips bytes).
+//
+// Malformed input returns a *TraceError alongside every event decoded
+// before the failure: a partial final line (no trailing newline, not
+// parseable — the signature of a killed writer) categorizes as
+// ErrTraceTruncated, while a complete-but-invalid line (bad JSON, an
+// unknown "ev" tag, a payload that does not match its tag)
+// categorizes as ErrTraceBadEvent.
 func ReadTrace(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []Event
 	for line := 1; ; line++ {
+		raw, rerr := br.ReadBytes('\n')
+		complete := rerr == nil
+		if rerr != nil && rerr != io.EOF {
+			return out, &TraceError{Line: line, Kind: ErrTraceTruncated, Err: rerr}
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			if !complete {
+				return out, nil
+			}
+			continue
+		}
 		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			kind := ErrTraceBadEvent
+			if !complete {
+				kind = ErrTraceTruncated
+			}
+			return out, &TraceError{Line: line, Kind: kind, Err: err}
 		}
 		var want bool
 		switch ev.Kind {
@@ -164,12 +239,19 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 			want = ev.Stage != nil
 		case KindDone:
 			want = ev.Done != nil
+		case KindMeta:
+			want = ev.Meta != nil
 		default:
-			return out, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, ev.Kind)
+			return out, &TraceError{Line: line, Kind: ErrTraceBadEvent,
+				Err: fmt.Errorf("unknown event kind %q", ev.Kind)}
 		}
 		if !want {
-			return out, fmt.Errorf("obs: trace line %d: kind %q with missing payload", line, ev.Kind)
+			return out, &TraceError{Line: line, Kind: ErrTraceBadEvent,
+				Err: fmt.Errorf("kind %q with missing payload", ev.Kind)}
 		}
 		out = append(out, ev)
+		if !complete {
+			return out, nil
+		}
 	}
 }

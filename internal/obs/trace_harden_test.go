@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadTraceTruncatedFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	driveProbe(tw.Probe(0, 1))
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut the trace mid-way through its final line: the signature of a
+	// writer killed before flushing a complete record.
+	cut := full[:len(full)-10]
+	events, err := ReadTrace(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !errors.Is(err, ErrTraceTruncated) {
+		t.Fatalf("err = %v, want ErrTraceTruncated", err)
+	}
+	if errors.Is(err, ErrTraceBadEvent) {
+		t.Fatal("truncation must not also categorize as a bad event")
+	}
+	var te *TraceError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T is not a *TraceError", err)
+	}
+	if te.Line != 5 {
+		t.Fatalf("TraceError.Line = %d, want 5", te.Line)
+	}
+	if len(events) != 4 {
+		t.Fatalf("returned %d events before the cut, want 4", len(events))
+	}
+}
+
+func TestReadTraceBadEventTyped(t *testing.T) {
+	good := `{"ev":"done","trial":0,"seed":0,"done":{"step":1,"winner":1,"consensus":true}}`
+	for _, tc := range []struct {
+		name string
+		line string
+	}{
+		{"unknown kind", `{"ev":"bogus","trial":0,"seed":0}`},
+		{"payload missing", `{"ev":"batch","trial":0,"seed":0}`},
+		{"not json", `{{{`},
+		{"wrong payload for kind", `{"ev":"stage","trial":0,"seed":0,"done":{"step":1}}`},
+	} {
+		input := good + "\n" + tc.line + "\n"
+		events, err := ReadTrace(strings.NewReader(input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrTraceBadEvent) {
+			t.Errorf("%s: err = %v, want ErrTraceBadEvent", tc.name, err)
+		}
+		var te *TraceError
+		if !errors.As(err, &te) || te.Line != 2 {
+			t.Errorf("%s: want *TraceError at line 2, got %v", tc.name, err)
+		}
+		if len(events) != 1 {
+			t.Errorf("%s: %d events before the bad line, want 1", tc.name, len(events))
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	line := `{"ev":"done","trial":0,"seed":0,"done":{"step":1,"winner":1,"consensus":true}}`
+	events, err := ReadTrace(strings.NewReader("\n" + line + "\n\n" + line + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+}
+
+func TestTraceProvenanceHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	prov := CollectProvenance("divsim", 99, "auto")
+	tw.WriteProvenance(prov)
+	driveProbe(tw.Probe(0, 99))
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Kind != KindMeta || events[0].Meta == nil {
+		t.Fatalf("first event = %+v, want a meta header", events[0])
+	}
+	m := events[0].Meta
+	if m.Command != "divsim" || m.Seed != 99 {
+		t.Fatalf("meta identity = %+v", m)
+	}
+	if m.Time != "" || m.Args != nil {
+		t.Fatalf("meta header must be time/argv-stripped: %+v", m)
+	}
+}
+
+// TestTraceProvenanceByteIdentity guards the trace-artifact contract:
+// two traces of the same seeded configuration must be byte-identical
+// even when the processes differed in argv and wall-clock time.
+func TestTraceProvenanceByteIdentity(t *testing.T) {
+	render := func(args []string, when string) []byte {
+		var buf bytes.Buffer
+		tw := NewTraceWriter(&buf)
+		prov := CollectProvenance("divsim", 7, "auto")
+		prov.Args = args
+		prov.Time = when
+		tw.WriteProvenance(prov)
+		driveProbe(tw.Probe(0, 7))
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := render([]string{"-trace", "a.jsonl"}, "2026-01-01T00:00:00Z")
+	b := render([]string{"-trace", "b.jsonl"}, "2026-06-30T12:00:00Z")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("traces differ across argv/time:\n%s\nvs\n%s", a, b)
+	}
+}

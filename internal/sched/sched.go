@@ -19,6 +19,12 @@
 //	sched_parks_total       times a worker went to sleep empty-handed
 //	sched_busy_nanos_total  Σ task wall time (utilization numerator)
 //	sched_pool_width        workers in the most recently created pool
+//	sched_task_nanos        task latency histogram (log₂ buckets)
+//	sched_steal_nanos       own-deque miss → successful steal latency
+//	sched_park_nanos        time actually spent parked per sleep
+//	sched_queue_depth       live queued-not-running tasks across the
+//	                        shared pools (callback gauge, evaluated at
+//	                        scrape/snapshot time)
 //
 // Hot-path counter updates use the worker's ID as an obs shard hint,
 // and the submission barrier (notify) is lock-free when no worker is
@@ -42,7 +48,34 @@ var (
 	parksTotal   = obs.Default.Counter("sched_parks_total")
 	busyNanos    = obs.Default.Counter("sched_busy_nanos_total")
 	widthGauge   = obs.Default.Gauge("sched_pool_width")
+
+	// Latency histograms (log₂ nanosecond buckets). Task latency is
+	// observed once per task in the worker loop — the loop already
+	// takes the two time.Now() readings for busy accounting, so the
+	// histogram adds only the Observe. Steal latency covers the search
+	// from a worker's own-deque miss to a successful steal; park
+	// latency is the time a worker actually slept. None of these touch
+	// the own-deque fast path.
+	taskNanos  = obs.Default.Histogram("sched_task_nanos")
+	stealNanos = obs.Default.Histogram("sched_steal_nanos")
+	parkNanos  = obs.Default.Histogram("sched_park_nanos")
 )
+
+func init() {
+	// Live queue depth across the shared pools: pending injector
+	// submissions plus every worker deque's backlog. Evaluated only at
+	// snapshot/scrape time, so maintaining it costs the hot paths
+	// nothing.
+	obs.Default.GaugeFunc("sched_queue_depth", func() int64 {
+		sharedMu.Lock()
+		defer sharedMu.Unlock()
+		var depth int64
+		for _, p := range sharedPools {
+			depth += p.QueueDepth()
+		}
+		return depth
+	})
+}
 
 // Tag identifies a task for diagnostics: which experiment submitted
 // it, which sweep point it belongs to, and its trial index. Span is
@@ -114,6 +147,14 @@ func (d *deque) pop() (Task, bool) {
 	t := d.buf[i]
 	d.buf[i] = Task{}
 	return t, true
+}
+
+// size returns the number of queued tasks (any side).
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	return n
 }
 
 // steal removes the oldest task (thief side).
@@ -229,6 +270,18 @@ func (p *Pool) BusyNanos() int64 {
 	return s
 }
 
+// QueueDepth returns the number of tasks queued but not yet running:
+// the injector backlog plus every worker deque's length. It is a
+// diagnostic read (each deque is locked briefly, one at a time), used
+// by the sched_queue_depth callback gauge at scrape time.
+func (p *Pool) QueueDepth() int64 {
+	depth := p.injLen.Load()
+	for _, w := range p.workers {
+		depth += int64(w.dq.size())
+	}
+	return depth
+}
+
 // Submit enqueues tasks from outside the pool (experiment goroutines).
 // Safe for concurrent use. Submitting to a closed pool panics.
 func (p *Pool) Submit(ts ...Task) {
@@ -313,6 +366,7 @@ func (w *Worker) loop() {
 		w.busy.Add(el)
 		busyNanos.AddShard(w.id, el)
 		tasksTotal.IncShard(w.id)
+		taskNanos.Observe(el)
 	}
 }
 
@@ -340,6 +394,11 @@ func (w *Worker) next() (Task, bool) {
 		return t, true
 	}
 	p := w.pool
+	// searchStart anchors the steal-latency measurement: the worker's
+	// own deque is dry, so everything from here to a successful steal
+	// is time the task spent waiting on work distribution. The
+	// own-deque pop above stays free of timestamp reads.
+	searchStart := time.Now()
 	for {
 		v0 := p.version.Load()
 		if p.injLen.Load() > 0 {
@@ -357,6 +416,7 @@ func (w *Worker) next() (Task, bool) {
 			victim := p.workers[(w.id+off)%len(p.workers)]
 			if t, ok := victim.dq.steal(); ok {
 				stealsTotal.IncShard(w.id)
+				stealNanos.Observe(time.Since(searchStart).Nanoseconds())
 				return t, true
 			}
 		}
@@ -369,7 +429,9 @@ func (w *Worker) next() (Task, bool) {
 			p.sleeping++
 			p.sleepers.Store(int32(p.sleeping))
 			parksTotal.IncShard(w.id)
+			parkStart := time.Now()
 			p.cond.Wait()
+			parkNanos.Observe(time.Since(parkStart).Nanoseconds())
 			p.sleeping--
 			p.sleepers.Store(int32(p.sleeping))
 		}

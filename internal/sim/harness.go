@@ -18,7 +18,8 @@ import (
 
 // Metrics is the registry the harness aggregates into (obs.Default
 // unless a test swaps it): per-trial wall-time histograms
-// (sim_trial_micros), trial counters (sim_trials_total,
+// (sim_trial_micros), per-span wall times of the blocked kernel's
+// work units (sim_block_micros), trial counters (sim_trials_total,
 // sim_trial_errors_total), the current pool width (sim_workers), and
 // the worker-utilization of the last batch in permille
 // (sim_worker_utilization_permille = Σ trial time / (wall · workers) ·
@@ -91,6 +92,9 @@ func InstrumentedBlock(trials int, fn func() error) (elapsed time.Duration, err 
 			h.Observe(per)
 		}
 		Metrics.Counter("sim_trials_total").Add(int64(trials))
+		// The span itself — the blocked kernel's unit of work — gets its
+		// own latency distribution, undivided.
+		Metrics.Histogram("sim_block_micros").Observe(elapsed.Microseconds())
 	}
 	if err != nil {
 		Metrics.Counter("sim_trial_errors_total").Inc()

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end check of the live exposition surface.
+#
+# Runs the quick suite with -serve, polls /metrics while the suite is
+# still going, and asserts the live page carries the telemetry the
+# acceptance criteria name: the scheduler queue-depth gauge, the graph
+# cache counters, and at least one latency histogram rendered as
+# cumulative Prometheus buckets. Also validates /progress parses as
+# JSON with the expected fields. Exits nonzero on any miss.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_SMOKE_PORT:-19809}"
+ADDR="127.0.0.1:${PORT}"
+OUT="$(mktemp -d)"
+trap 'kill "${BENCH_PID:-}" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/divbench" ./cmd/divbench
+"$OUT/divbench" -serve "$ADDR" >"$OUT/suite.log" 2>&1 &
+BENCH_PID=$!
+
+# Wait (up to ~30s) for the server to come up, then keep the scrape
+# that we validate: a mid-run snapshot, not a post-run one.
+up=""
+for _ in $(seq 1 300); do
+  if curl -sf "http://$ADDR/metrics" -o "$OUT/metrics.txt" 2>/dev/null; then
+    up=1
+    break
+  fi
+  if ! kill -0 "$BENCH_PID" 2>/dev/null; then
+    echo "serve_smoke: divbench exited before /metrics came up" >&2
+    cat "$OUT/suite.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$up" ]; then
+  echo "serve_smoke: /metrics not reachable after 30s" >&2
+  exit 1
+fi
+
+curl -sf "http://$ADDR/progress" -o "$OUT/progress.json"
+curl -sf "http://$ADDR/snapshot.json" -o "$OUT/snapshot.json"
+
+fail=0
+require() { # require <pattern> <file> <what>
+  if ! grep -q "$1" "$2"; then
+    echo "serve_smoke: MISSING $3 (pattern: $1)" >&2
+    fail=1
+  else
+    echo "serve_smoke: ok: $3"
+  fi
+}
+require '^# TYPE sched_queue_depth gauge' "$OUT/metrics.txt" "scheduler queue-depth gauge"
+require '^# TYPE graph_cache_hits_total counter' "$OUT/metrics.txt" "graph cache hit counter"
+require '^# TYPE graph_cache_misses_total counter' "$OUT/metrics.txt" "graph cache miss counter"
+require '_bucket{le="' "$OUT/metrics.txt" "a latency histogram with cumulative buckets"
+require '_bucket{le="+Inf"}' "$OUT/metrics.txt" "the +Inf bucket"
+
+python3 - "$OUT/progress.json" "$OUT/snapshot.json" <<'EOF'
+import json, sys
+prog = json.load(open(sys.argv[1]))
+assert prog["total"] > 0, "progress.total must be positive"
+assert 0 <= prog["done"] <= prog["total"], "progress.done out of range"
+snap = json.load(open(sys.argv[2]))
+assert snap["provenance"]["command"] == "divbench", "snapshot provenance"
+assert "metrics" in snap, "snapshot metrics"
+print("serve_smoke: ok: /progress and /snapshot.json parse with expected fields")
+EOF
+
+wait "$BENCH_PID"
+echo "serve_smoke: ok: suite completed cleanly under -serve"
+exit "$fail"
