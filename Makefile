@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help check vet build test race invariants bench bench-engine bench-scaling bench-compare serve-smoke full-suite cover trace-artifact
+.PHONY: help check vet build test race invariants bench bench-engine bench-bign bench-scaling bench-compare serve-smoke full-suite cover trace-artifact
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-12s %s\n", $$1, $$2}'
@@ -36,6 +36,9 @@ bench: ## every experiment as a testing.B benchmark, one iteration each
 bench-engine: ## regenerate the fast-engine speedup table (results/fast_engine.txt) and the perf matrix incl. the E2 block-size sweep B∈{1,4,8,16} (BENCH_engine.json)
 	$(GO) run ./cmd/divbench -exp E20 -full
 	$(GO) run ./cmd/divbench -bench-json BENCH_engine.json -full
+
+bench-bign: ## regenerate the 'bign' section of BENCH_engine.json: million-vertex E2-style runs on an implicit circulant with compact byte slabs vs the materialized-CSR int32 baseline (n=10⁶ pair + n=10⁷ implicit arm), with ns/step, build time, and per-phase peak RSS
+	$(GO) run ./cmd/divbench -bench-bign BENCH_engine.json -full
 
 bench-scaling: ## regenerate BENCH_engine.json with the multicore 'scaling' section: quick suite at widths {1,2,4,all} (GOMAXPROCS matched) + the CSR blocked-kernel block sweep B∈{1,2,4,8}
 	$(GO) run ./cmd/divbench -bench-json BENCH_engine.json -full -widths 1,2,4,0

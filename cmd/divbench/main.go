@@ -76,6 +76,7 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every core run to this file (line order across parallel trials is scheduler-dependent)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
 		benchJSON  = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
+		benchBigN  = flag.String("bench-bign", "", "run only the big-n section (implicit topology + compact slab vs materialized CSR at n=10⁶, plus 10⁷ with -full) and merge it into this JSON report file")
 		widthsCSV  = flag.String("widths", "", "with -bench-json: also measure the suite scaling curve at these pool widths (comma-separated; 0 = all online CPUs) plus the CSR blocked-kernel block sweep, recorded in the report's 'scaling' section")
 		serveAddr  = flag.String("serve", "", "serve live /metrics (Prometheus text), /snapshot.json, and /progress on this address during the run (e.g. :9090)")
 		compareOld = flag.String("compare", "", "compare this baseline -bench-json report against the report given as the positional argument; exit 1 on regressions")
@@ -96,6 +97,13 @@ func main() {
 	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, widths, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchBigN != "" {
+		if err := runBenchBigN(*benchBigN, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench:", err)
 			os.Exit(1)
 		}
@@ -273,6 +281,10 @@ func main() {
 		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench:", err)
 		}
+		if peak, ok := obs.ReadPeakRSS(); ok {
+			fmt.Printf("memory: peak RSS %.1f MB, total alloc %.1f MB\n",
+				float64(peak)/(1<<20), float64(obs.HeapTotalAlloc())/(1<<20))
+		}
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "\nFAILED: %d check(s)\n", len(failed))
@@ -328,6 +340,57 @@ func runBenchJSON(path string, widths []int, params exp.Params) error {
 		for _, win := range rep.Scaling.BlockedWins {
 			fmt.Printf("bench: scaling: blocked kernel beats B=1 on %s\n", win)
 		}
+	}
+	return nil
+}
+
+// runBenchBigN measures the big-n section and merges it into the JSON
+// report at path, preserving any sections an earlier -bench-json run
+// wrote there. It fails when the acceptance bounds are violated: the
+// implicit/compact arm must be byte-identical to the materialized
+// int32 arm, and its peak RSS at n=10⁶ must stay within 25% of the
+// materialized baseline's.
+func runBenchBigN(path string, params exp.Params) error {
+	start := time.Now()
+	sec, err := exp.BenchBigNRun(params)
+	if err != nil {
+		return err
+	}
+	rep := &exp.BenchReport{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		rep.Quick = params.Quick
+		rep.Note = "bign section generated by divbench -bench-bign; run -bench-json for the engine matrix"
+	}
+	rep.BigN = sec
+	prov := obs.CollectProvenance("divbench", params.Seed, params.Engine).WithMemStats()
+	rep.Provenance = &prov
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, arm := range sec.Arms {
+		fmt.Printf("bench: bign %-20s n=%-8d %6.1f ns/step, build %6.3fs, peak RSS %7.1f MB, alloc %7.1f MB, two-adjacent %.0f%%\n",
+			arm.Label, arm.N, arm.NsPerStep, arm.BuildSeconds,
+			float64(arm.PeakRSSBytes)/(1<<20), float64(arm.AllocBytes)/(1<<20), 100*arm.TwoAdjacentFrac)
+	}
+	fmt.Printf("bench: bign peak-RSS ratio implicit/materialized = %.3f (bound 0.25), results identical = %v -> %s (%v)\n",
+		sec.RSSRatio, sec.Identical, path, time.Since(start).Round(time.Millisecond))
+	if !sec.Identical {
+		return fmt.Errorf("bign: implicit/compact results diverged from the materialized int32 arm")
+	}
+	if sec.RSSRatio > 0.25 {
+		return fmt.Errorf("bign: peak RSS ratio %.3f exceeds the 0.25 bound", sec.RSSRatio)
 	}
 	return nil
 }

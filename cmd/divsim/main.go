@@ -23,6 +23,7 @@ import (
 
 	"div/internal/cli"
 	"div/internal/core"
+	"div/internal/graph"
 	"div/internal/obs"
 	"div/internal/rng"
 	"div/internal/stats"
@@ -43,6 +44,8 @@ func main() {
 		series     = flag.Bool("series", false, "print range/weight/discordance trajectory sparklines (first run only)")
 		maxSteps   = flag.Int64("maxsteps", 0, "step cap (0 = 200·n²)")
 		block      = flag.Int("block", 0, "run trials through the blocked SoA stepping kernel, this many per block (0 = sequential runs); incompatible with -trace-stages and -series")
+		implicit   = flag.Bool("implicit", false, "back the run with the O(1)-state implicit topology for the spec (complete, cycle, path, torus, hypercube, circulant, hashedregular) instead of a materialized CSR graph; implies -block 1")
+		compact    = flag.Bool("compact", false, "store opinions in the compact byte slab (requires the initial opinion window to span ≤ 256 values); implies -block 1")
 		traceFile  = flag.String("trace", "", "write a JSONL probe trace of every run to this file")
 		metrics    = flag.Bool("metrics", false, "print the aggregated metrics snapshot on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address (e.g. localhost:6060)")
@@ -63,7 +66,7 @@ func main() {
 		fmt.Printf("serve: /metrics, /snapshot.json, /progress on http://%s\n", *serveAddr)
 	}
 	if err := run(*graphSpec, *k, *dissenters, *procName, *ruleName, *engName, *seed, *trials,
-		*trace, *series, *maxSteps, *block, *traceFile, *metrics, prov, progress); err != nil {
+		*trace, *series, *maxSteps, *block, *implicit, *compact, *traceFile, *metrics, prov, progress); err != nil {
 		fmt.Fprintln(os.Stderr, "divsim:", err)
 		os.Exit(1)
 	}
@@ -82,9 +85,23 @@ func servePprof(addr string) {
 }
 
 func run(graphSpec string, k, dissenters int, procName, ruleName, engName string, seed uint64, trials int,
-	trace, series bool, maxSteps int64, block int, traceFile string, metrics bool,
+	trace, series bool, maxSteps int64, block int, implicit, compact bool, traceFile string, metrics bool,
 	prov obs.Provenance, progress *obs.Progress) error {
-	g, err := cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
+	// The sequential engines step a materialized CSR graph; the implicit
+	// backends and the compact byte slab live in the blocked kernel, so
+	// either flag routes the run through it.
+	if (implicit || compact) && block == 0 {
+		block = 1
+	}
+	var g *graph.Graph
+	var topo graph.Topology
+	var err error
+	if implicit {
+		topo, err = cli.ParseTopology(graphSpec, rng.DeriveSeed(seed, 0x6a))
+	} else {
+		g, err = cli.ParseGraph(graphSpec, rng.DeriveSeed(seed, 0x6a))
+		topo = g
+	}
 	if err != nil {
 		return err
 	}
@@ -103,7 +120,14 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 	if dissenters > 0 {
 		k = 2
 	}
-	fmt.Printf("graph: %v  process: %v  rule: %s  engine: %v  k: %d  seed: %d\n", g, proc, rule.Name(), engine, k, seed)
+	desc := fmt.Sprintf("%v", topo)
+	if implicit {
+		desc = topo.Name() + " (implicit)"
+	}
+	if compact {
+		desc += " [compact]"
+	}
+	fmt.Printf("graph: %s  process: %v  rule: %s  engine: %v  k: %d  seed: %d\n", desc, proc, rule.Name(), engine, k, seed)
 
 	// Probe sinks: a JSONL trace writer and/or the metrics registry.
 	// Trials run serially, so a seeded trace is byte-identical across
@@ -133,10 +157,12 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		// each drawing from its own counter-based stream keyed by
 		// (seed, trial) — results are independent of the block size.
 		if trace || series {
-			return fmt.Errorf("-block is incompatible with -trace-stages and -series (the blocked kernel has no observer hooks)")
+			return fmt.Errorf("-block (and -implicit/-compact, which imply it) is incompatible with -trace-stages and -series (the blocked kernel has no observer hooks)")
 		}
 		cfg := core.BlockConfig{
 			Graph:    g,
+			Topology: topo,
+			Compact:  compact,
 			Process:  proc,
 			Rule:     rule,
 			Engine:   engine,
@@ -213,7 +239,12 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		} else {
 			init = core.UniformOpinions(g.N(), k, r)
 		}
-		var rec *core.Recorder
+		var rec interface {
+			core.SampleSink
+			RangeFloat() []float64
+			SumFloat() []float64
+			DiscordanceFloat() []float64
+		}
 		cfg := core.Config{
 			Graph:        g,
 			Initial:      init,
@@ -233,7 +264,16 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		}
 		cfg.Probe = obs.Multi(probes...)
 		if series && t == 0 {
-			rec = &core.Recorder{}
+			// Above the sample budget (or with an open-ended horizon)
+			// this yields a fixed-memory StreamRecorder instead of the
+			// exact append-per-sample Recorder.
+			auto := core.NewAutoRecorder(maxSteps, int64(g.N()), 0)
+			rec = auto.(interface {
+				core.SampleSink
+				RangeFloat() []float64
+				SumFloat() []float64
+				DiscordanceFloat() []float64
+			})
 			cfg.Observer = rec.Observe
 			cfg.ObserveEvery = int64(g.N())
 		}
@@ -243,8 +283,12 @@ func run(graphSpec string, k, dissenters int, procName, ruleName, engName string
 		}
 		if rec != nil && rec.Len() > 1 {
 			width := 72
+			per := int64(g.N())
+			if sr, ok := rec.(*core.StreamRecorder); ok {
+				per *= sr.Stride()
+			}
 			fmt.Printf("range trajectory (one sample per %d steps):\n  %s\n",
-				g.N(), textplot.Sparkline(downsample(rec.RangeFloat(), width)))
+				per, textplot.Sparkline(downsample(rec.RangeFloat(), width)))
 			fmt.Printf("weight S(t) trajectory:\n  %s\n",
 				textplot.Sparkline(downsample(rec.SumFloat(), width)))
 			fmt.Printf("discordant-edge trajectory:\n  %s\n",
@@ -300,6 +344,10 @@ func finish(winners *stats.IntHistogram, stepsAll, reduceAll []float64, trials i
 		fmt.Println("metrics:")
 		if err := obs.Default.Snapshot().WriteText(os.Stdout); err != nil {
 			return err
+		}
+		if peak, ok := obs.ReadPeakRSS(); ok {
+			fmt.Printf("memory: peak RSS %.1f MB, total alloc %.1f MB\n",
+				float64(peak)/(1<<20), float64(obs.HeapTotalAlloc())/(1<<20))
 		}
 	}
 	return nil

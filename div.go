@@ -211,6 +211,22 @@ func RunMany(cfg Config, trials int) ([]Result, error) { return core.RunMany(cfg
 // method as Config.Observer.
 type Recorder = core.Recorder
 
+// StreamRecorder is the fixed-memory counterpart of Recorder: online
+// min/mean/max accumulators plus a self-coarsening bounded checkpoint
+// buffer, for runs whose step count makes append-per-sample series
+// unaffordable.
+type StreamRecorder = core.StreamRecorder
+
+// SampleSink is the common surface of Recorder and StreamRecorder.
+type SampleSink = core.SampleSink
+
+// NewAutoRecorder picks the exact Recorder when the expected sample
+// count (maxSteps/observeEvery) fits the budget (≤0: a default) and a
+// bounded StreamRecorder otherwise.
+func NewAutoRecorder(maxSteps, observeEvery int64, budget int) SampleSink {
+	return core.NewAutoRecorder(maxSteps, observeEvery, budget)
+}
+
 // Synchronous-rounds extension: all vertices update simultaneously;
 // laziness breaks the period-2 orbits pure synchrony can fall into.
 type (

@@ -160,17 +160,110 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		if len(args) < 2 {
 			return nil, fmt.Errorf("cli: circulant needs strides, e.g. circulant:12,1+2")
 		}
-		var strides []int
-		for _, s := range strings.Split(args[1], "+") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				return nil, fmt.Errorf("cli: circulant stride %q: %w", s, err)
-			}
-			strides = append(strides, v)
+		strides, err := parseStrides(args[1])
+		if err != nil {
+			return nil, err
 		}
 		return graph.Circulant(n, strides), nil
 	default:
 		return nil, fmt.Errorf("cli: unknown graph family %q (try complete:N, regular:N,D, gnp:N,P, …)", name)
+	}
+}
+
+// parseStrides splits a "+"-separated circulant connection set.
+func parseStrides(arg string) ([]int, error) {
+	var strides []int
+	for _, s := range strings.Split(arg, "+") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("cli: circulant stride %q: %w", s, err)
+		}
+		strides = append(strides, v)
+	}
+	return strides, nil
+}
+
+// ParseTopology builds an O(1)-state implicit topology from a spec
+// string, for runs too large to materialize:
+//
+//	complete:N          cycle:N           path:N
+//	torus:R,C           hypercube:D       circulant:N,S1+S2+...
+//	hashedregular:N,D
+//
+// The families mirror ParseGraph's syntax, so a spec that works with
+// -graph works unchanged when routed through the implicit path. The
+// hashedregular family is seed-keyed: the same (N, D, seed) names the
+// same pseudorandom d-regular multigraph on every call.
+func ParseTopology(spec string, seed uint64) (graph.Topology, error) {
+	name, argStr, _ := strings.Cut(spec, ":")
+	args := strings.Split(argStr, ",")
+	argInt := func(i int) (int, error) {
+		if i >= len(args) || args[i] == "" {
+			return 0, fmt.Errorf("cli: %s needs argument %d", name, i+1)
+		}
+		return strconv.Atoi(strings.TrimSpace(args[i]))
+	}
+
+	switch strings.ToLower(name) {
+	case "complete":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitComplete(n)
+	case "cycle":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitCycle(n)
+	case "path":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitPath(n)
+	case "torus":
+		rows, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitTorus(rows, cols)
+	case "hypercube":
+		d, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitHypercube(d)
+	case "circulant":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("cli: circulant needs strides, e.g. circulant:12,1+2")
+		}
+		strides, err := parseStrides(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewImplicitCirculant(n, strides)
+	case "hashedregular":
+		n, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.NewHashedRegular(n, d, seed)
+	default:
+		return nil, fmt.Errorf("cli: no implicit backend for graph family %q (try complete:N, cycle:N, path:N, torus:R,C, hypercube:D, circulant:N,S1+S2+…, hashedregular:N,D)", name)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"div/internal/baseline"
 	"div/internal/core"
+	"div/internal/graph"
 )
 
 func TestParseGraphFamilies(t *testing.T) {
@@ -41,6 +42,110 @@ func TestParseGraphFamilies(t *testing.T) {
 				t.Errorf("M = %d, want %d", g.M(), tc.wantM)
 			}
 		})
+	}
+}
+
+func TestParseTopologyFamilies(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantN   int
+		wantSum int64
+	}{
+		{"complete:6", 6, 30},
+		{"cycle:7", 7, 14},
+		{"path:9", 9, 16},
+		{"torus:3,4", 12, 48},
+		{"hypercube:3", 8, 24},
+		{"circulant:10,1+2", 10, 40},
+		{"hashedregular:64,4", 64, 256},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			topo, err := ParseTopology(tc.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if topo.N() != tc.wantN {
+				t.Errorf("N = %d, want %d", topo.N(), tc.wantN)
+			}
+			if topo.DegreeSum() != tc.wantSum {
+				t.Errorf("DegreeSum = %d, want %d", topo.DegreeSum(), tc.wantSum)
+			}
+		})
+	}
+}
+
+// TestParseTopologyMatchesParseGraph pins that a spec names the same
+// structure whichever parser handles it: the implicit topology's
+// materialization equals the ParseGraph CSR edge for edge.
+func TestParseTopologyMatchesParseGraph(t *testing.T) {
+	for _, spec := range []string{
+		"complete:6", "cycle:7", "path:9", "torus:3,4", "hypercube:3", "circulant:10,1+2",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			topo, err := ParseTopology(spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := ParseGraph(spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twin := graph.MustMaterialize(topo)
+			et, eg := twin.Edges(), g.Edges()
+			if len(et) != len(eg) {
+				t.Fatalf("edge count %d vs %d", len(et), len(eg))
+			}
+			for i := range et {
+				if et[i] != eg[i] {
+					t.Fatalf("edge %d: %v vs %v", i, et[i], eg[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseTopologySeedKeyed(t *testing.T) {
+	a, err := ParseTopology("hashedregular:128,6", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTopology("hashedregular:128,6", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseTopology("hashedregular:128,6", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := true, true
+	for v := 0; v < 128; v++ {
+		for i := 0; i < 6; i++ {
+			if a.Neighbor(v, i) != b.Neighbor(v, i) {
+				same = false
+			}
+			if a.Neighbor(v, i) != c.Neighbor(v, i) {
+				diff = false
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed must name the same hashed-regular matching")
+	}
+	if diff {
+		t.Error("different seeds should name different matchings")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus:5", "star:5", "regular:20,3", "gnp:30,0.4",
+		"complete:", "complete:x", "torus:3", "circulant:10", "circulant:10,a",
+		"hashedregular:64", "hashedregular:63,4", "hashedregular:64,64",
+	} {
+		if _, err := ParseTopology(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
 	}
 }
 

@@ -78,6 +78,24 @@ var (
 type BlockConfig struct {
 	// Graph is the (connected, min-degree ≥ 1) interaction graph.
 	Graph *graph.Graph
+	// Topology, when non-nil, supplies the interaction structure instead
+	// of Graph: either a materialized *graph.Graph or one of the
+	// O(1)-state implicit families (graph.ImplicitTorus,
+	// graph.HashedRegular, …), which never build adjacency and so make
+	// n = 10⁶–10⁷ runs affordable. Implicit topologies support only the
+	// DIV rule (the generic-rule path and the fast engine need CSR
+	// structure): EngineFast is rejected and EngineAuto never hands off.
+	// Results are byte-identical to running on Materialize(Topology).
+	// Setting both Graph and a Topology other than Graph itself is an
+	// error.
+	Topology graph.Topology
+	// Compact stores each trial's opinions as a byte slab (opinion
+	// window ≤ 256) instead of int32 — 4× less opinion memory, so a
+	// block's working set fits L2 at n = 2²⁰. Requires the DIV rule;
+	// results are byte-identical to the int32 representation, and like
+	// implicit topologies, compact trials never hand off to the
+	// sequential fast engine.
+	Compact bool
 	// Process is the scheduler (vertex or edge). Default VertexProcess.
 	Process Process
 	// Rule is the update rule. Default DIV{}. Non-pairwise rules run on
@@ -138,7 +156,7 @@ func RunBlock(cfg BlockConfig, t0, t1 int, out []Result) error {
 	if bn == 0 {
 		return nil
 	}
-	b.arena.grow(bn)
+	b.arena.grow(bn, b.compact)
 	rows := make([]*blockRow, bn)
 	copy(rows, b.arena.rows[:bn])
 	next := t0
@@ -260,38 +278,60 @@ type blockRow struct {
 // Scratch, it is single-goroutine; Scratch.blockArenaFor caches one per
 // worker.
 type blockArena struct {
-	g       *graph.Graph
+	g       *graph.Graph   // nil when topo is an implicit family
+	topo    graph.Topology // the backing structure (== g when CSR)
+	compact bool           // representation rows are currently aliased to
 	slab    []int32
+	slab8   []uint8
 	rows    []*blockRow
 	initBuf []int
 	lanes   []*blockRow   // scratch live-lane list for laneChunk
 	fast    [2]*FastState // indexed by Process; rebound per hand-off
 }
 
-func newBlockArena(g *graph.Graph) *blockArena { return &blockArena{g: g} }
+func newBlockArena(t graph.Topology) *blockArena {
+	g, _ := t.(*graph.Graph)
+	return &blockArena{g: g, topo: t}
+}
 
-// grow ensures the arena holds at least bn rows, re-aliasing existing
-// rows into a larger slab when needed. Row states are fully rebuilt by
-// initRow, so re-aliasing need not preserve contents.
-func (a *blockArena) grow(bn int) {
-	n := a.g.N()
-	if len(a.rows) >= bn {
+// grow ensures the arena holds at least bn rows aliased into the slab
+// of the requested representation (int32 or compact byte), re-aliasing
+// on every call so representation switches between batches are safe.
+// Row states are fully rebuilt by initRow, so re-aliasing need not
+// preserve contents.
+func (a *blockArena) grow(bn int, compact bool) {
+	n := a.topo.N()
+	for j := len(a.rows); j < bn; j++ {
+		row := &blockRow{s: &State{g: a.g}}
+		if a.g == nil {
+			row.s.topo = a.topo
+		}
+		row.r = rand.New(&row.stream)
+		a.rows = append(a.rows, row)
+	}
+	a.compact = compact
+	if compact {
+		if cap(a.slab8) < bn*n {
+			a.slab8 = make([]uint8, bn*n)
+		} else {
+			a.slab8 = a.slab8[:bn*n]
+		}
+		for j := 0; j < bn; j++ {
+			s := a.rows[j].s
+			s.opb = a.slab8[j*n : (j+1)*n : (j+1)*n]
+			s.opinions = nil
+		}
 		return
 	}
 	if cap(a.slab) < bn*n {
 		a.slab = make([]int32, bn*n)
-		for j, row := range a.rows {
-			row.s.opinions = a.slab[j*n : (j+1)*n : (j+1)*n]
-		}
 	} else {
 		a.slab = a.slab[:bn*n]
 	}
-	for j := len(a.rows); j < bn; j++ {
-		row := &blockRow{
-			s: &State{g: a.g, opinions: a.slab[j*n : (j+1)*n : (j+1)*n]},
-		}
-		row.r = rand.New(&row.stream)
-		a.rows = append(a.rows, row)
+	for j := 0; j < bn; j++ {
+		s := a.rows[j].s
+		s.opinions = a.slab[j*n : (j+1)*n : (j+1)*n]
+		s.opb = nil
 	}
 }
 
@@ -317,13 +357,24 @@ func (a *blockArena) fastFor(row *blockRow, proc Process) (*FastState, error) {
 // blockRun is the resolved, validated configuration plus the
 // kernel-selection constants hoisted out of the stepping loops.
 type blockRun struct {
-	g      *graph.Graph
-	proc   Process
-	rule   Rule
-	pw     PairwiseRule // nil when the rule is not pairwise
-	isDIV  bool
-	engine Engine
-	stop   StopCondition
+	g *graph.Graph // nil when the run is backed by an implicit topology
+	// topo is the structure backing the kernels (== g when CSR); atopo
+	// its arc-map view, set only for the implicit edge kernel. tuned
+	// marks the CSR + int32 combination, which keeps the hand-tuned lane
+	// loops; every other combination (implicit topology and/or compact
+	// byte slab) runs the topology-generic loops in block_topo.go, whose
+	// draw structure is transcribed from the tuned loops so trajectories
+	// stay byte-identical across backends and representations.
+	topo    graph.Topology
+	atopo   graph.ArcTopology
+	compact bool
+	tuned   bool
+	proc    Process
+	rule    Rule
+	pw      PairwiseRule // nil when the rule is not pairwise
+	isDIV   bool
+	engine  Engine
+	stop    StopCondition
 
 	seed         uint64
 	maxSteps     int64
@@ -364,13 +415,27 @@ type blockRun struct {
 
 func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 	g := cfg.Graph
-	if g == nil {
-		return nil, fmt.Errorf("core: BlockConfig.Graph is required")
+	topo := cfg.Topology
+	switch tg := topo.(type) {
+	case nil:
+		if g == nil {
+			return nil, fmt.Errorf("core: BlockConfig.Graph or Topology is required")
+		}
+		topo = g
+	case *graph.Graph:
+		if g != nil && g != tg {
+			return nil, fmt.Errorf("core: BlockConfig.Graph and Topology disagree")
+		}
+		g = tg
+	default:
+		if g != nil {
+			return nil, fmt.Errorf("core: BlockConfig.Graph and Topology disagree")
+		}
 	}
 	if cfg.Init == nil {
 		return nil, fmt.Errorf("core: BlockConfig.Init is required")
 	}
-	if g.MinDegree() == 0 {
+	if topo.MinDegree() == 0 {
 		return nil, fmt.Errorf("core: %v process requires min degree >= 1", cfg.Process)
 	}
 	rule := cfg.Rule
@@ -379,16 +444,27 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 	}
 	pw, _ := rule.(PairwiseRule)
 	_, isDIV := rule.(DIV)
+	if !isDIV {
+		if g == nil {
+			return nil, fmt.Errorf("core: implicit topology %q supports only the DIV rule (rule %q needs CSR structure)", topo.Name(), rule.Name())
+		}
+		if cfg.Compact {
+			return nil, fmt.Errorf("core: compact opinion representation supports only the DIV rule, got %q", rule.Name())
+		}
+	}
 	switch cfg.Engine {
 	case EngineNaive, EngineAuto:
 	case EngineFast:
 		if pw == nil {
 			return nil, fmt.Errorf("core: fast engine requires a PairwiseRule, got %q", rule.Name())
 		}
+		if g == nil || cfg.Compact {
+			return nil, fmt.Errorf("core: fast engine requires a materialized CSR graph and the int32 opinion representation")
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
 	}
-	n := g.N()
+	n := topo.N()
 	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 200 * int64(n) * int64(n)
@@ -400,30 +476,38 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 	var arena *blockArena
 	if cfg.Scratch != nil {
 		var err error
-		if arena, err = cfg.Scratch.blockArenaFor(g); err != nil {
+		if arena, err = cfg.Scratch.blockArenaFor(topo); err != nil {
 			return nil, err
 		}
 	} else {
-		arena = newBlockArena(g)
+		arena = newBlockArena(topo)
 	}
 	block := cfg.Block
 	if block <= 0 {
 		block = DefaultBlock
 	}
-	costUnits := hybridCostRatio * hybridCostUnits(g)
+	costUnits := hybridCostRatio * hybridCostUnits(topo)
 	b := &blockRun{
-		g: g, proc: cfg.Process, rule: rule, pw: pw, isDIV: isDIV,
+		g: g, topo: topo, compact: cfg.Compact,
+		proc: cfg.Process, rule: rule, pw: pw, isDIV: isDIV,
 		engine: cfg.Engine, stop: cfg.Stop,
 		seed: cfg.Seed, maxSteps: maxSteps, observeEvery: observeEvery,
 		init: cfg.Init, probeMaker: cfg.Probe, arena: arena, block: block,
-		n: n, un: uint64(n), arcs: uint64(g.DegreeSum()),
+		n: n, un: uint64(n), arcs: uint64(topo.DegreeSum()),
 		enterScale: 2 * costUnits, exitScale: costUnits,
-		handoffDisabled: pw == nil,
+		handoffDisabled: pw == nil || g == nil || cfg.Compact,
+	}
+	b.tuned = g != nil && !cfg.Compact
+	complete := false
+	if g != nil {
+		complete = g.IsComplete()
+	} else if _, ok := topo.(*graph.ImplicitComplete); ok {
+		complete = true
 	}
 	switch {
 	case !isDIV:
 		b.kind = kindGeneric
-	case g.IsComplete():
+	case complete:
 		b.kind = kindComplete
 		b.m = uint64(n) * uint64(n-1)
 		b.d = uint64(n - 1)
@@ -442,11 +526,25 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 		b.kind = kindEdge
 	}
 	if b.kind == kindVertex || b.kind == kindEdge {
-		b.off = g.Offsets()
-		b.adj = g.Arcs()
+		if g != nil {
+			b.off = g.Offsets()
+			b.adj = g.Arcs()
+			if b.kind == kindEdge {
+				b.tails = g.ArcTails()
+			}
+		} else if b.kind == kindEdge {
+			at, ok := topo.(graph.ArcTopology)
+			if !ok {
+				return nil, fmt.Errorf("core: edge process on implicit topology %q requires an arc map (graph.ArcTopology)", topo.Name())
+			}
+			b.atopo = at
+		}
 		b.lane = b.un <= 1<<32-1 && (b.kind == kindVertex || b.arcs <= 1<<32-1)
-		if b.kind == kindEdge {
-			b.tails = g.ArcTails()
+		if !b.lane && !b.tuned {
+			// The full-word fallback kernels are CSR + int32 only; the
+			// generic lane loops cover every realistic size (n and arc
+			// count below 2^32).
+			return nil, fmt.Errorf("core: implicit/compact blocked runs require n and arc count < 2^32")
 		}
 	}
 	return b, nil
@@ -650,6 +748,16 @@ func (b *blockRun) afterChunk(row *blockRow) {
 // Above the gate the fallback loop uses full-word draws, a hardware
 // divide, and the general SetOpinion path.
 func (b *blockRun) chunkComplete(row *blockRow) {
+	if b.compact {
+		// Compact byte representation: the generic transcriptions in
+		// block_topo.go, drawing and updating identically.
+		if b.magic != 0 {
+			chunkCompleteSmallG[uint8](b, row)
+		} else {
+			chunkCompleteBigG[uint8](b, row)
+		}
+		return
+	}
 	if b.magic != 0 {
 		b.chunkCompleteSmall(row)
 	} else {
@@ -947,10 +1055,19 @@ func (b *blockRun) laneChunk(rows []*blockRow) {
 			live = append(live, row)
 		}
 	}
-	if b.kind == kindVertex {
+	switch {
+	case b.kind == kindVertex && b.tuned:
 		live = b.laneLoopVertex(live)
-	} else {
+	case b.kind == kindVertex && b.compact:
+		live = laneLoopTopoVertex[uint8](b, live)
+	case b.kind == kindVertex:
+		live = laneLoopTopoVertex[int32](b, live)
+	case b.tuned:
 		live = b.laneLoopEdge(live)
+	case b.compact:
+		live = laneLoopTopoEdge[uint8](b, live)
+	default:
+		live = laneLoopTopoEdge[int32](b, live)
 	}
 	b.arena.lanes = live[:0]
 	for _, row := range rows {

@@ -124,6 +124,12 @@ var bucketDrawsTotal = obs.Default.Counter("sampler_bucket_draws_total")
 // engine in that case.
 func NewFastState(s *State, proc Process) (*FastState, error) {
 	g := s.Graph()
+	if g == nil {
+		return nil, fmt.Errorf("core: fast engine requires a materialized CSR graph (implicit topology %q)", s.Topology().Name())
+	}
+	if s.opb != nil {
+		return nil, fmt.Errorf("core: fast engine does not support the compact opinion representation")
+	}
 	idx := g.ArcIndex()
 	arcs := int(g.DegreeSum())
 	f := &FastState{

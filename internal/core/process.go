@@ -53,6 +53,9 @@ type Scheduler struct {
 // Scheduler itself.
 func NewScheduler(s *State, p Process) (*Scheduler, error) {
 	g := s.Graph()
+	if g == nil {
+		return nil, fmt.Errorf("core: scheduler requires a materialized CSR graph (implicit topology %q)", s.Topology().Name())
+	}
 	if g.MinDegree() == 0 {
 		return nil, fmt.Errorf("core: %v process requires min degree >= 1", p)
 	}

@@ -26,7 +26,8 @@ var scratchReuseTotal = obs.Default.Counter("core_scratch_reuse_total")
 // on a freshly constructed Scratch and on one dirtied by any number of
 // earlier trials.
 type Scratch struct {
-	g       *graph.Graph
+	g       *graph.Graph   // nil when bound to an implicit topology
+	topo    graph.Topology // the backing structure (== g when CSR)
 	state   *State
 	fast    [2]*FastState // indexed by Process (vertex, edge)
 	pcg     *rand.PCG
@@ -39,11 +40,25 @@ type Scratch struct {
 // structures are allocated lazily by the first run that needs them.
 func NewScratch(g *graph.Graph) *Scratch {
 	pcg := rand.NewPCG(0, 0)
-	return &Scratch{g: g, pcg: pcg, r: rand.New(pcg)}
+	return &Scratch{g: g, topo: g, pcg: pcg, r: rand.New(pcg)}
 }
 
-// Graph returns the graph this scratch is bound to.
+// NewScratchTopo returns an empty scratch bound to an arbitrary
+// topology — the implicit-family counterpart of NewScratch, for use
+// with BlockConfig.Topology. Binding a materialized *graph.Graph is
+// equivalent to NewScratch.
+func NewScratchTopo(t graph.Topology) *Scratch {
+	g, _ := t.(*graph.Graph)
+	pcg := rand.NewPCG(0, 0)
+	return &Scratch{g: g, topo: t, pcg: pcg, r: rand.New(pcg)}
+}
+
+// Graph returns the graph this scratch is bound to, or nil when it is
+// bound to an implicit topology (use Topology then).
 func (sc *Scratch) Graph() *graph.Graph { return sc.g }
+
+// Topology returns the structure this scratch is bound to.
+func (sc *Scratch) Topology() graph.Topology { return sc.topo }
 
 // Rand reseeds the scratch's generator to the given seed and returns
 // it. The resulting stream is identical to rng.New(seed): PCG.Seed
@@ -60,7 +75,7 @@ func (sc *Scratch) Rand(seed uint64) *rand.Rand {
 // left there; callers must fill every entry.
 func (sc *Scratch) Initial() []int {
 	if sc.initBuf == nil {
-		sc.initBuf = make([]int, sc.g.N())
+		sc.initBuf = make([]int, sc.topo.N())
 	}
 	return sc.initBuf
 }
@@ -111,12 +126,12 @@ func (sc *Scratch) fastFor(s *State, proc Process) (*FastState, error) {
 // it on first use. The arena (block.go) owns the SoA opinion slab, the
 // per-trial row states, and the per-process hand-off FastStates; like
 // the rest of the scratch it is bound to one graph and one goroutine.
-func (sc *Scratch) blockArenaFor(g *graph.Graph) (*blockArena, error) {
-	if g != sc.g {
-		return nil, fmt.Errorf("core: Config.Scratch is bound to %v, but Config.Graph is %v", sc.g, g)
+func (sc *Scratch) blockArenaFor(t graph.Topology) (*blockArena, error) {
+	if t != sc.topo {
+		return nil, fmt.Errorf("core: Config.Scratch is bound to %v, but the run's topology is %v", sc.topo, t)
 	}
 	if sc.blk == nil {
-		sc.blk = newBlockArena(g)
+		sc.blk = newBlockArena(t)
 	}
 	return sc.blk, nil
 }

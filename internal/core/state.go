@@ -28,8 +28,19 @@ import (
 // (an update never moves a vertex outside the current [Min,Max]
 // opinion range), which SetOpinion enforces.
 type State struct {
-	g        *graph.Graph
+	g *graph.Graph // nil when the state is backed by an implicit topology
+	// topo is the implicit topology backing the state when g is nil (the
+	// blocked kernel's implicit-family path); CSR-backed states leave it
+	// nil and answer structure queries through g directly.
+	topo graph.Topology
+	// Exactly one representation is live. opinions stores absolute
+	// opinion values; opb is the compact byte representation (opinion
+	// window ≤ 256) storing base-relative values, so a blocked trial's
+	// working set at n = 2²⁰ fits L2. Both are kept byte-identical in
+	// trajectory by the kernels: the representation never changes which
+	// pair is drawn or how it updates.
 	opinions []int32
+	opb      []uint8
 	base     int32   // smallest initial opinion (offset of counts[0])
 	counts   []int64 // counts[i] = #vertices with opinion base+i
 	degMass  []int64 // degMass[i] = Σ d(v) over vertices with opinion base+i
@@ -65,7 +76,7 @@ func NewState(g *graph.Graph, initial []int) (*State, error) {
 // and any engine-attached discordance index are cleared; after ResetTo
 // the state is indistinguishable from a freshly constructed one.
 func (s *State) ResetTo(initial []int) error {
-	n := s.g.N()
+	n := s.Topology().N()
 	if n == 0 {
 		return fmt.Errorf("core: empty graph")
 	}
@@ -85,7 +96,10 @@ func (s *State) ResetTo(initial []int) error {
 	if width > 1<<22 {
 		return fmt.Errorf("core: opinion range %d too wide", width)
 	}
-	if s.opinions == nil {
+	if s.opb != nil && width > 256 {
+		return fmt.Errorf("core: opinion range %d too wide for the compact byte representation (max 256)", width)
+	}
+	if s.opinions == nil && s.opb == nil {
 		s.opinions = make([]int32, n)
 	}
 	if cap(s.counts) < width {
@@ -102,14 +116,23 @@ func (s *State) ResetTo(initial []int) error {
 	s.sum, s.degSum, s.steps = 0, 0, 0
 	s.support, s.supVer = 0, 0
 	s.discordFn = nil
-	g := s.g
 	for v, x := range initial {
 		i := x - min
-		s.opinions[v] = int32(x)
+		if s.opb != nil {
+			s.opb[v] = uint8(i)
+		} else {
+			s.opinions[v] = int32(x)
+		}
+		var d int64
+		if s.g != nil {
+			d = int64(s.g.Degree(v))
+		} else {
+			d = int64(s.topo.Degree(v))
+		}
 		s.counts[i]++
-		s.degMass[i] += int64(g.Degree(v))
+		s.degMass[i] += d
 		s.sum += int64(x)
-		s.degSum += int64(g.Degree(v)) * int64(x)
+		s.degSum += d * int64(x)
 	}
 	for _, c := range s.counts {
 		if c > 0 {
@@ -135,24 +158,68 @@ func MustState(g *graph.Graph, initial []int) *State {
 	return s
 }
 
-// Graph returns the underlying graph.
+// Graph returns the underlying CSR graph, or nil when the state is
+// backed by an implicit topology (use Topology then).
 func (s *State) Graph() *graph.Graph { return s.g }
 
+// Topology returns the structure backing the state: the CSR graph when
+// materialized, the implicit topology otherwise.
+func (s *State) Topology() graph.Topology {
+	if s.g != nil {
+		return s.g
+	}
+	return s.topo
+}
+
+// degree returns d(v) through whichever backend is live, keeping the
+// CSR path a direct (devirtualized) call.
+func (s *State) degree(v int) int64 {
+	if s.g != nil {
+		return int64(s.g.Degree(v))
+	}
+	return int64(s.topo.Degree(v))
+}
+
+// degreeSum returns Σ_v d(v) through whichever backend is live.
+func (s *State) degreeSum() int64 {
+	if s.g != nil {
+		return s.g.DegreeSum()
+	}
+	return s.topo.DegreeSum()
+}
+
 // N returns the number of vertices.
-func (s *State) N() int { return len(s.opinions) }
+func (s *State) N() int {
+	if s.opinions != nil {
+		return len(s.opinions)
+	}
+	return len(s.opb)
+}
 
 // Opinion returns the current opinion of vertex v.
-func (s *State) Opinion(v int) int { return int(s.opinions[v]) }
+func (s *State) Opinion(v int) int {
+	if s.opb != nil {
+		return int(s.base) + int(s.opb[v])
+	}
+	return int(s.opinions[v])
+}
 
 // Opinions copies the current opinion vector into dst (allocating when
 // dst is nil or too short) and returns it.
 func (s *State) Opinions(dst []int) []int {
-	if cap(dst) < len(s.opinions) {
-		dst = make([]int, len(s.opinions))
+	n := s.N()
+	if cap(dst) < n {
+		dst = make([]int, n)
 	}
-	dst = dst[:len(s.opinions)]
-	for v, x := range s.opinions {
-		dst[v] = int(x)
+	dst = dst[:n]
+	if s.opb != nil {
+		for v, x := range s.opb {
+			dst[v] = int(s.base) + int(x)
+		}
+	} else {
+		for v, x := range s.opinions {
+			dst[v] = int(x)
+		}
 	}
 	return dst
 }
@@ -197,7 +264,7 @@ func (s *State) DegreeMass(x int) int64 {
 
 // PiMass returns π(A_x) = DegreeMass(x)/2m.
 func (s *State) PiMass(x int) float64 {
-	return float64(s.DegreeMass(x)) / float64(s.g.DegreeSum())
+	return float64(s.DegreeMass(x)) / float64(s.degreeSum())
 }
 
 // Sum returns S_raw(t) = Σ_v X_v(t); S(t) in the paper. Exactly
@@ -216,7 +283,7 @@ func (s *State) Average() float64 {
 // WeightedAverage returns the degree-weighted average
 // Σ_v π_v X_v = DegSum/2m (the paper's Z(t)/n).
 func (s *State) WeightedAverage() float64 {
-	return float64(s.degSum) / float64(s.g.DegreeSum())
+	return float64(s.degSum) / float64(s.degreeSum())
 }
 
 // Steps returns the number of asynchronous steps performed so far
@@ -250,7 +317,12 @@ func (s *State) Support(dst []int) []int {
 // outside the current [Min,Max] opinion range, since no dynamics in
 // this repository may widen the range.
 func (s *State) SetOpinion(v int, x int) {
-	old := s.opinions[v]
+	var old int32
+	if s.opb != nil {
+		old = int32(s.opb[v]) + s.base
+	} else {
+		old = s.opinions[v]
+	}
 	nw := int32(x)
 	if nw == old {
 		return
@@ -261,8 +333,12 @@ func (s *State) SetOpinion(v int, x int) {
 			v, x, s.Min(), s.Max()))
 	}
 	j := int(old - s.base)
-	d := int64(s.g.Degree(v))
-	s.opinions[v] = nw
+	d := s.degree(v)
+	if s.opb != nil {
+		s.opb[v] = uint8(nw - s.base)
+	} else {
+		s.opinions[v] = nw
+	}
 	if s.counts[i] == 0 {
 		s.support++
 		s.supVer++
@@ -298,8 +374,33 @@ func (s *State) DiscordantEdges() int64 {
 	if s.discordFn != nil {
 		return s.discordFn()
 	}
-	tails, heads := s.g.ArcTails(), s.g.Arcs()
 	var c int64
+	if s.g == nil {
+		// Implicit topology: walk every neighbour list, counting each
+		// edge once via v < w (a multigraph edge counts once per
+		// parallel copy, matching its scheduling weight).
+		t := s.topo
+		n := t.N()
+		for v := 0; v < n; v++ {
+			xv := s.Opinion(v)
+			d := t.Degree(v)
+			for i := 0; i < d; i++ {
+				if w := t.Neighbor(v, i); v < w && xv != s.Opinion(w) {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	tails, heads := s.g.ArcTails(), s.g.Arcs()
+	if s.opb != nil {
+		for a := range heads {
+			if u, w := tails[a], heads[a]; u < w && s.opb[u] != s.opb[w] {
+				c++
+			}
+		}
+		return c
+	}
 	for a := range heads {
 		if u, w := tails[a], heads[a]; u < w && s.opinions[u] != s.opinions[w] {
 			c++
@@ -322,13 +423,14 @@ func (s *State) CheckInvariants() error {
 	counts := make([]int64, len(s.counts))
 	degMass := make([]int64, len(s.degMass))
 	var sum, degSum int64
-	for v, x := range s.opinions {
-		i := int(x - s.base)
+	for v, n := 0, s.N(); v < n; v++ {
+		x := s.Opinion(v)
+		i := x - int(s.base)
 		if i < 0 || i >= len(counts) {
 			return fmt.Errorf("core: opinion %d of vertex %d outside window", x, v)
 		}
 		counts[i]++
-		d := int64(s.g.Degree(v))
+		d := s.degree(v)
 		degMass[i] += d
 		sum += int64(x)
 		degSum += d * int64(x)

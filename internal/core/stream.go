@@ -1,0 +1,224 @@
+package core
+
+// Streaming recorders: fixed-memory observers for runs whose step
+// count makes the append-per-sample Recorder unaffordable. A
+// StreamRecorder holds (a) O(1) online accumulators — count, min, max,
+// mean — over every observation of each tracked quantity, and (b) a
+// bounded checkpoint buffer that coarsens itself: when it fills, every
+// other retained sample is dropped and the retention stride doubles,
+// so the buffer always covers the whole run at ≤ MaxSamples points
+// with at most 2× unevenness in spacing. NewAutoRecorder picks between
+// the two implementations from the run's expected sample count, so
+// callers can wire one observer regardless of scale.
+
+// SampleSink is the common surface of Recorder and StreamRecorder:
+// wire Observe as Config.Observer and read Len after the run.
+type SampleSink interface {
+	Observe(s *State) bool
+	Len() int
+}
+
+// DefaultSampleBudget is the expected-sample threshold above which
+// NewAutoRecorder switches from the exact Recorder to a StreamRecorder
+// (and the StreamRecorder's default checkpoint capacity).
+const DefaultSampleBudget = 4096
+
+// NewAutoRecorder returns an exact Recorder when the run's expected
+// number of observations — maxSteps/observeEvery — fits within budget
+// (≤ 0 means DefaultSampleBudget), and a StreamRecorder capped at
+// budget checkpoints otherwise. maxSteps ≤ 0 (an unknown horizon) is
+// treated as over-budget: the streaming recorder is safe at any scale.
+func NewAutoRecorder(maxSteps, observeEvery int64, budget int) SampleSink {
+	if budget <= 0 {
+		budget = DefaultSampleBudget
+	}
+	if observeEvery < 1 {
+		observeEvery = 1
+	}
+	if maxSteps > 0 && maxSteps/observeEvery <= int64(budget) {
+		return &Recorder{}
+	}
+	return NewStreamRecorder(budget)
+}
+
+// StreamStat is an O(1) online accumulator: count, min, max, and mean
+// (Welford-style running mean, exact for the quantities we feed it).
+type StreamStat struct {
+	Count    int64
+	Min, Max float64
+	Mean     float64
+}
+
+// Add folds one observation into the accumulator.
+func (st *StreamStat) Add(x float64) {
+	st.Count++
+	if st.Count == 1 {
+		st.Min, st.Max, st.Mean = x, x, x
+		return
+	}
+	if x < st.Min {
+		st.Min = x
+	}
+	if x > st.Max {
+		st.Max = x
+	}
+	st.Mean += (x - st.Mean) / float64(st.Count)
+}
+
+// StreamSample is one full snapshot of the tracked quantities.
+type StreamSample struct {
+	Steps       int64
+	Range       int
+	Support     int
+	Sum         int64
+	DegSum      int64
+	PiMin       float64
+	PiMax       float64
+	Discordance int64
+}
+
+// StreamRecorder is the fixed-memory counterpart of Recorder. Every
+// observation updates the online Stat accumulators and the Final
+// snapshot; a coarsening subset of observations is retained as
+// checkpoints in the same parallel-slice layout Recorder uses, bounded
+// by MaxSamples. Checkpoint i was taken at step Steps[i]; Stride
+// reports the current retention period in observations.
+type StreamRecorder struct {
+	// Checkpoints, in Recorder's layout but bounded by MaxSamples.
+	Steps       []int64
+	Range       []int
+	Support     []int
+	Sum         []int64
+	DegSum      []int64
+	PiMin       []float64
+	PiMax       []float64
+	Discordance []int64
+
+	// Online accumulators over every observation (not just retained
+	// checkpoints).
+	RangeStat       StreamStat
+	SupportStat     StreamStat
+	SumStat         StreamStat
+	DiscordanceStat StreamStat
+
+	// Final is the most recent observation, which the coarsened
+	// checkpoint buffer need not contain.
+	Final StreamSample
+
+	maxSamples int
+	stride     int64 // keep every stride-th observation
+	seen       int64 // observations so far
+}
+
+// NewStreamRecorder returns a streaming recorder retaining at most
+// maxSamples checkpoints (≤ 0 means DefaultSampleBudget).
+func NewStreamRecorder(maxSamples int) *StreamRecorder {
+	if maxSamples <= 0 {
+		maxSamples = DefaultSampleBudget
+	}
+	if maxSamples < 2 {
+		maxSamples = 2
+	}
+	return &StreamRecorder{maxSamples: maxSamples, stride: 1}
+}
+
+// Observe implements the Config.Observer signature; it never aborts.
+func (rec *StreamRecorder) Observe(s *State) bool {
+	smp := StreamSample{
+		Steps:       s.Steps(),
+		Range:       s.Range(),
+		Support:     s.SupportSize(),
+		Sum:         s.Sum(),
+		DegSum:      s.DegSum(),
+		PiMin:       s.PiMass(s.Min()),
+		PiMax:       s.PiMass(s.Max()),
+		Discordance: s.DiscordantEdges(),
+	}
+	rec.RangeStat.Add(float64(smp.Range))
+	rec.SupportStat.Add(float64(smp.Support))
+	rec.SumStat.Add(float64(smp.Sum))
+	rec.DiscordanceStat.Add(float64(smp.Discordance))
+	rec.Final = smp
+	keep := rec.seen%rec.stride == 0
+	rec.seen++
+	if !keep {
+		return true
+	}
+	if len(rec.Steps) == rec.maxSamples {
+		rec.coarsen()
+	}
+	rec.Steps = append(rec.Steps, smp.Steps)
+	rec.Range = append(rec.Range, smp.Range)
+	rec.Support = append(rec.Support, smp.Support)
+	rec.Sum = append(rec.Sum, smp.Sum)
+	rec.DegSum = append(rec.DegSum, smp.DegSum)
+	rec.PiMin = append(rec.PiMin, smp.PiMin)
+	rec.PiMax = append(rec.PiMax, smp.PiMax)
+	rec.Discordance = append(rec.Discordance, smp.Discordance)
+	return true
+}
+
+// coarsen halves the checkpoint buffer in place — keep the
+// even-indexed samples, whose spacing is one doubled stride — and
+// doubles the retention stride.
+func (rec *StreamRecorder) coarsen() {
+	half := (len(rec.Steps) + 1) / 2
+	for i := 0; i < half; i++ {
+		rec.Steps[i] = rec.Steps[2*i]
+		rec.Range[i] = rec.Range[2*i]
+		rec.Support[i] = rec.Support[2*i]
+		rec.Sum[i] = rec.Sum[2*i]
+		rec.DegSum[i] = rec.DegSum[2*i]
+		rec.PiMin[i] = rec.PiMin[2*i]
+		rec.PiMax[i] = rec.PiMax[2*i]
+		rec.Discordance[i] = rec.Discordance[2*i]
+	}
+	rec.Steps = rec.Steps[:half]
+	rec.Range = rec.Range[:half]
+	rec.Support = rec.Support[:half]
+	rec.Sum = rec.Sum[:half]
+	rec.DegSum = rec.DegSum[:half]
+	rec.PiMin = rec.PiMin[:half]
+	rec.PiMax = rec.PiMax[:half]
+	rec.Discordance = rec.Discordance[:half]
+	rec.stride *= 2
+}
+
+// Len returns the number of retained checkpoints.
+func (rec *StreamRecorder) Len() int { return len(rec.Steps) }
+
+// Seen returns the total number of observations folded in, retained or
+// not.
+func (rec *StreamRecorder) Seen() int64 { return rec.seen }
+
+// Stride returns the current retention period: one checkpoint per
+// Stride observations.
+func (rec *StreamRecorder) Stride() int64 { return rec.stride }
+
+// SumFloat returns the retained Sum checkpoints as float64s.
+func (rec *StreamRecorder) SumFloat() []float64 {
+	out := make([]float64, len(rec.Sum))
+	for i, v := range rec.Sum {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// RangeFloat returns the retained Range checkpoints as float64s.
+func (rec *StreamRecorder) RangeFloat() []float64 {
+	out := make([]float64, len(rec.Range))
+	for i, v := range rec.Range {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// DiscordanceFloat returns the retained Discordance checkpoints as
+// float64s.
+func (rec *StreamRecorder) DiscordanceFloat() []float64 {
+	out := make([]float64, len(rec.Discordance))
+	for i, v := range rec.Discordance {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+)
+
+func TestStreamStat(t *testing.T) {
+	var st StreamStat
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		st.Add(x)
+	}
+	if st.Count != 5 || st.Min != -1 || st.Max != 5 {
+		t.Errorf("count/min/max = %d/%v/%v, want 5/-1/5", st.Count, st.Min, st.Max)
+	}
+	if math.Abs(st.Mean-2.4) > 1e-12 {
+		t.Errorf("mean = %v, want 2.4", st.Mean)
+	}
+}
+
+func TestNewAutoRecorder(t *testing.T) {
+	if _, ok := NewAutoRecorder(1000, 1, 4096).(*Recorder); !ok {
+		t.Error("small run: want exact *Recorder")
+	}
+	if _, ok := NewAutoRecorder(1_000_000_000, 1, 4096).(*StreamRecorder); !ok {
+		t.Error("huge run: want *StreamRecorder")
+	}
+	if _, ok := NewAutoRecorder(0, 1, 4096).(*StreamRecorder); !ok {
+		t.Error("unknown horizon: want *StreamRecorder")
+	}
+	// Budget counts samples, not steps: 10⁶ steps at ObserveEvery 10³
+	// is only 10³ samples.
+	if _, ok := NewAutoRecorder(1_000_000, 1000, 4096).(*Recorder); !ok {
+		t.Error("coarse cadence: want exact *Recorder")
+	}
+	if rec, ok := NewAutoRecorder(0, 1, 0).(*StreamRecorder); !ok || rec.maxSamples != DefaultSampleBudget {
+		t.Errorf("default budget: got %T cap %d", rec, rec.maxSamples)
+	}
+}
+
+// TestStreamRecorderAgainstExact runs the same deterministic trial
+// under the exact Recorder and a small-capacity StreamRecorder and
+// checks every claim the streaming layer makes: checkpoint j is
+// exactly observation j·stride of the exact series, Final is the last
+// observation, the online stats match the exact series, and the buffer
+// never exceeds its capacity.
+func TestStreamRecorderAgainstExact(t *testing.T) {
+	const maxSamples = 16
+	g := graph.Cycle(64)
+	init := UniformOpinions(g.N(), 8, rng.New(0x57))
+	exact := &Recorder{}
+	stream := NewStreamRecorder(maxSamples)
+	for _, sink := range []SampleSink{exact, stream} {
+		_, err := Run(Config{
+			Graph:        g,
+			Initial:      init,
+			Seed:         99,
+			Engine:       EngineNaive,
+			Observer:     sink.Observe,
+			ObserveEvery: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stream.Seen() != int64(exact.Len()) {
+		t.Fatalf("stream saw %d observations, exact recorder %d", stream.Seen(), exact.Len())
+	}
+	if exact.Len() <= maxSamples {
+		t.Fatalf("run too short (%d samples) to exercise coarsening", exact.Len())
+	}
+	if stream.Len() > maxSamples {
+		t.Errorf("retained %d checkpoints, cap %d", stream.Len(), maxSamples)
+	}
+	stride := stream.Stride()
+	if stride&(stride-1) != 0 || stride < 2 {
+		t.Errorf("stride %d: want a power of two ≥ 2 after coarsening", stride)
+	}
+	for j := 0; j < stream.Len(); j++ {
+		i := int(stride) * j
+		if i >= exact.Len() {
+			t.Fatalf("checkpoint %d maps past the exact series", j)
+		}
+		if stream.Steps[j] != exact.Steps[i] ||
+			stream.Range[j] != exact.Range[i] ||
+			stream.Support[j] != exact.Support[i] ||
+			stream.Sum[j] != exact.Sum[i] ||
+			stream.DegSum[j] != exact.DegSum[i] ||
+			stream.PiMin[j] != exact.PiMin[i] ||
+			stream.PiMax[j] != exact.PiMax[i] ||
+			stream.Discordance[j] != exact.Discordance[i] {
+			t.Errorf("checkpoint %d ≠ exact sample %d", j, i)
+		}
+	}
+	last := exact.Len() - 1
+	if stream.Final.Steps != exact.Steps[last] || stream.Final.Sum != exact.Sum[last] ||
+		stream.Final.Range != exact.Range[last] || stream.Final.Discordance != exact.Discordance[last] {
+		t.Errorf("Final snapshot does not match the last exact sample")
+	}
+	checkStat := func(name string, st StreamStat, series []float64) {
+		t.Helper()
+		if st.Count != int64(len(series)) {
+			t.Errorf("%s: count %d, want %d", name, st.Count, len(series))
+		}
+		mn, mx, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, x := range series {
+			mn, mx, sum = math.Min(mn, x), math.Max(mx, x), sum+x
+		}
+		if st.Min != mn || st.Max != mx {
+			t.Errorf("%s: min/max %v/%v, want %v/%v", name, st.Min, st.Max, mn, mx)
+		}
+		if mean := sum / float64(len(series)); math.Abs(st.Mean-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+			t.Errorf("%s: mean %v, want %v", name, st.Mean, mean)
+		}
+	}
+	checkStat("range", stream.RangeStat, exact.RangeFloat())
+	checkStat("sum", stream.SumStat, exact.SumFloat())
+	checkStat("discordance", stream.DiscordanceStat, exact.DiscordanceFloat())
+	supp := make([]float64, exact.Len())
+	for i, v := range exact.Support {
+		supp[i] = float64(v)
+	}
+	checkStat("support", stream.SupportStat, supp)
+}

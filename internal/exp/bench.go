@@ -125,7 +125,10 @@ type BenchReport struct {
 	// Scaling is the multicore section (scaling.go), present when the
 	// run requested a width sweep (`divbench -widths`).
 	Scaling *BenchScaling `json:"scaling,omitempty"`
-	Rows    []BenchRow    `json:"rows"`
+	// BigN is the million-vertex section (bign.go), present when the
+	// run requested it (`divbench -bench-bign` / `make bench-bign`).
+	BigN *BenchBigN `json:"bign,omitempty"`
+	Rows []BenchRow `json:"rows"`
 }
 
 // benchFamily is one graph under test.
@@ -380,6 +383,7 @@ func BenchEngine(p Params) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.Suite = *suite
+	prov = prov.WithMemStats()
 	return rep, nil
 }
 

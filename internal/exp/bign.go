@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime/debug"
+	"time"
+
+	"div/internal/core"
+	"div/internal/graph"
+	"div/internal/obs"
+	"div/internal/rng"
+)
+
+// The big-n section: an E2-style convergence workload at n = 10⁶ (and,
+// outside quick mode, 10⁷) exercising the million-vertex machinery end
+// to end — an implicit 8-regular circulant topology, the compact byte
+// opinion slab, and the blocked kernel — against the materialized-CSR
+// int32 configuration of the same point. Each arm runs in its own
+// measured phase: the heap is released to the OS first
+// (debug.FreeOSMemory), then a sampling obs.PeakTracker brackets the
+// arm, so the recorded peaks are per-phase resident footprints, not
+// the process-lifetime high-water mark. The implicit arm runs first so
+// its peak cannot inherit the materialized arm's pages.
+
+// BenchBigNArm is one measured phase of the big-n section.
+type BenchBigNArm struct {
+	// Label identifies the configuration: "implicit/compact" or
+	// "csr/int32" at n = 10⁶, "implicit/compact-10M" at 10⁷.
+	Label  string `json:"label"`
+	N      int    `json:"n"`
+	Trials int    `json:"trials"`
+	// Steps is the total step count across trials; NsPerStep the
+	// measured stepping cost.
+	Steps     int64   `json:"steps"`
+	Seconds   float64 `json:"seconds"`
+	NsPerStep float64 `json:"ns_per_step"`
+	// BuildSeconds is the structure-construction time for the arm:
+	// CSR materialization (and its arc arrays) for the materialized
+	// arm, effectively zero for implicit families.
+	BuildSeconds float64 `json:"build_seconds"`
+	// PeakRSSBytes is the phase's sampled resident-set peak;
+	// AllocBytes the heap allocated during the phase.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	AllocBytes   int64 `json:"alloc_bytes"`
+	// TwoAdjacentFrac is the fraction of trials that reached the
+	// two-adjacent stage within the step cap.
+	TwoAdjacentFrac float64 `json:"two_adjacent_frac"`
+}
+
+// BenchBigN is the bign section of BENCH_engine.json.
+type BenchBigN struct {
+	// Graph names the topology family of the point.
+	Graph   string `json:"graph"`
+	K       int    `json:"k"`
+	Process string `json:"process"`
+	// MaxStepsPerTrial is the per-trial cap; at n = 10⁶–10⁷ a run is
+	// bounded deterministically rather than run to consensus.
+	MaxStepsPerTrial int64          `json:"max_steps_per_trial"`
+	Arms             []BenchBigNArm `json:"arms"`
+	// RSSRatio is implicit/compact peak RSS over csr/int32 peak RSS at
+	// n = 10⁶ — the acceptance bound is ≤ 0.25.
+	RSSRatio float64 `json:"rss_ratio"`
+	// Identical reports whether the implicit/compact arm's Results were
+	// byte-identical to the csr/int32 arm's, trial for trial.
+	Identical bool `json:"identical"`
+}
+
+// bigNStrides is the circulant connection set: strides 1..4 give a
+// connected 8-regular vertex-transitive family at any n ≥ 10.
+var bigNStrides = []int{1, 2, 3, 4}
+
+// bigNPoint is one arm's workload: trials of the extremes profile on
+// the given structure under the vertex process, capped at maxSteps.
+func bigNPoint(topo graph.Topology, compact bool, k int, seed uint64, trials int, maxSteps int64) ([]core.Result, int64, time.Duration, error) {
+	n := topo.N()
+	out := make([]core.Result, trials)
+	start := time.Now()
+	err := core.RunBlock(core.BlockConfig{
+		Topology: topo,
+		Compact:  compact,
+		Process:  core.VertexProcess,
+		Engine:   core.EngineNaive,
+		Stop:     core.UntilTwoAdjacent,
+		MaxSteps: maxSteps,
+		Seed:     seed,
+		Init: func(trial int, dst []int, r *rand.Rand) error {
+			core.ExtremesOpinionsInto(dst[:n], k, r)
+			return nil
+		},
+	}, 0, trials, out)
+	el := time.Since(start)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var steps int64
+	for _, r := range out {
+		steps += r.Steps
+	}
+	return out, steps, el, nil
+}
+
+// bigNArm measures one phase: release the heap, bracket the workload
+// with an RSS sampler, and fold the measurements into an arm record.
+func bigNArm(label string, build func() (graph.Topology, error), compact bool, k int, seed uint64, trials int, maxSteps int64) (BenchBigNArm, []core.Result, error) {
+	debug.FreeOSMemory()
+	tracker := obs.TrackPeakRSS(5 * time.Millisecond)
+	alloc0 := obs.HeapTotalAlloc()
+	buildStart := time.Now()
+	topo, err := build()
+	if err != nil {
+		tracker.Stop()
+		return BenchBigNArm{}, nil, fmt.Errorf("bign %s: build: %w", label, err)
+	}
+	buildSecs := time.Since(buildStart).Seconds()
+	out, steps, el, err := bigNPoint(topo, compact, k, seed, trials, maxSteps)
+	peak := tracker.Stop()
+	if err != nil {
+		return BenchBigNArm{}, nil, fmt.Errorf("bign %s: %w", label, err)
+	}
+	reached := 0
+	for _, r := range out {
+		if r.TwoAdjacentStep >= 0 {
+			reached++
+		}
+	}
+	arm := BenchBigNArm{
+		Label:           label,
+		N:               topo.N(),
+		Trials:          trials,
+		Steps:           steps,
+		Seconds:         el.Seconds(),
+		NsPerStep:       float64(el.Nanoseconds()) / float64(steps),
+		BuildSeconds:    buildSecs,
+		PeakRSSBytes:    peak,
+		AllocBytes:      obs.HeapTotalAlloc() - alloc0,
+		TwoAdjacentFrac: float64(reached) / float64(trials),
+	}
+	return arm, out, nil
+}
+
+// BenchBigNRun measures the big-n section. In quick mode the step cap
+// shrinks and the 10⁷ arm is skipped; the 10⁶ implicit-vs-materialized
+// pair — the acceptance comparison — always runs.
+func BenchBigNRun(p Params) (*BenchBigN, error) {
+	p = p.withDefaults()
+	const n1 = 1_000_000
+	k := 8
+	trials := 2
+	maxSteps := int64(p.pick(8, 40)) * int64(n1)
+	seed := rng.DeriveSeed(p.Seed, 0xb16a)
+	sec := &BenchBigN{
+		Graph:            fmt.Sprintf("circulant(n=%d,strides=%v)", n1, bigNStrides),
+		K:                k,
+		Process:          core.VertexProcess.String(),
+		MaxStepsPerTrial: maxSteps,
+	}
+
+	topo1, err := graph.NewImplicitCirculant(n1, bigNStrides)
+	if err != nil {
+		return nil, err
+	}
+	// Implicit arm first: its phase peak must not inherit the
+	// materialized arm's pages.
+	impArm, impOut, err := bigNArm("implicit/compact",
+		func() (graph.Topology, error) { return topo1, nil },
+		true, k, seed, trials, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	sec.Arms = append(sec.Arms, impArm)
+
+	csrArm, csrOut, err := bigNArm("csr/int32",
+		func() (graph.Topology, error) { return graph.Materialize(topo1) },
+		false, k, seed, trials, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	sec.Arms = append(sec.Arms, csrArm)
+
+	sec.Identical = len(impOut) == len(csrOut)
+	for i := range impOut {
+		if fmt.Sprintf("%+v", impOut[i]) != fmt.Sprintf("%+v", csrOut[i]) {
+			sec.Identical = false
+			break
+		}
+	}
+	if csrArm.PeakRSSBytes > 0 {
+		sec.RSSRatio = float64(impArm.PeakRSSBytes) / float64(csrArm.PeakRSSBytes)
+	}
+
+	if !p.Quick {
+		const n2 = 10_000_000
+		topo2, err := graph.NewImplicitCirculant(n2, bigNStrides)
+		if err != nil {
+			return nil, err
+		}
+		arm10, _, err := bigNArm("implicit/compact-10M",
+			func() (graph.Topology, error) { return topo2, nil },
+			true, k, rng.DeriveSeed(p.Seed, 0xb16b), 1, 2*int64(n2))
+		if err != nil {
+			return nil, err
+		}
+		sec.Arms = append(sec.Arms, arm10)
+	}
+	return sec, nil
+}

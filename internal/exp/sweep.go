@@ -35,11 +35,23 @@ import (
 // across Serial, Parallelism=1, and wide pools.
 
 // Point is one grid point of a sweep: Trials trials on G with trial
-// seeds derived from Seed.
+// seeds derived from Seed. For blocked sweeps the structure may
+// instead be an implicit topology in T (graph.ImplicitTorus,
+// graph.HashedRegular, …), which never materializes adjacency; set
+// exactly one of G and T. Sequential (non-blocked) sweeps require G.
 type Point struct {
 	G      *graph.Graph
+	T      graph.Topology
 	Seed   uint64
 	Trials int
+}
+
+// topology returns the point's structure: T when set, else G.
+func (pt Point) topology() graph.Topology {
+	if pt.T != nil {
+		return pt.T
+	}
+	return pt.G
 }
 
 // Span telemetry for the sweep layer (obs span hierarchy
@@ -209,7 +221,10 @@ type BlockTrial struct {
 	Rule     core.Rule
 	Stop     core.StopCondition
 	MaxSteps int64
-	Init     func(point, trial int, dst []int, r *rand.Rand) error
+	// Compact runs each trial on the byte opinion slab (window ≤ 256);
+	// results are byte-identical to the int32 representation.
+	Compact bool
+	Init    func(point, trial int, dst []int, r *rand.Rand) error
 }
 
 // config assembles the core.BlockConfig for one point of a blocked
@@ -219,6 +234,8 @@ type BlockTrial struct {
 func (bt BlockTrial) config(p Params, pi int, pt Point, sc *core.Scratch) core.BlockConfig {
 	return core.BlockConfig{
 		Graph:    pt.G,
+		Topology: pt.T,
+		Compact:  bt.Compact,
 		Process:  bt.Process,
 		Rule:     bt.Rule,
 		Engine:   p.coreEngine(),
@@ -281,7 +298,7 @@ func StartSweepBlocked[T any](p Params, id string, points []Point, bt BlockTrial
 					if canceled.Load() {
 						return
 					}
-					sc := workerScratch(w, pt.G)
+					sc := workerScratch(w, pt.topology())
 					out := make([]core.Result, t1-t0)
 					elapsed, err := sim.InstrumentedBlock(t1-t0, func() error {
 						if err := core.RunBlock(bt.config(p, pi, pt, sc), t0, t1, out); err != nil {
@@ -336,7 +353,7 @@ func runSweepBlockedSerial[T any](p Params, points []Point, bt BlockTrial, post 
 		pi, pt := pi, pt
 		out[pi] = make([]T, pt.Trials)
 		err := sim.TrialBlocks(pt.Trials, p.blockSize(), p.Parallelism,
-			func() *core.Scratch { return core.NewScratch(pt.G) },
+			func() *core.Scratch { return core.NewScratchTopo(pt.topology()) },
 			func(t0, t1 int, sc *core.Scratch) error {
 				buf := make([]core.Result, t1-t0)
 				if err := core.RunBlock(bt.config(p, pi, pt, sc), t0, t1, buf); err != nil {
@@ -391,14 +408,14 @@ type scratchLRU struct {
 }
 
 type scratchEntry struct {
-	g  *graph.Graph
+	t  graph.Topology
 	sc *core.Scratch
 }
 
-func workerScratch(w *sched.Worker, g *graph.Graph) *core.Scratch {
+func workerScratch(w *sched.Worker, t graph.Topology) *core.Scratch {
 	lru := w.Local(workerScratchKey{}, func() any { return &scratchLRU{} }).(*scratchLRU)
 	for i, e := range lru.entries {
-		if e.g == g {
+		if e.t == t {
 			if i != 0 {
 				copy(lru.entries[1:i+1], lru.entries[:i])
 				lru.entries[0] = e
@@ -406,11 +423,11 @@ func workerScratch(w *sched.Worker, g *graph.Graph) *core.Scratch {
 			return e.sc
 		}
 	}
-	sc := core.NewScratch(g)
+	sc := core.NewScratchTopo(t)
 	if len(lru.entries) < workerScratchCap {
 		lru.entries = append(lru.entries, scratchEntry{})
 	}
 	copy(lru.entries[1:], lru.entries)
-	lru.entries[0] = scratchEntry{g: g, sc: sc}
+	lru.entries[0] = scratchEntry{t: t, sc: sc}
 	return sc
 }

@@ -4,7 +4,14 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"div/internal/obs"
 )
+
+// vertexUnitsOverflowTotal counts graphs whose distinct-degree LCM
+// exceeded MaxDegreeLCM, i.e. every time VertexUnits' !ok fallback path
+// was taken and the fast vertex-process engine had to be refused.
+var vertexUnitsOverflowTotal = obs.Default.Counter("graph_vertex_units_overflow_total")
 
 // MaxDegreeLCM caps the least common multiple of the distinct degrees
 // used for exact integer reciprocal-degree weights (units L/d(v)). A
@@ -121,6 +128,9 @@ func (ix *ArcIndex) buildUnits() {
 		}
 	}
 	if lcm == 0 || n == 0 {
+		if lcm == 0 {
+			vertexUnitsOverflowTotal.Inc()
+		}
 		return
 	}
 	ix.lcm = lcm

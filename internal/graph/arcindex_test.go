@@ -136,6 +136,62 @@ func TestVertexUnitsOverflow(t *testing.T) {
 	}
 }
 
+// TestVertexUnitsOverflowCirculant: the overflow fallback exercised on
+// an implicit-family graph rather than a bespoke caterpillar — an
+// implicit circulant is materialized, then pendant chains push a prefix
+// of its vertices to distinct prime degrees whose LCM exceeds the cap.
+// The !ok path must also be visible in obs: the shared registry's
+// graph_vertex_units_overflow_total counter advances exactly once per
+// graph (the units block is built under a sync.Once).
+func TestVertexUnitsOverflowCirculant(t *testing.T) {
+	topo, err := NewImplicitCirculant(16, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MustMaterialize(topo)
+	// lcm(4, 5, 7, 11, …, 47) > 2^30: every circulant vertex starts at
+	// degree 4; pendants raise vertex i to primes[i].
+	primes := []int{5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+	edges := base.Edges()
+	next := base.N()
+	for i, want := range primes {
+		for have := base.Degree(i); have < want; have++ {
+			edges = append(edges, Edge{U: i, V: next})
+			next++
+		}
+	}
+	g := MustFromEdges(next, edges)
+
+	counter := vertexUnitsOverflowTotal
+	before := counter.Value()
+	units, lcm, ok := g.ArcIndex().VertexUnits()
+	if ok || units != nil || lcm != 0 {
+		t.Errorf("expected lcm overflow, got units=%v lcm=%d ok=%v", units != nil, lcm, ok)
+	}
+	if got := counter.Value(); got != before+1 {
+		t.Errorf("overflow counter advanced by %d, want 1", got-before)
+	}
+	// Repeat lookups reuse the once-built block: no double count.
+	g.ArcIndex().VertexUnits()
+	if got := counter.Value(); got != before+1 {
+		t.Errorf("overflow counter advanced again on cached lookup: %d", got-before)
+	}
+	// The edge process's all-ones weights survive the overflow.
+	for v, u := range g.ArcIndex().UnitOnes() {
+		if u != 1 {
+			t.Fatalf("UnitOnes[%d] = %d, want 1", v, u)
+		}
+	}
+	// A pure circulant (regular, single degree) must NOT trip the
+	// fallback: its LCM is just the degree.
+	if _, lcm, ok := base.ArcIndex().VertexUnits(); !ok || lcm != 4 {
+		t.Errorf("circulant units: lcm=%d ok=%v, want lcm=4 ok=true", lcm, ok)
+	}
+	if got := counter.Value(); got != before+1 {
+		t.Errorf("non-overflowing circulant moved the counter: %d", got-before)
+	}
+}
+
 // TestDegreeBuckets: vbucket[v] = ⌊log2 d(v)⌋, so units within a bucket
 // stay within a factor 2 of the bucket bound L>>b.
 func TestDegreeBuckets(t *testing.T) {

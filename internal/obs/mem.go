@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Memory instrumentation for big-n runs: resident-set readers backed
+// by /proc/self/status (Linux; other platforms degrade to ok=false)
+// and a background peak sampler for phase-scoped high-water marks —
+// the kernel's own VmHWM spans the whole process lifetime, so a
+// comparison of two phases inside one process needs its own tracker.
+
+// ReadRSS returns the process's current resident set size in bytes,
+// or ok=false where /proc is unavailable.
+func ReadRSS() (bytes int64, ok bool) { return readStatusKB("VmRSS:") }
+
+// ReadPeakRSS returns the process-lifetime resident-set high-water
+// mark (VmHWM) in bytes, or ok=false where /proc is unavailable.
+func ReadPeakRSS() (bytes int64, ok bool) { return readStatusKB("VmHWM:") }
+
+// readStatusKB extracts one "kB" field from /proc/self/status.
+func readStatusKB(key string) (int64, bool) {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	return parseStatusKB(buf, key)
+}
+
+// parseStatusKB scans status-file content for "key   <n> kB" and
+// returns n·1024.
+func parseStatusKB(buf []byte, key string) (int64, bool) {
+	for len(buf) > 0 {
+		line := buf
+		if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+			line, buf = buf[:i], buf[i+1:]
+		} else {
+			buf = nil
+		}
+		rest, found := bytes.CutPrefix(line, []byte(key))
+		if !found {
+			continue
+		}
+		var kb int64
+		seen := false
+		for _, c := range rest {
+			if c >= '0' && c <= '9' {
+				kb = kb*10 + int64(c-'0')
+				seen = true
+			} else if seen {
+				break
+			}
+		}
+		if !seen {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}
+
+// PeakTracker samples the current RSS on a fixed cadence and retains
+// the maximum seen between Start and Stop, so one process can compare
+// the footprints of successive phases (VmHWM cannot be reset without
+// root). The sampler also folds in a final read at Stop, bounding the
+// error to allocations both shorter than the interval and freed before
+// Stop.
+type PeakTracker struct {
+	mu   sync.Mutex
+	peak int64
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// TrackPeakRSS starts a sampler at the given interval (≤ 0 means
+// 10ms). Call Stop to retrieve the peak and release the goroutine.
+func TrackPeakRSS(interval time.Duration) *PeakTracker {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	t := &PeakTracker{done: make(chan struct{})}
+	t.sample()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.sample()
+			case <-t.done:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+func (t *PeakTracker) sample() {
+	if rss, ok := ReadRSS(); ok {
+		t.mu.Lock()
+		if rss > t.peak {
+			t.peak = rss
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Peak returns the highest RSS observed so far, in bytes (0 where
+// /proc is unavailable).
+func (t *PeakTracker) Peak() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// Stop takes a final sample, terminates the sampler, and returns the
+// peak. Stop is idempotent.
+func (t *PeakTracker) Stop() int64 {
+	select {
+	case <-t.done:
+	default:
+		close(t.done)
+	}
+	t.wg.Wait()
+	t.sample()
+	return t.Peak()
+}
+
+// HeapTotalAlloc returns the cumulative bytes allocated on the heap
+// since process start (monotone; survives GC).
+func HeapTotalAlloc() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
+}

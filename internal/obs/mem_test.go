@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestParseStatusKB(t *testing.T) {
+	buf := []byte("Name:\tdivbench\nVmPeak:\t  123456 kB\nVmRSS:\t   20480 kB\nVmHWM:\t   40960 kB\n")
+	if v, ok := parseStatusKB(buf, "VmRSS:"); !ok || v != 20480*1024 {
+		t.Errorf("VmRSS = %d, %v; want %d, true", v, ok, 20480*1024)
+	}
+	if v, ok := parseStatusKB(buf, "VmHWM:"); !ok || v != 40960*1024 {
+		t.Errorf("VmHWM = %d, %v; want %d, true", v, ok, 40960*1024)
+	}
+	if _, ok := parseStatusKB(buf, "VmSwap:"); ok {
+		t.Error("missing key must report ok=false")
+	}
+	if _, ok := parseStatusKB([]byte("VmRSS:\tnothing\n"), "VmRSS:"); ok {
+		t.Error("digit-free value must report ok=false")
+	}
+}
+
+func TestReadRSS(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/proc-based readers are Linux-only")
+	}
+	rss, ok := ReadRSS()
+	if !ok || rss <= 0 {
+		t.Fatalf("ReadRSS = %d, %v", rss, ok)
+	}
+	peak, ok := ReadPeakRSS()
+	if !ok || peak < rss/2 {
+		// The high-water mark can't be far below the current RSS; the
+		// slack absorbs sampling races.
+		t.Fatalf("ReadPeakRSS = %d, %v (current %d)", peak, ok, rss)
+	}
+}
+
+func TestPeakTracker(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/proc-based readers are Linux-only")
+	}
+	tr := TrackPeakRSS(time.Millisecond)
+	if tr.Peak() <= 0 {
+		t.Fatal("tracker must take an initial sample")
+	}
+	// Touch a slab large enough to move the RSS, then let the sampler
+	// observe it.
+	slab := make([]byte, 64<<20)
+	for i := 0; i < len(slab); i += 4096 {
+		slab[i] = 1
+	}
+	time.Sleep(20 * time.Millisecond)
+	peak := tr.Stop()
+	runtime.KeepAlive(slab)
+	if peak <= 0 {
+		t.Fatalf("peak = %d", peak)
+	}
+	if again := tr.Stop(); again != peak && again < peak {
+		t.Errorf("Stop must be idempotent: %d then %d", peak, again)
+	}
+}
+
+func TestProvenanceMemStats(t *testing.T) {
+	p := CollectProvenance("test", 1, "auto").WithMemStats()
+	if p.TotalAllocBytes <= 0 {
+		t.Errorf("TotalAllocBytes = %d", p.TotalAllocBytes)
+	}
+	if runtime.GOOS == "linux" && p.PeakRSSBytes <= 0 {
+		t.Errorf("PeakRSSBytes = %d on linux", p.PeakRSSBytes)
+	}
+	ft := p.ForTrace()
+	if ft.PeakRSSBytes != 0 || ft.TotalAllocBytes != 0 {
+		t.Errorf("ForTrace must strip memory fields: %+v", ft)
+	}
+}

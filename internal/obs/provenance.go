@@ -41,6 +41,13 @@ type Provenance struct {
 	// Time is the RFC3339 wall-clock start of the run, absent in trace
 	// headers.
 	Time string `json:"time,omitempty"`
+
+	// PeakRSSBytes is the process resident-set high-water mark and
+	// TotalAllocBytes the cumulative heap allocation, both captured by
+	// WithMemStats at the end of the run. Absent in trace headers —
+	// memory footprints vary between reruns of the same seed.
+	PeakRSSBytes    int64 `json:"peak_rss_bytes,omitempty"`
+	TotalAllocBytes int64 `json:"total_alloc_bytes,omitempty"`
 }
 
 // CollectProvenance gathers the manifest for the current process.
@@ -81,5 +88,19 @@ func CollectProvenance(command string, seed uint64, engine string) Provenance {
 func (p Provenance) ForTrace() Provenance {
 	p.Args = nil
 	p.Time = ""
+	p.PeakRSSBytes = 0
+	p.TotalAllocBytes = 0
+	return p
+}
+
+// WithMemStats returns a copy with the end-of-run memory footprint
+// filled in: the kernel's resident-set high-water mark (when /proc is
+// available) and Go's cumulative heap allocation. Call it just before
+// serializing a report manifest.
+func (p Provenance) WithMemStats() Provenance {
+	if peak, ok := ReadPeakRSS(); ok {
+		p.PeakRSSBytes = peak
+	}
+	p.TotalAllocBytes = HeapTotalAlloc()
 	return p
 }

@@ -82,6 +82,22 @@ func LambdaCirculant(n int, strides []int) float64 {
 	return lambda
 }
 
+// LambdaTorus returns λ of the rows×cols torus grid. The walk
+// eigenvalues are (cos(2πa/rows) + cos(2πb/cols))/2 over frequency
+// pairs (a, b); the largest nonzero one takes a single minimal-angle
+// frequency, the most negative takes both half frequencies (exactly -1
+// when both dimensions are even, i.e. the bipartite case).
+func LambdaTorus(rows, cols int) float64 {
+	r, c := float64(rows), float64(cols)
+	long := r
+	if c > long {
+		long = c
+	}
+	pos := (1 + math.Cos(2*math.Pi/long)) / 2
+	neg := (math.Cos(2*math.Pi*math.Floor(r/2)/r) + math.Cos(2*math.Pi*math.Floor(c/2)/c)) / 2
+	return math.Max(pos, math.Abs(neg))
+}
+
 // LambdaRandomRegularBound returns the Friedman-style w.h.p. upper
 // bound for random d-regular graphs, λ ≲ 2√(d-1)/d, i.e. O(1/√d)
 // (paper's second example family; see [9, 23]).

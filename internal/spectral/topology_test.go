@@ -1,0 +1,65 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"div/internal/graph"
+)
+
+// TestLambdaTopology checks every closed-form branch against the exact
+// Jacobi eigensolve of the materialized twin, and that the memo and the
+// not-covered fallbacks behave.
+func TestLambdaTopology(t *testing.T) {
+	mk := func(topo graph.Topology, err error) graph.Topology {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	topos := []graph.Topology{
+		mk(graph.NewImplicitComplete(7)),
+		mk(graph.NewImplicitCycle(9)),
+		mk(graph.NewImplicitCycle(10)),
+		mk(graph.NewImplicitPath(8)),
+		mk(graph.NewImplicitTorus(3, 5)),
+		mk(graph.NewImplicitTorus(4, 6)),
+		mk(graph.NewImplicitTorus(4, 5)),
+		mk(graph.NewImplicitHypercube(3)),
+		mk(graph.NewImplicitCirculant(11, []int{1, 3})),
+		mk(graph.NewImplicitCirculant(16, []int{1, 2, 5})),
+	}
+	for _, topo := range topos {
+		t.Run(topo.Name(), func(t *testing.T) {
+			got, ok := LambdaTopology(topo)
+			if !ok {
+				t.Fatalf("no closed form for %s", topo.Name())
+			}
+			want, err := LambdaExact(graph.MustMaterialize(topo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("λ = %.12f, exact %.12f", got, want)
+			}
+			// Memoized second lookup agrees.
+			again, ok := LambdaTopology(topo)
+			if !ok || again != got {
+				t.Errorf("memo returned (%.12f, %v), want (%.12f, true)", again, ok, got)
+			}
+		})
+	}
+	// Families without a closed form report ok=false: a materialized
+	// *Graph and the hashed-matching multigraph.
+	if _, ok := LambdaTopology(graph.Cycle(8)); ok {
+		t.Error("LambdaTopology claimed a closed form for a materialized *Graph")
+	}
+	h, err := graph.NewHashedRegular(16, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LambdaTopology(h); ok {
+		t.Error("LambdaTopology claimed a closed form for HashedRegular")
+	}
+}
