@@ -384,6 +384,24 @@ func runBenchBigN(path string, params exp.Params) error {
 			arm.Label, arm.N, arm.NsPerStep, arm.BuildSeconds,
 			float64(arm.PeakRSSBytes)/(1<<20), float64(arm.AllocBytes)/(1<<20), 100*arm.TwoAdjacentFrac)
 	}
+	if d := sec.Dissenter; d != nil {
+		for _, arm := range d.Arms {
+			fmt.Printf("bench: bign dissenter %-12s %d trial(s): %.3fs, %d steps, consensus %.0f%%, tail %.3fs/%d steps (to-90%% %.3fs/%d)\n",
+				arm.Label, arm.Trials, arm.Seconds, arm.Steps, 100*arm.ConsensusFrac,
+				arm.Phase.TailSeconds, arm.Phase.TailSteps, arm.Phase.SecondsTo90, arm.Phase.StepsTo90)
+		}
+		bound := ""
+		if d.NaiveCapped {
+			bound = " (naive step-capped: lower bound)"
+		}
+		fmt.Printf("bench: bign dissenter speedup auto/sparse vs naive = %.1fx%s (bound ≥ 2), sparse peak %.2f MB / CSR estimate %.1f MB = %.4f (bound ≤ 0.05)\n",
+			d.Speedup, bound, float64(d.SparsePeakBytes)/(1<<20), float64(d.CSREstimateBytes)/(1<<20), d.SparsePeakRatio)
+	}
+	if eq := sec.SmallEq; eq != nil {
+		fmt.Printf("bench: bign small-eq n=%d, %d trials/arm: winner χ²=%.2f (df %d, crit %.2f), steps KS=%.4f (crit %.4f), mean to-90%%/tail steps %.0f/%.0f -> pass=%v\n",
+			eq.N, eq.Trials, eq.Chi2, eq.Chi2Df, eq.Chi2Crit, eq.KSSteps, eq.KSCrit,
+			eq.MeanStepsTo90, eq.MeanTailSteps, eq.Pass)
+	}
 	fmt.Printf("bench: bign peak-RSS ratio implicit/materialized = %.3f (bound 0.25), results identical = %v -> %s (%v)\n",
 		sec.RSSRatio, sec.Identical, path, time.Since(start).Round(time.Millisecond))
 	if !sec.Identical {
@@ -391,6 +409,23 @@ func runBenchBigN(path string, params exp.Params) error {
 	}
 	if sec.RSSRatio > 0.25 {
 		return fmt.Errorf("bign: peak RSS ratio %.3f exceeds the 0.25 bound", sec.RSSRatio)
+	}
+	if d := sec.Dissenter; d != nil {
+		for _, arm := range d.Arms {
+			if arm.Engine == core.EngineAuto.String() && arm.ConsensusFrac < 1 {
+				return fmt.Errorf("bign dissenter: auto/sparse arm reached consensus in only %.0f%% of trials", 100*arm.ConsensusFrac)
+			}
+		}
+		if d.Speedup < 2 {
+			return fmt.Errorf("bign dissenter: speedup %.2fx below the 2x bound", d.Speedup)
+		}
+		if d.SparsePeakRatio > 0.05 {
+			return fmt.Errorf("bign dissenter: sparse peak ratio %.4f exceeds the 0.05 bound", d.SparsePeakRatio)
+		}
+	}
+	if eq := sec.SmallEq; eq != nil && !eq.Pass {
+		return fmt.Errorf("bign small-eq: sparse vs naive distribution check failed (χ²=%.2f crit %.2f, KS=%.4f crit %.4f)",
+			eq.Chi2, eq.Chi2Crit, eq.KSSteps, eq.KSCrit)
 	}
 	return nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"div/internal/obs"
+)
+
+// TestRunEngineImplicitCompact pins the CLI contract for combining
+// -engine with -implicit/-compact: fast and auto route through the
+// blocked kernel's sparse endgame hand-off (these used to run naive
+// silently, then error), and the one genuinely unsupported combination
+// — the fast engine on an implicit complete graph — surfaces the core
+// error instead of degrading.
+func TestRunEngineImplicitCompact(t *testing.T) {
+	base := func(spec, eng string, implicit, compact bool) error {
+		return run(spec, 3, 0, "vertex", "div", eng, 7, 2,
+			false, false, 2_000_000, 0, implicit, compact, "", false,
+			obs.Provenance{}, nil)
+	}
+	cases := []struct {
+		name              string
+		spec              string
+		eng               string
+		implicit, compact bool
+		wantErr           string
+	}{
+		{"fast on implicit circulant", "circulant:600,1+2", "fast", true, false, ""},
+		{"fast on implicit compact", "circulant:600,1+2", "fast", true, true, ""},
+		{"fast on compact csr", "cycle:600", "fast", false, true, ""},
+		{"auto on implicit hashedregular", "hashedregular:512,4", "auto", true, false, ""},
+		{"fast on implicit complete", "complete:64", "fast", true, false, "sparse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := base(tc.spec, tc.eng, tc.implicit, tc.compact)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run() failed: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run() error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -83,18 +83,22 @@ type BlockConfig struct {
 	// O(1)-state implicit families (graph.ImplicitTorus,
 	// graph.HashedRegular, …), which never build adjacency and so make
 	// n = 10⁶–10⁷ runs affordable. Implicit topologies support only the
-	// DIV rule (the generic-rule path and the fast engine need CSR
-	// structure): EngineFast is rejected and EngineAuto never hands off.
-	// Results are byte-identical to running on Materialize(Topology).
-	// Setting both Graph and a Topology other than Graph itself is an
-	// error.
+	// DIV rule (the generic-rule path needs CSR structure). Under
+	// EngineNaive, results are byte-identical to running on
+	// Materialize(Topology); EngineFast and EngineAuto hand off to the
+	// sparse endgame engine (core/sparse.go), which preserves the naive
+	// law in distribution but not pointwise (except on complete
+	// topologies, where the sparse engine degenerates and is rejected /
+	// never entered). Setting both Graph and a Topology other than Graph
+	// itself is an error.
 	Topology graph.Topology
 	// Compact stores each trial's opinions as a byte slab (opinion
 	// window ≤ 256) instead of int32 — 4× less opinion memory, so a
 	// block's working set fits L2 at n = 2²⁰. Requires the DIV rule;
-	// results are byte-identical to the int32 representation, and like
-	// implicit topologies, compact trials never hand off to the
-	// sequential fast engine.
+	// under EngineNaive results are byte-identical to the int32
+	// representation, and like implicit topologies, compact trials hand
+	// off to the sparse endgame engine rather than the sequential fast
+	// loop.
 	Compact bool
 	// Process is the scheduler (vertex or edge). Default VertexProcess.
 	Process Process
@@ -112,6 +116,14 @@ type BlockConfig struct {
 	Stop StopCondition
 	// MaxSteps caps each trial. 0 means 200·n².
 	MaxSteps int64
+	// MajorityFrac, when positive, makes each trial record
+	// Result.MajorityStep: the first observed step at which some single
+	// opinion's multiplicity reaches MajorityFrac·n. The check runs at
+	// chunk granularity in the blocked loops and per active step in the
+	// sparse endgame loop, so the recorded step is an upper bound within
+	// one chunk of the true crossing — the resolution the bign phase
+	// split needs, at zero hot-path cost.
+	MajorityFrac float64
 	// Seed is the experiment point's base seed; trial t draws from the
 	// counter stream keyed by (Seed, t).
 	Seed uint64
@@ -287,6 +299,10 @@ type blockArena struct {
 	initBuf []int
 	lanes   []*blockRow   // scratch live-lane list for laneChunk
 	fast    [2]*FastState // indexed by Process; rebound per hand-off
+	// sparse is the shared hand-off SparseState per process for
+	// implicit/compact runs: O(n) position index + O(discordance) member
+	// set, reseeded per hand-off, the sparse counterpart of fast.
+	sparse [2]*SparseState
 }
 
 func newBlockArena(t graph.Topology) *blockArena {
@@ -354,6 +370,24 @@ func (a *blockArena) fastFor(row *blockRow, proc Process) (*FastState, error) {
 	return f, nil
 }
 
+// sparseFor is fastFor's counterpart for implicit/compact runs: the
+// arena's shared hand-off SparseState for proc, rebound to row's State
+// and reseeded against its current opinions (the O(n·d) enumeration
+// pass of the hand-off). One per process, lent to the retiring row.
+func (a *blockArena) sparseFor(row *blockRow, proc Process) (*SparseState, error) {
+	if sp := a.sparse[proc]; sp != nil {
+		sp.rebind(row.s)
+		sp.Seed()
+		return sp, nil
+	}
+	sp, err := NewSparseState(row.s, proc)
+	if err != nil {
+		return nil, err
+	}
+	a.sparse[proc] = sp
+	return sp, nil
+}
+
 // blockRun is the resolved, validated configuration plus the
 // kernel-selection constants hoisted out of the stepping loops.
 type blockRun struct {
@@ -408,9 +442,18 @@ type blockRun struct {
 	laneSink int64
 
 	// Hybrid hand-off thresholds (see hybrid.go's cost model) and the
-	// batch-wide kill switch set when FastState construction fails.
+	// batch-wide kill switch set when FastState (or SparseState)
+	// construction fails. sparseOK marks runs whose hand-off target is
+	// the sparse endgame engine instead of the sequential fast loop:
+	// pairwise DIV on a non-complete backend that is implicit and/or
+	// compact (the tuned CSR+int32 path keeps the fast engine so its
+	// trajectories stay byte-identical to earlier releases).
 	enterScale, exitScale int64
 	handoffDisabled       bool
+	sparseOK              bool
+	// majorityCount is the opinion multiplicity at which MajorityFrac is
+	// reached; 0 disables the check.
+	majorityCount int64
 }
 
 func newBlockRun(cfg BlockConfig) (*blockRun, error) {
@@ -458,9 +501,8 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 		if pw == nil {
 			return nil, fmt.Errorf("core: fast engine requires a PairwiseRule, got %q", rule.Name())
 		}
-		if g == nil || cfg.Compact {
-			return nil, fmt.Errorf("core: fast engine requires a materialized CSR graph and the int32 opinion representation")
-		}
+		// Implicit/compact eligibility (the sparse endgame engine) is
+		// kind-dependent and validated after kernel selection below.
 	default:
 		return nil, fmt.Errorf("core: unknown engine %d", int(cfg.Engine))
 	}
@@ -495,7 +537,12 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 		init: cfg.Init, probeMaker: cfg.Probe, arena: arena, block: block,
 		n: n, un: uint64(n), arcs: uint64(topo.DegreeSum()),
 		enterScale: 2 * costUnits, exitScale: costUnits,
-		handoffDisabled: pw == nil || g == nil || cfg.Compact,
+	}
+	if cfg.MajorityFrac > 0 {
+		b.majorityCount = int64(cfg.MajorityFrac * float64(n))
+		if b.majorityCount < 1 {
+			b.majorityCount = 1
+		}
 	}
 	b.tuned = g != nil && !cfg.Compact
 	complete := false
@@ -547,6 +594,19 @@ func newBlockRun(cfg BlockConfig) (*blockRun, error) {
 			return nil, fmt.Errorf("core: implicit/compact blocked runs require n and arc count < 2^32")
 		}
 	}
+	// Hand-off targets. The tuned CSR+int32 path retires to the
+	// sequential fast/hybrid loop exactly as before; every other
+	// pairwise-DIV vertex/edge run retires to the sparse endgame engine
+	// (distribution-equivalent, O(discordance) memory). Complete
+	// topologies are excluded from sparse stepping: with d = n-1 the
+	// member set is ~n and rejection sampling degenerates, and K_n's
+	// extreme cost-model thresholds mean the window would essentially
+	// never trigger anyway.
+	b.sparseOK = pw != nil && !b.tuned && (b.kind == kindVertex || b.kind == kindEdge)
+	b.handoffDisabled = pw == nil || (!b.tuned && !b.sparseOK)
+	if cfg.Engine == EngineFast && b.handoffDisabled {
+		return nil, fmt.Errorf("core: fast engine on %q requires a materialized CSR graph and int32 opinions, or a non-complete implicit/compact DIV run (sparse endgame engine)", topo.Name())
+	}
 	return b, nil
 }
 
@@ -577,6 +637,7 @@ func (b *blockRun) initRow(row *blockRow, trial int) error {
 	row.res = Result{
 		ThreeStep:              -1,
 		TwoAdjacentStep:        -1,
+		MajorityStep:           -1,
 		InitialAverage:         s.Average(),
 		InitialWeightedAverage: s.WeightedAverage(),
 		WeightAtTwoAdjacent:    nan(),
@@ -597,6 +658,7 @@ func (b *blockRun) initRow(row *blockRow, trial int) error {
 	row.laneDrawn, row.laneActive = 0, 0
 	row.done, row.wantFast = false, false
 	b.recordMilestones(row)
+	b.checkMajority(row)
 	switch {
 	case stopMet(s, b.stop):
 		row.done = true
@@ -613,6 +675,19 @@ func (b *blockRun) weightAverage(s *State) float64 {
 		return s.Average()
 	}
 	return s.WeightedAverage()
+}
+
+// checkMajority records the MajorityFrac crossing (see
+// BlockConfig.MajorityFrac). Counts move only on active steps, so
+// calling this at chunk boundaries and after sparse active steps
+// observes every crossing within one check interval.
+func (b *blockRun) checkMajority(row *blockRow) {
+	if b.majorityCount == 0 || row.res.MajorityStep >= 0 {
+		return
+	}
+	if row.s.LargestCount() >= b.majorityCount {
+		row.res.MajorityStep = row.s.Steps()
+	}
 }
 
 func (b *blockRun) recordMilestones(row *blockRow) {
@@ -695,6 +770,7 @@ func (b *blockRun) afterChunk(row *blockRow) {
 	if !row.done && s.Steps() >= b.maxSteps {
 		row.done = true
 	}
+	b.checkMajority(row)
 	if row.probe != nil && s.Steps() >= row.nextEmit {
 		b.flushRow(row)
 		row.nextEmit = (s.Steps()/b.observeEvery + 1) * b.observeEvery
@@ -1397,15 +1473,20 @@ func (b *blockRun) chunkGeneric(row *blockRow) {
 	row.windowDraws += limit
 }
 
-// handoff retires row from the blocked loop to the sequential engine.
-// For EngineAuto the arena FastState's exact mass double-checks the
-// noisy windowed trigger first (as hybridLoop does): if discordance is
-// still above the exit threshold the row bounces back to blocked
-// stepping with an exponentially growing cooldown. A FastState
-// construction failure (degree-lcm overflow) is fatal under EngineFast
-// and disables hand-off for the whole batch under EngineAuto — it is a
-// property of (graph, process), not of the trial.
+// handoff retires row from the blocked loop to the sequential engine —
+// the fast/hybrid loop on the tuned CSR+int32 path, the sparse endgame
+// engine everywhere else. For EngineAuto the hand-off state's exact
+// mass double-checks the noisy windowed trigger first (as hybridLoop
+// does): if discordance is still above the exit threshold the row
+// bounces back to blocked stepping with an exponentially growing
+// cooldown. A FastState/SparseState construction failure (degree-lcm
+// overflow) is fatal under EngineFast and disables hand-off for the
+// whole batch under EngineAuto — it is a property of (graph, process),
+// not of the trial.
 func (b *blockRun) handoff(row *blockRow) error {
+	if b.sparseOK {
+		return b.handoffSparse(row)
+	}
 	row.wantFast = false
 	f, err := b.arena.fastFor(row, b.proc)
 	if err != nil {
@@ -1423,6 +1504,70 @@ func (b *blockRun) handoff(row *blockRow) error {
 		return nil
 	}
 	b.retire(row, f)
+	row.done = true
+	return nil
+}
+
+// handoffSparse is handoff's implicit/compact branch: seed the arena's
+// shared sparse set with one O(n·d) enumeration pass and finish the
+// trial under sparse skip-sampling. Under EngineAuto the exact mass
+// vetoes noisy triggers (bounce + cooldown, as the fast branch does),
+// and a mid-flight rebound returns the row to blocked stepping instead
+// of finishing sequentially — the blocked loop IS the naive regime
+// here, so the row resumes it rather than a per-row naive loop.
+func (b *blockRun) handoffSparse(row *blockRow) error {
+	row.wantFast = false
+	sp, err := b.arena.sparseFor(row, b.proc)
+	if err != nil {
+		if b.engine == EngineFast {
+			return fmt.Errorf("core: block trial %d: %w", row.trial, err)
+		}
+		b.handoffDisabled = true
+		return nil
+	}
+	if b.engine == EngineAuto && sp.num*b.exitScale > sp.den {
+		row.cooldown = row.nextCooldown
+		if row.nextCooldown < hybridMaxCooldown {
+			row.nextCooldown *= 2
+		}
+		return nil
+	}
+	sparseHandoffsTotal.Inc()
+	b.flushRow(row)
+	s := row.s
+	if row.probe != nil {
+		row.probe.EngineSwitch(obs.EngineSwitch{
+			Step:    s.Steps(),
+			From:    obs.RegimeBlock,
+			To:      obs.RegimeSparse,
+			Reason:  obs.SwitchWindow,
+			MassNum: sp.num,
+			MassDen: sp.den,
+		})
+	}
+	row.batch = obs.StepBatch{FromStep: s.Steps()}
+	if b.retireSparse(row, sp, b.engine == EngineAuto) {
+		// Discordance rebounded past the exit threshold: back to blocked
+		// stepping with the same exponential cooldown as hybridLoop.
+		row.cooldown = row.nextCooldown
+		if row.nextCooldown < hybridMaxCooldown {
+			row.nextCooldown *= 2
+		}
+		row.windowDraws, row.windowActive = 0, 0
+		if row.probe != nil {
+			num, den := sp.ActiveMass()
+			row.probe.EngineSwitch(obs.EngineSwitch{
+				Step:     s.Steps(),
+				From:     obs.RegimeSparse,
+				To:       obs.RegimeBlock,
+				Reason:   obs.SwitchRebound,
+				MassNum:  num,
+				MassDen:  den,
+				Cooldown: row.cooldown,
+			})
+		}
+		return nil
+	}
 	row.done = true
 	return nil
 }
@@ -1472,6 +1617,7 @@ func (b *blockRun) retire(row *blockRow, f *FastState) {
 // the Result, and flushes the per-trial counters.
 func (b *blockRun) finalize(row *blockRow, out []Result, t0 int) {
 	s := row.s
+	b.checkMajority(row)
 	row.res.Steps = s.Steps()
 	row.res.FinalMin, row.res.FinalMax = s.Min(), s.Max()
 	if w, ok := s.Consensus(); ok {

@@ -238,25 +238,27 @@ func TestBlockTopoDistributionEquivalence(t *testing.T) {
 }
 
 // TestBlockTopoHashedRegular smokes the one implicit family without a
-// CSR twin: runs must reach consensus, and — because implicit runs
-// never hand off — EngineAuto must be bit-identical to EngineNaive.
+// CSR twin: naive, auto, and fast runs must all reach consensus on a
+// winner inside the initial window. EngineAuto and EngineFast retire to
+// the sparse endgame engine here, so they are distribution- not
+// byte-equivalent to EngineNaive (TestSparseDistributionEquivalence
+// holds them to the χ²/KS standard; this test pins the multigraph
+// plumbing end to end).
 func TestBlockTopoHashedRegular(t *testing.T) {
 	topo, err := graph.NewHashedRegular(1024, 8, 0xfeed)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, proc := range []Process{VertexProcess, EdgeProcess} {
-		naive := runTopoBlock(t, topo, true, proc, EngineNaive, 4, 0xabc, 4, 2)
-		auto := runTopoBlock(t, topo, true, proc, EngineAuto, 4, 0xabc, 4, 2)
-		for i := range naive {
-			if !naive[i].Consensus {
-				t.Errorf("%v trial %d: no consensus", proc, i)
-			}
-			if w := naive[i].Winner; w < 1 || w > 4 {
-				t.Errorf("%v trial %d: winner %d outside initial window [1,4]", proc, i, w)
-			}
-			if resultKey(naive[i]) != resultKey(auto[i]) {
-				t.Errorf("%v trial %d: EngineAuto diverged from EngineNaive on implicit topology", proc, i)
+		for _, eng := range []Engine{EngineNaive, EngineAuto, EngineFast} {
+			out := runTopoBlock(t, topo, true, proc, eng, 4, 0xabc, 4, 2)
+			for i := range out {
+				if !out[i].Consensus {
+					t.Errorf("%v/%v trial %d: no consensus", proc, eng, i)
+				}
+				if w := out[i].Winner; w < 1 || w > 4 {
+					t.Errorf("%v/%v trial %d: winner %d outside initial window [1,4]", proc, eng, i, w)
+				}
 			}
 		}
 	}
@@ -284,12 +286,15 @@ func TestBlockTopoValidation(t *testing.T) {
 		}
 	}
 	out := make([]Result, 1)
+	kn, err := graph.NewImplicitComplete(32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		cfg  BlockConfig
 	}{
-		{"fast engine on implicit", BlockConfig{Topology: torus, Engine: EngineFast, Init: initK(3)}},
-		{"fast engine on compact", BlockConfig{Graph: twin, Compact: true, Engine: EngineFast, Init: initK(3)}},
+		{"fast engine on implicit complete", BlockConfig{Topology: kn, Engine: EngineFast, Init: initK(3)}},
 		{"graph and mismatched topology", BlockConfig{Graph: other, Topology: torus, Init: initK(3)}},
 		{"edge process without arc map", BlockConfig{Topology: noArcTopo{torus}, Process: EdgeProcess, Init: initK(3)}},
 		{"compact window over 256", BlockConfig{Topology: wide, Compact: true, Init: initK(300), MaxSteps: 10, Stop: UntilMaxSteps}},
@@ -303,6 +308,19 @@ func TestBlockTopoValidation(t *testing.T) {
 	// that must be accepted.
 	if err := RunBlock(BlockConfig{Graph: twin, Topology: twin, Init: initK(3)}, 0, 1, out); err != nil {
 		t.Errorf("Graph==Topology rejected: %v", err)
+	}
+	// EngineFast on non-complete implicit and compact DIV runs routes to
+	// the sparse endgame engine and must be accepted (it used to error).
+	for _, tc := range []struct {
+		name string
+		cfg  BlockConfig
+	}{
+		{"fast engine on implicit", BlockConfig{Topology: torus, Engine: EngineFast, Init: initK(3)}},
+		{"fast engine on compact", BlockConfig{Graph: twin, Compact: true, Engine: EngineFast, Init: initK(3)}},
+	} {
+		if err := RunBlock(tc.cfg, 0, 1, out); err != nil {
+			t.Errorf("%s: RunBlock rejected a sparse-eligible config: %v", tc.name, err)
+		}
 	}
 }
 

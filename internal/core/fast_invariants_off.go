@@ -7,6 +7,11 @@ package core
 // path carries no checking overhead in normal builds and benchmarks.
 func fastCheckInvariants(*FastState) {}
 
+// sparseCheckInvariants compiles to a no-op unless the
+// divtestinvariants build tag is set (fast_invariants_on.go), keeping
+// the sparse engine's O(d) update free of checking overhead.
+func sparseCheckInvariants(*SparseState) {}
+
 // invariantChecksEnabled reports whether this build re-derives the
 // discordance bookkeeping after every update (divtestinvariants). The
 // allocation-regression tests skip themselves under it: the O(n + m)

@@ -16,6 +16,19 @@ func fastCheckInvariants(f *FastState) {
 	}
 }
 
+// sparseCheckInvariants re-derives the sparse engine's discordant-
+// vertex set from scratch after every opinion update and panics on the
+// first divergence (membership, counts, position index, mass
+// aggregates). O(n·d) per update — divtestinvariants builds only.
+func sparseCheckInvariants(sp *SparseState) {
+	if err := sp.CheckSparse(); err != nil {
+		panic(err)
+	}
+	if err := sp.s.CheckInvariants(); err != nil {
+		panic(err)
+	}
+}
+
 // invariantChecksEnabled reports whether this build re-derives the
 // discordance bookkeeping after every update (divtestinvariants). The
 // allocation-regression tests skip themselves under it: the O(n + m)

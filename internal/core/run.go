@@ -103,6 +103,11 @@ type Result struct {
 	// TwoAdjacentStep is the first step at which at most two adjacent
 	// opinions remained — the paper's T (-1 if never).
 	TwoAdjacentStep int64
+	// MajorityStep is the first observed step at which some opinion's
+	// multiplicity reached BlockConfig.MajorityFrac·n (-1 if never
+	// reached or not tracked; blocked runs only — see MajorityFrac for
+	// the observation granularity).
+	MajorityStep int64
 	// InitialAverage is S(0)/n.
 	InitialAverage float64
 	// InitialWeightedAverage is Σ π_v X_v(0) (= Z(0)/n).
@@ -165,6 +170,7 @@ func Run(cfg Config) (Result, error) {
 	res := Result{
 		ThreeStep:              -1,
 		TwoAdjacentStep:        -1,
+		MajorityStep:           -1,
 		InitialAverage:         s.Average(),
 		InitialWeightedAverage: s.WeightedAverage(),
 		WeightAtTwoAdjacent:    nan(),

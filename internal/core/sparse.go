@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"div/internal/graph"
+	"div/internal/obs"
+)
+
+// This file implements the sparse endgame engine: geometric
+// skip-sampling for runs the fast engine (fast.go) cannot serve —
+// implicit topologies and compact opinion slabs — with memory
+// proportional to the live discordance, not to the arc count.
+//
+// The fast engine's discordance index stores a per-arc position array
+// (O(m) int32s) plus the discordant-edge list. That is exactly the
+// memory the implicit families were built to avoid: at n = 10⁶–10⁷ a
+// per-arc index re-creates the CSR footprint the Topology interface
+// removed, so until now every implicit/compact run stepped naively
+// through its entire idle-dominated tail and EngineAuto degenerated to
+// EngineNaive. The sparse engine keeps instead a swap-delete set of the
+// currently *discordant vertices* — vertices with at least one
+// neighbour holding a different opinion — with a per-member count of
+// discordant incident arcs:
+//
+//	list  []int32  the discordant vertices, unordered
+//	diffs []int32  diffs[j] = diff(list[j]), the member's discordant-arc count
+//	pos   []int32  pos[v] = slot of v in list, or -1
+//
+// pos is O(n) (4 bytes/vertex — at n = 10⁶ that is 4 MB against the
+// ~200 MB CSR+ArcIndex estimate of an 8-regular graph); list and diffs
+// are O(D_t), the live discordance. An opinion update at v can only
+// change diff over {v} ∪ N(v), so SetOpinion repairs the set with one
+// O(d(v)) neighbourhood walk — the same local-update cost the fast
+// engine pays, without any arc-indexed storage.
+//
+// Active mass. The probability that one scheduler invocation is active
+// is maintained as an exact integer rational, exactly as in fast.go:
+//
+//	edge process:   p = Σ_v diff(v) / 2m        (num = Σ diff, den = degree sum)
+//	vertex process: p = (1/n)·Σ_v diff(v)/d(v)  (num = Σ diff(v)·L/d(v), den = n·L)
+//
+// with L the lcm of the distinct degrees (computed in the seed pass,
+// capped at graph.MaxDegreeLCM like the fast engine's vertex units; on
+// the cap the constructor errors and callers stay naive). diff counts
+// arcs with multiplicity, so multigraph families (HashedRegular) weight
+// parallel edges exactly as the schedulers draw them.
+//
+// Conditional pair draw. The active pair is drawn by rejection from the
+// vertex set, which needs no weight arrays at all:
+//
+//	vertex: slot ~ U[list], v = list[slot]; j ~ U[0, d(v)),
+//	        w = Neighbor(v, j); accept iff X_v ≠ X_w.
+//	        P[(v,w) | accept] ∝ (1/|list|)·(1/d(v)) ∝ 1/d(v) — the exact
+//	        vertex-process conditional, irregular degrees included.
+//	edge:   slot ~ U[list]; j ~ U[0, d_max); reject j ≥ d(v);
+//	        w = Neighbor(v, j); accept iff X_v ≠ X_w.
+//	        P[(v,w) | accept] uniform over discordant arcs — the exact
+//	        edge-process conditional.
+//
+// Every member has diff ≥ 1, so each round accepts with probability at
+// least 1/d_max(v-side) and the expected cost per active step is O(d̄)
+// — the same order as the O(d) repair that follows. Unlike the fast
+// engine there is no per-arc bucket structure to keep exact degree
+// weighting cheap; the rejection loop plays that role, trading a small
+// constant factor for O(D_t) memory.
+//
+// Distribution- not byte-equivalence: the naive kernels realize an
+// active step by drawing (v, w) directly; the sparse engine consumes
+// its stream through geomSkip and the rejection loop instead, so a
+// handed-off trajectory diverges pointwise from the naive one while
+// keeping the exact same law (the same argument as EngineFast — see
+// DESIGN.md §6 and §14). The equivalence tests therefore compare
+// distributions (χ²/KS), not bytes, exactly as they do for EngineFast.
+
+var (
+	// sparseHandoffsTotal counts blocked-kernel rows that retired to the
+	// sparse endgame engine (including EngineFast-at-start retirements).
+	sparseHandoffsTotal = obs.Default.Counter("core_sparse_handoffs_total")
+	// sparseSetPeak is the high-water mark, in bytes, of the sparse
+	// engine's working set (pos + list + diffs) across all runs.
+	sparseSetPeak = obs.Default.Gauge("sparse_set_peak")
+	// sparseSessionTimer times each sparse stepping session (hand-off to
+	// exit) into the span_core_sparse_step_nanos histogram, making the
+	// tail phase visible on /metrics and in the -metrics footer.
+	sparseSessionTimer = obs.Default.Timer("core_sparse_step")
+)
+
+// SparseState is the sparse endgame engine's mutable state: the
+// swap-delete discordant-vertex set over a State, with the exact
+// rational active mass. All opinion updates must go through SetOpinion
+// while the set is authoritative.
+type SparseState struct {
+	s    *State
+	topo graph.Topology
+	proc Process
+
+	list  []int32 // discordant vertices (diff > 0), unordered
+	diffs []int32 // diffs[j] = discordant-arc count of list[j]
+	pos   []int32 // pos[v] = slot of v in list, or -1
+
+	num     int64 // active-mass numerator (see file comment)
+	den     int64 // active-mass denominator: 2m (edge) or n·L (vertex)
+	lcm     int64 // vertex process: L = lcm of distinct degrees; else 1
+	sumDiff int64 // Σ_v diff(v) = 2 · #discordant edges (with multiplicity)
+	dmax    int64 // max degree, the edge-process rejection bound
+
+	countFn func() int64 // O(1) count for State.DiscordantEdges
+}
+
+// NewSparseState builds the discordant-vertex set for s under proc with
+// one O(n·d) enumeration pass over the state's Topology. It errors when
+// the vertex process's degree-lcm scaling would overflow (wildly
+// irregular degree sequences); callers fall back to naive stepping.
+func NewSparseState(s *State, proc Process) (*SparseState, error) {
+	if proc != VertexProcess && proc != EdgeProcess {
+		return nil, fmt.Errorf("core: unknown process %v", proc)
+	}
+	topo := s.Topology()
+	n := topo.N()
+	sp := &SparseState{
+		s:    s,
+		topo: topo,
+		proc: proc,
+		pos:  make([]int32, n),
+		lcm:  1,
+	}
+	if proc == VertexProcess {
+		// L = lcm of the distinct degrees, so every unit L/d(v) is an
+		// exact integer. Same cap and fallback contract as the fast
+		// engine's ArcIndex.VertexUnits.
+		lcm := int64(1)
+		for v := 0; v < n; v++ {
+			d := int64(topo.Degree(v))
+			l := lcm / gcd64(lcm, d) * d
+			if l > graph.MaxDegreeLCM || l < 0 {
+				return nil, fmt.Errorf("core: sparse engine: vertex-process degree lcm exceeds %d on this degree sequence; use naive stepping", graph.MaxDegreeLCM)
+			}
+			lcm = l
+		}
+		sp.lcm = lcm
+		sp.den = int64(n) * lcm
+	} else {
+		sp.den = topo.DegreeSum()
+	}
+	sp.countFn = func() int64 { return sp.sumDiff / 2 }
+	sp.Seed()
+	return sp, nil
+}
+
+// gcd64 is the binaryless Euclid gcd for positive int64s.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// x returns vertex v's opinion in whichever representation is live —
+// base-relative bytes and absolute int32s compare identically within a
+// representation, which is all the set maintenance needs.
+func (sp *SparseState) x(v int) int32 {
+	if sp.s.opb != nil {
+		return int32(sp.s.opb[v])
+	}
+	return sp.s.opinions[v]
+}
+
+// unit returns the active-mass weight of one discordant arc with tail
+// v: 1 for the edge process, L/d(v) for the vertex process.
+func (sp *SparseState) unit(v int) int64 {
+	if sp.proc == EdgeProcess {
+		return 1
+	}
+	return sp.lcm / int64(sp.topo.Degree(v))
+}
+
+// Seed rebuilds the set against the wrapped State's current opinions:
+// the one O(n·d) enumeration pass of a hand-off. list and diffs are
+// reused across seeds; dmax is accumulated on the way.
+func (sp *SparseState) Seed() {
+	sp.list = sp.list[:0]
+	sp.diffs = sp.diffs[:0]
+	sp.num, sp.sumDiff, sp.dmax = 0, 0, 0
+	t := sp.topo
+	n := t.N()
+	for v := 0; v < n; v++ {
+		xv := sp.x(v)
+		d := t.Degree(v)
+		if int64(d) > sp.dmax {
+			sp.dmax = int64(d)
+		}
+		c := int32(0)
+		for i := 0; i < d; i++ {
+			if sp.x(t.Neighbor(v, i)) != xv {
+				c++
+			}
+		}
+		if c > 0 {
+			sp.pos[v] = int32(len(sp.list))
+			sp.list = append(sp.list, int32(v))
+			sp.diffs = append(sp.diffs, c)
+			sp.sumDiff += int64(c)
+			sp.num += int64(c) * sp.unit(v)
+		} else {
+			sp.pos[v] = -1
+		}
+	}
+	sparseSetPeak.SetMax(sp.MemBytes())
+}
+
+// rebind repoints the set at another State over the same topology. The
+// blocked kernel's arena keeps ONE SparseState and lends it to whichever
+// row is retiring; a Seed after rebinding rebuilds everything
+// opinion-dependent. The caller must not leave a stale discordance hook
+// on the previous state (State.ResetTo clears it; detachDiscordance
+// does too).
+func (sp *SparseState) rebind(s *State) {
+	if s.Topology() != sp.topo {
+		panic("core: SparseState.rebind across topologies")
+	}
+	sp.s = s
+}
+
+// attachDiscordance makes the wrapped State's DiscordantEdges read the
+// set's exact O(1) count (Σ diff / 2, each discordant edge contributing
+// one arc per endpoint, parallel copies included). Only valid while
+// every opinion update goes through sp.SetOpinion.
+func (sp *SparseState) attachDiscordance() { sp.s.discordFn = sp.countFn }
+
+// detachDiscordance reverts State.DiscordantEdges to the O(m) recount.
+func (sp *SparseState) detachDiscordance() { sp.s.discordFn = nil }
+
+// DiscordantEdges returns the exact number of currently discordant
+// edges (counting parallel multigraph copies separately, matching
+// State.DiscordantEdges on implicit backends).
+func (sp *SparseState) DiscordantEdges() int64 { return sp.sumDiff / 2 }
+
+// ActiveMass returns the probability that one scheduler invocation is
+// active as the exact rational num/den.
+func (sp *SparseState) ActiveMass() (num, den int64) { return sp.num, sp.den }
+
+// Members returns the number of currently discordant vertices.
+func (sp *SparseState) Members() int { return len(sp.list) }
+
+// MemBytes returns the set's current working-set footprint: the O(n)
+// position index plus the O(D) member and count arrays.
+func (sp *SparseState) MemBytes() int64 {
+	return 4*int64(len(sp.pos)) + 8*int64(cap(sp.list))
+}
+
+// bump adjusts diff(w) by delta (±1), inserting or swap-deleting w as
+// its count crosses zero, and maintains the mass aggregates.
+func (sp *SparseState) bump(w int, delta int32) {
+	sp.sumDiff += int64(delta)
+	sp.num += int64(delta) * sp.unit(w)
+	slot := sp.pos[w]
+	if slot < 0 {
+		sp.pos[w] = int32(len(sp.list))
+		sp.list = append(sp.list, int32(w))
+		sp.diffs = append(sp.diffs, delta)
+		return
+	}
+	sp.diffs[slot] += delta
+	if sp.diffs[slot] == 0 {
+		sp.dropSlot(slot)
+	}
+}
+
+// setDiff sets diff(v) to c outright (the updated vertex's own count,
+// recomputed during the repair walk), with the same membership and mass
+// maintenance as bump.
+func (sp *SparseState) setDiff(v int, c int32) {
+	slot := sp.pos[v]
+	old := int32(0)
+	if slot >= 0 {
+		old = sp.diffs[slot]
+	}
+	if c == old {
+		return
+	}
+	sp.sumDiff += int64(c - old)
+	sp.num += int64(c-old) * sp.unit(v)
+	switch {
+	case slot < 0:
+		sp.pos[v] = int32(len(sp.list))
+		sp.list = append(sp.list, int32(v))
+		sp.diffs = append(sp.diffs, c)
+	case c == 0:
+		sp.dropSlot(slot)
+	default:
+		sp.diffs[slot] = c
+	}
+}
+
+// dropSlot swap-deletes the member at slot, keeping list and diffs
+// parallel.
+func (sp *SparseState) dropSlot(slot int32) {
+	last := int32(len(sp.list) - 1)
+	v := sp.list[slot]
+	sp.list[slot] = sp.list[last]
+	sp.diffs[slot] = sp.diffs[last]
+	sp.pos[sp.list[slot]] = slot
+	sp.list = sp.list[:last]
+	sp.diffs = sp.diffs[:last]
+	sp.pos[v] = -1
+}
+
+// SetOpinion sets X_v = x through the wrapped State and repairs the
+// discordant-vertex set in O(d(v)): only v's own count and its
+// neighbours' counts can change, each by one arc per incident copy.
+func (sp *SparseState) SetOpinion(v, x int) {
+	old := sp.s.Opinion(v)
+	if x == old {
+		return
+	}
+	sp.s.SetOpinion(v, x)
+	nx := sp.x(v)
+	ox := int32(old)
+	if sp.s.opb != nil {
+		ox = int32(old) - sp.s.base
+	}
+	t := sp.topo
+	d := t.Degree(v)
+	c := int32(0)
+	for i := 0; i < d; i++ {
+		w := t.Neighbor(v, i)
+		xw := sp.x(w)
+		wasDisc := xw != ox
+		isDisc := xw != nx
+		if isDisc {
+			c++
+		}
+		if wasDisc == isDisc {
+			continue
+		}
+		if isDisc {
+			sp.bump(w, 1)
+		} else {
+			sp.bump(w, -1)
+		}
+	}
+	sp.setDiff(v, c)
+	sparseCheckInvariants(sp)
+}
+
+// sampleDiscordant draws the next active ordered pair (v, w) from the
+// exact conditional law of the process given that the draw is
+// discordant, by rejection from the member set (see the file comment
+// for the law argument). It must only be called when ActiveMass() > 0,
+// which guarantees a member with diff ≥ 1 and hence termination.
+func (sp *SparseState) sampleDiscordant(r *rand.Rand) (v, w int) {
+	t := sp.topo
+	if sp.proc == VertexProcess {
+		for {
+			v := int(sp.list[r.Int64N(int64(len(sp.list)))])
+			w := t.Neighbor(v, int(r.Int64N(int64(t.Degree(v)))))
+			if sp.x(v) != sp.x(w) {
+				return v, w
+			}
+		}
+	}
+	for {
+		v := int(sp.list[r.Int64N(int64(len(sp.list)))])
+		j := r.Int64N(sp.dmax)
+		if j >= int64(t.Degree(v)) {
+			continue
+		}
+		w := t.Neighbor(v, int(j))
+		if sp.x(v) != sp.x(w) {
+			return v, w
+		}
+	}
+}
+
+// CheckSparse re-derives the discordant-vertex set from scratch and
+// returns an error describing the first inconsistency with the
+// incrementally maintained one: membership ⇔ diff > 0, per-member arc
+// counts, the position index, and the exact mass aggregates. The
+// divtestinvariants build tag arranges for this to run after every
+// opinion update (fast_invariants_on.go); the fuzz target and unit
+// tests also call it directly.
+func (sp *SparseState) CheckSparse() error {
+	t := sp.topo
+	n := t.N()
+	if len(sp.list) != len(sp.diffs) {
+		return fmt.Errorf("core: sparse list/diffs length mismatch (%d vs %d)", len(sp.list), len(sp.diffs))
+	}
+	var num, sumDiff int64
+	members := 0
+	for v := 0; v < n; v++ {
+		xv := sp.x(v)
+		d := t.Degree(v)
+		c := int32(0)
+		for i := 0; i < d; i++ {
+			if sp.x(t.Neighbor(v, i)) != xv {
+				c++
+			}
+		}
+		slot := sp.pos[v]
+		if (slot >= 0) != (c > 0) {
+			return fmt.Errorf("core: vertex %d listed=%v, want diff=%d", v, slot >= 0, c)
+		}
+		if c > 0 {
+			if int(slot) >= len(sp.list) || sp.list[slot] != int32(v) {
+				return fmt.Errorf("core: vertex %d position index broken (pos=%d)", v, slot)
+			}
+			if sp.diffs[slot] != c {
+				return fmt.Errorf("core: vertex %d diff=%d, recomputed %d", v, sp.diffs[slot], c)
+			}
+			members++
+			sumDiff += int64(c)
+			num += int64(c) * sp.unit(v)
+		}
+	}
+	if members != len(sp.list) {
+		return fmt.Errorf("core: sparse set has %d members, want %d", len(sp.list), members)
+	}
+	if sumDiff != sp.sumDiff {
+		return fmt.Errorf("core: sparse Σdiff=%d, recomputed %d", sp.sumDiff, sumDiff)
+	}
+	if num != sp.num {
+		return fmt.Errorf("core: sparse active mass numerator %d, recomputed %d", sp.num, num)
+	}
+	wantDen := t.DegreeSum()
+	if sp.proc == VertexProcess {
+		wantDen = int64(n) * sp.lcm
+	}
+	if sp.den != wantDen {
+		return fmt.Errorf("core: sparse denominator %d, want %d", sp.den, wantDen)
+	}
+	return nil
+}
+
+// flushSparseRow emits the row's accumulated sparse-regime step batch
+// plus a discordance sample, and realigns the emit boundary — the
+// blocked-kernel counterpart of loopEnv.emitFastCadence.
+func (b *blockRun) flushSparseRow(row *blockRow, sp *SparseState) {
+	if row.probe == nil {
+		return
+	}
+	num, den := sp.ActiveMass()
+	row.probe.Discordance(obs.Discordance{
+		Step:    row.s.Steps(),
+		Edges:   sp.DiscordantEdges(),
+		MassNum: num,
+		MassDen: den,
+	})
+	to := row.s.Steps()
+	if to != row.batch.FromStep {
+		row.batch.ToStep = to
+		row.batch.Engine = obs.RegimeSparse
+		row.probe.StepBatch(row.batch)
+		row.batch = obs.StepBatch{FromStep: to}
+	}
+	row.nextEmit = (to/b.observeEvery + 1) * b.observeEvery
+}
+
+// retireSparse finishes row's trial under sparse skip-sampling — the
+// implicit/compact counterpart of retire()'s sequential fast loop, with
+// the same loop structure as FastState.loop: geometric skips bounded by
+// MaxSteps only (probe batches flush at the first step past the emit
+// boundary, never by clamping the skip — a probe must not change the
+// trajectory), exact conditional sampling for active steps, stop checks
+// on support changes only. When allowRebound
+// is set (EngineAuto) and the exact mass rebounds past the hybrid exit
+// threshold, the row returns to blocked stepping and retireSparse
+// reports true; under EngineFast the loop runs to the stop condition or
+// the step cap.
+func (b *blockRun) retireSparse(row *blockRow, sp *SparseState, allowRebound bool) (rebound bool) {
+	s := row.s
+	sp.attachDiscordance()
+	span := sparseSessionTimer.Start()
+	probe := row.probe != nil
+	for !row.done {
+		if s.Steps() >= b.maxSteps {
+			row.done = true
+			break
+		}
+		// The skip limit depends only on MaxSteps, never on the probe
+		// cadence: clamping to nextEmit would segment the geometric draw
+		// differently with a probe attached, consuming randomness on the
+		// probe's behalf and breaking the probe-neutrality contract.
+		// Batches are instead emitted at the first opportunity past the
+		// boundary, exactly as FastState.loop does.
+		limit := b.maxSteps - s.Steps()
+		num, den := sp.ActiveMass()
+		k := limit // no discordant pair anywhere: every draw is idle
+		if num > 0 {
+			k = geomSkip(row.r, num, den, limit)
+		}
+		if k < limit {
+			s.addSteps(k + 1)
+			if probe {
+				row.batch.Skipped += k
+				row.batch.Active++
+			}
+			v, w := sp.sampleDiscordant(row.r)
+			sp.SetOpinion(v, b.pw.Target(s.Opinion(v), s.Opinion(w)))
+			b.checkMajority(row)
+			if s.SupportVersion() != row.prevVer && b.afterSupport(row) {
+				break
+			}
+			if allowRebound && sp.num*b.exitScale > sp.den {
+				rebound = true
+				break
+			}
+		} else {
+			s.addSteps(limit)
+			if probe {
+				row.batch.Skipped += limit
+			}
+		}
+		if probe && s.Steps() >= row.nextEmit {
+			b.flushSparseRow(row, sp)
+		}
+	}
+	if probe {
+		to := s.Steps()
+		if to != row.batch.FromStep {
+			row.batch.ToStep = to
+			row.batch.Engine = obs.RegimeSparse
+			row.probe.StepBatch(row.batch)
+		}
+		row.batch = obs.StepBatch{FromStep: to}
+	}
+	sp.detachDiscordance()
+	sparseSetPeak.SetMax(sp.MemBytes())
+	span.End()
+	return rebound
+}

@@ -237,6 +237,19 @@ func (s *State) Range() int { return s.maxIdx - s.minIdx }
 // SupportSize returns the number of distinct opinions currently held.
 func (s *State) SupportSize() int { return s.support }
 
+// LargestCount returns the multiplicity of the most common opinion —
+// the plurality size, O(window) over the live count cells. Used by the
+// blocked kernel's MajorityFrac milestone.
+func (s *State) LargestCount() int64 {
+	var best int64
+	for _, c := range s.counts[s.minIdx : s.maxIdx+1] {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
 // SupportVersion increases whenever the *set* of held opinions changes
 // (any count transitions between zero and nonzero). Comparing versions
 // detects support changes in O(1), including swaps that preserve the

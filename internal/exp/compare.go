@@ -152,9 +152,40 @@ func CompareReports(old, new *BenchReport, opts CompareOptions) *CompareResult {
 			fmt.Sprintf("e2: points differ (old n=%d k=%d, new n=%d k=%d)", old.E2.N, old.E2.K, new.E2.N, new.E2.K))
 	}
 
+	// The bign dissenter subsection guards the sparse-endgame tail win:
+	// the naive/auto speedup ratio (wall-noise partially cancels in the
+	// ratio) and the auto arm's tail seconds, plus the near-deterministic
+	// sparse working-set ratio. Compared only when both reports measured
+	// the same point.
+	switch od, nd := dissenterOf(old), dissenterOf(new); {
+	case od == nil && nd == nil:
+	case od == nil || nd == nil || od.N != nd.N || od.Dissenters != nd.Dissenters:
+		c.res.Skipped = append(c.res.Skipped, "bign.dissenter: present or sized differently in only one report")
+	default:
+		c.higherBetter("bign.dissenter.speedup", od.Speedup, nd.Speedup)
+		c.lowerBetter("bign.dissenter.sparse_peak_ratio", od.SparsePeakRatio, nd.SparsePeakRatio)
+		for _, oa := range od.Arms {
+			for _, na := range nd.Arms {
+				if oa.Label == na.Label && oa.Trials == na.Trials {
+					c.lowerBetter("bign.dissenter.arms["+oa.Label+"].tail_seconds",
+						oa.Phase.TailSeconds, na.Phase.TailSeconds)
+				}
+			}
+		}
+	}
+
 	sort.Slice(c.res.Metrics, func(i, j int) bool { return c.res.Metrics[i].Name < c.res.Metrics[j].Name })
 	sort.Strings(c.res.Skipped)
 	return c.res
+}
+
+// dissenterOf extracts the bign dissenter subsection, nil-safe at
+// every level (reports without a bign section compare as absent).
+func dissenterOf(r *BenchReport) *BenchBigNDissenter {
+	if r == nil || r.BigN == nil {
+		return nil
+	}
+	return r.BigN.Dissenter
 }
 
 // WriteText renders the comparison as a human-readable table:

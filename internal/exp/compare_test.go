@@ -126,6 +126,35 @@ func TestCompareSkipsUnmatched(t *testing.T) {
 	}
 }
 
+func TestCompareDissenterGuard(t *testing.T) {
+	withDiss := func(speedup, autoTailSec, peakRatio float64) *BenchReport {
+		rep := compareFixture()
+		rep.BigN = &BenchBigN{Dissenter: &BenchBigNDissenter{
+			N: 1_000_000, Dissenters: 256,
+			Speedup: speedup, SparsePeakRatio: peakRatio,
+			Arms: []BenchBigNDissenterArm{
+				{Label: "naive", Trials: 3, Phase: BenchBigNPhase{TailSeconds: 12}},
+				{Label: "auto/sparse", Trials: 3, Phase: BenchBigNPhase{TailSeconds: autoTailSec}},
+			},
+		}}
+		return rep
+	}
+	old := withDiss(19, 0.6, 0.033)
+	if res := CompareReports(old, withDiss(19, 0.6, 0.033), CompareOptions{}); res.Regressions != 0 || len(res.Skipped) != 0 {
+		t.Fatalf("self-compare of dissenter section not clean: %+v %v", res.Metrics, res.Skipped)
+	}
+	// Speedup halved, auto tail 2.5× slower, peak ratio inflated: three
+	// regressions (the naive arm's tail is unchanged).
+	if res := CompareReports(old, withDiss(8, 1.5, 0.06), CompareOptions{}); res.Regressions != 3 {
+		t.Fatalf("found %d regressions, want 3: %+v", res.Regressions, res.Metrics)
+	}
+	// A report without the subsection skips, never silently passes.
+	res := CompareReports(old, compareFixture(), CompareOptions{})
+	if res.Regressions != 0 || len(res.Skipped) != 1 {
+		t.Fatalf("one-sided dissenter section: regressions=%d skipped=%v", res.Regressions, res.Skipped)
+	}
+}
+
 func TestCompareWriteTextRegressionsFirst(t *testing.T) {
 	old, cur := compareFixture(), compareFixture()
 	cur.Rows[1].TrialsPerSecReused *= 0.4

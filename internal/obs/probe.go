@@ -43,6 +43,11 @@ const (
 	// kernel (core/block.go): naive-law stepping, interleaved across a
 	// block of trials and flushed at chunk granularity.
 	RegimeBlock = "block"
+	// RegimeSparse labels step batches executed by the sparse endgame
+	// engine (core/sparse.go): skip-sampled stepping over the
+	// O(discordance) discordant-vertex set on implicit or compact
+	// backends.
+	RegimeSparse = "sparse"
 )
 
 // Switch reasons.
@@ -178,21 +183,21 @@ func Multi(probes ...Probe) Probe {
 
 // metricsProbe aggregates probe events into a Registry.
 type metricsProbe struct {
-	steps, active, idle, skipped *Counter
-	fastSteps                    *Counter
-	switches, toFast, toNaive    *Counter
-	stages, twoAdjacent          *Counter
-	runs, consensus, aborted     *Counter
-	runSteps                     *Histogram
-	discordEdges                 *Gauge
+	steps, active, idle, skipped        *Counter
+	fastSteps, sparseSteps              *Counter
+	switches, toFast, toSparse, toNaive *Counter
+	stages, twoAdjacent                 *Counter
+	runs, consensus, aborted            *Counter
+	runSteps                            *Histogram
+	discordEdges                        *Gauge
 }
 
 // MetricsProbe returns a Probe that aggregates events into reg under
 // the div_* namespace: total/active/idle/skipped step counters (plus
-// the fast-regime share), engine-switch counters by direction, stage
-// and endgame-entry counters, per-run step histograms, and a gauge
-// holding the last sampled discordant-edge count. It is safe to share
-// across concurrent runs.
+// the fast- and sparse-regime shares), engine-switch counters by
+// direction, stage and endgame-entry counters, per-run step
+// histograms, and a gauge holding the last sampled discordant-edge
+// count. It is safe to share across concurrent runs.
 func MetricsProbe(reg *Registry) Probe {
 	return &metricsProbe{
 		steps:        reg.Counter("div_steps_total"),
@@ -200,8 +205,10 @@ func MetricsProbe(reg *Registry) Probe {
 		idle:         reg.Counter("div_steps_idle_total"),
 		skipped:      reg.Counter("div_steps_skipped_total"),
 		fastSteps:    reg.Counter("div_steps_fast_regime_total"),
+		sparseSteps:  reg.Counter("div_steps_sparse_regime_total"),
 		switches:     reg.Counter("div_engine_switches_total"),
 		toFast:       reg.Counter("div_engine_switches_to_fast_total"),
+		toSparse:     reg.Counter("div_engine_switches_to_sparse_total"),
 		toNaive:      reg.Counter("div_engine_switches_to_naive_total"),
 		stages:       reg.Counter("div_stage_transitions_total"),
 		twoAdjacent:  reg.Counter("div_two_adjacent_entries_total"),
@@ -219,16 +226,22 @@ func (m *metricsProbe) StepBatch(b StepBatch) {
 	m.active.Add(b.Active)
 	m.idle.Add(b.Idle)
 	m.skipped.Add(b.Skipped)
-	if b.Engine == RegimeFast {
+	switch b.Engine {
+	case RegimeFast:
 		m.fastSteps.Add(total)
+	case RegimeSparse:
+		m.sparseSteps.Add(total)
 	}
 }
 
 func (m *metricsProbe) EngineSwitch(sw EngineSwitch) {
 	m.switches.Inc()
-	if sw.To == RegimeFast {
+	switch sw.To {
+	case RegimeFast:
 		m.toFast.Inc()
-	} else {
+	case RegimeSparse:
+		m.toSparse.Inc()
+	default:
 		m.toNaive.Inc()
 	}
 }
