@@ -77,6 +77,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and the expvar metrics snapshot on this address during the run")
 		benchJSON  = flag.String("bench-json", "", "run only the engine perf matrix and write it to this file as JSON")
 		benchBigN  = flag.String("bench-bign", "", "run only the big-n section (implicit topology + compact slab vs materialized CSR at n=10⁶, plus 10⁷ with -full) and merge it into this JSON report file")
+		benchBuild = flag.String("bench-build", "", "run only the graph-construction section (seeded parallel builders vs the frozen seed []Edge path, gnp + randomRegular at n=10⁵, plus 10⁶ and 10⁷ with -full) and merge it into this JSON report file")
 		widthsCSV  = flag.String("widths", "", "with -bench-json: also measure the suite scaling curve at these pool widths (comma-separated; 0 = all online CPUs) plus the CSR blocked-kernel block sweep, recorded in the report's 'scaling' section")
 		serveAddr  = flag.String("serve", "", "serve live /metrics (Prometheus text), /snapshot.json, and /progress on this address during the run (e.g. :9090)")
 		compareOld = flag.String("compare", "", "compare this baseline -bench-json report against the report given as the positional argument; exit 1 on regressions")
@@ -104,6 +105,13 @@ func main() {
 	}
 	if *benchBigN != "" {
 		if err := runBenchBigN(*benchBigN, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchBuild != "" {
+		if err := runBenchBuild(*benchBuild, exp.Params{Quick: !*full, Seed: *seed, Parallelism: *par, Engine: *engine, Block: *block}); err != nil {
 			fmt.Fprintln(os.Stderr, "divbench:", err)
 			os.Exit(1)
 		}
@@ -426,6 +434,75 @@ func runBenchBigN(path string, params exp.Params) error {
 	if eq := sec.SmallEq; eq != nil && !eq.Pass {
 		return fmt.Errorf("bign small-eq: sparse vs naive distribution check failed (χ²=%.2f crit %.2f, KS=%.4f crit %.4f)",
 			eq.Chi2, eq.Chi2Crit, eq.KSSteps, eq.KSCrit)
+	}
+	return nil
+}
+
+// runBenchBuild measures the graph-construction section and merges it
+// into the JSON report at path, preserving the other sections. It
+// fails when the acceptance bounds are violated: every point's
+// parallel build must be byte-identical to its serial build; in full
+// mode the n=10⁶ G(n,p) serial build must be ≥ 1.5× the frozen seed
+// []Edge baseline, and the n=10⁷ G(n,p) build peak RSS must stay
+// within 2× the final CSR size.
+func runBenchBuild(path string, params exp.Params) error {
+	start := time.Now()
+	sec, err := exp.BenchBuildRun(params)
+	if err != nil {
+		return err
+	}
+	rep := &exp.BenchReport{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		rep.Quick = params.Quick
+		rep.Note = "build section generated by divbench -bench-build; run -bench-json for the engine matrix"
+	}
+	rep.Build = sec
+	prov := obs.CollectProvenance("divbench", params.Seed, params.Engine).WithMemStats()
+	rep.Provenance = &prov
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	var failures []string
+	for _, pt := range sec.Points {
+		base := "baseline skipped"
+		if pt.BaselineSeconds > 0 {
+			base = fmt.Sprintf("baseline %6.2fs (%.2fx)", pt.BaselineSeconds, pt.SpeedupVsBaseline)
+		}
+		fmt.Printf("bench: build %-14s n=%-9d m=%-9d serial %6.2fs (%5.2fM edges/s), %s, parallel w=%d %6.2fs, peak RSS %7.1f MB / CSR %7.1f MB = %.2f, identical=%v\n",
+			pt.Family, pt.N, pt.Edges, pt.SerialSeconds, pt.SerialEdgesPerSec/1e6, base,
+			pt.Workers, pt.ParallelSeconds,
+			float64(pt.PeakRSSBytes)/(1<<20), float64(pt.CSRBytes)/(1<<20), pt.RSSOverCSR, pt.Identical)
+		fmt.Printf("bench: build %-14s phases: sample %v, count %v, offsets %v, scatter %v, sort %v\n",
+			pt.Family,
+			time.Duration(pt.SampleNanos), time.Duration(pt.CountNanos), time.Duration(pt.OffsetsNanos),
+			time.Duration(pt.ScatterNanos), time.Duration(pt.SortNanos))
+		if !pt.Identical {
+			failures = append(failures, fmt.Sprintf("build %s n=%d: parallel build diverged from serial", pt.Family, pt.N))
+		}
+		if !params.Quick && pt.Family == "gnp" {
+			if pt.N == 1_000_000 && pt.SpeedupVsBaseline < 1.5 {
+				failures = append(failures, fmt.Sprintf("build gnp n=10⁶: speedup %.2fx below the 1.5x bound", pt.SpeedupVsBaseline))
+			}
+			if pt.N == 10_000_000 && pt.RSSOverCSR > 2 {
+				failures = append(failures, fmt.Sprintf("build gnp n=10⁷: peak RSS %.2fx CSR exceeds the 2x bound", pt.RSSOverCSR))
+			}
+		}
+	}
+	fmt.Printf("bench: build section -> %s (%v)\n", path, time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		return fmt.Errorf("build gates failed: %s", strings.Join(failures, "; "))
 	}
 	return nil
 }

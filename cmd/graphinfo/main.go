@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"time"
 
 	"div/internal/cli"
 	"div/internal/graph"
@@ -24,11 +26,12 @@ import (
 
 func main() {
 	var (
-		graphSpec = flag.String("graph", "complete:100", "graph spec (see divsim -help)")
-		seed      = flag.Uint64("seed", 1, "seed for random families")
-		k         = flag.Int("k", 5, "opinion count for the λk feasibility line")
-		diameter  = flag.Bool("diameter", false, "also compute the exact diameter (O(n·m))")
-		implicit  = flag.Bool("implicit", false, "inspect the O(1)-state implicit backend for the spec instead of materializing it, and print the predicted-vs-actual CSR memory estimate")
+		graphSpec    = flag.String("graph", "complete:100", "graph spec (see divsim -help)")
+		seed         = flag.Uint64("seed", 1, "seed for random families")
+		k            = flag.Int("k", 5, "opinion count for the λk feasibility line")
+		diameter     = flag.Bool("diameter", false, "also compute the exact diameter (O(n·m))")
+		implicit     = flag.Bool("implicit", false, "inspect the O(1)-state implicit backend for the spec instead of materializing it, and print the predicted-vs-actual CSR memory estimate")
+		buildWorkers = flag.Int("build-workers", runtime.GOMAXPROCS(0), "worker count for parallel graph construction (random families; 1 = serial, never changes the built graph)")
 	)
 	flag.Parse()
 
@@ -36,7 +39,7 @@ func main() {
 	if *implicit {
 		err = runImplicit(*graphSpec, *seed, *k)
 	} else {
-		err = run(*graphSpec, *seed, *k, *diameter)
+		err = run(*graphSpec, *seed, *k, *diameter, *buildWorkers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphinfo:", err)
@@ -44,12 +47,29 @@ func main() {
 	}
 }
 
-func run(graphSpec string, seed uint64, k int, diameter bool) error {
-	g, err := cli.ParseGraph(graphSpec, seed)
+func run(graphSpec string, seed uint64, k int, diameter bool, buildWorkers int) error {
+	var stats graph.BuildStats
+	g, err := cli.ParseGraphOpts(graphSpec, seed, graph.BuildOpts{Workers: buildWorkers, Stats: &stats})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph:      %v\n", g)
+	if stats.Stripes > 0 {
+		total := stats.TotalNanos()
+		fmt.Printf("build:      %v total, %d worker(s), %d stripe(s)\n",
+			time.Duration(total), stats.Workers, stats.Stripes)
+		phase := func(name string, nanos int64) {
+			if total > 0 {
+				fmt.Printf("            %-8s %12v  (%4.1f%%)\n",
+					name, time.Duration(nanos), 100*float64(nanos)/float64(total))
+			}
+		}
+		phase("sample", stats.SampleNanos)
+		phase("count", stats.CountNanos)
+		phase("offsets", stats.OffsetsNanos)
+		phase("scatter", stats.ScatterNanos)
+		phase("sort", stats.SortNanos)
+	}
 	deg := graph.Degrees(g)
 	fmt.Printf("degrees:    min %d, max %d, mean %.2f\n", deg.Min, deg.Max, deg.Mean)
 	fmt.Printf("stationary: π_min %.6f, π_max %.6f (paper wants π_min = Θ(1/n): n·π_min = %.2f)\n",

@@ -5,13 +5,13 @@ package cli
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"div/internal/baseline"
 	"div/internal/core"
 	"div/internal/graph"
-	"div/internal/rng"
 )
 
 // ParseGraph builds a graph from a spec string:
@@ -22,9 +22,18 @@ import (
 //	regular:N,D         gnp:N,P           ws:N,D,BETA
 //	ba:N,M              circulant:N,S1+S2+...
 //
-// Random families draw from the given seed and retry until connected
-// where applicable.
+// Random families are seed-keyed — the built graph is a pure function
+// of (spec, seed), independent of machine width — and retry until
+// connected where applicable. Construction stripes over all cores; use
+// ParseGraphOpts to control build parallelism.
 func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
+	return ParseGraphOpts(spec, seed, graph.BuildOpts{Workers: runtime.GOMAXPROCS(0)})
+}
+
+// ParseGraphOpts is ParseGraph with an explicit assembler
+// configuration for the random families (worker count, stats capture).
+// Deterministic families ignore opts.
+func ParseGraphOpts(spec string, seed uint64, opts graph.BuildOpts) (*graph.Graph, error) {
 	name, argStr, _ := strings.Cut(spec, ":")
 	args := strings.Split(argStr, ",")
 	argInt := func(i int) (int, error) {
@@ -39,8 +48,6 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		}
 		return strconv.ParseFloat(strings.TrimSpace(args[i]), 64)
 	}
-	r := rng.New(seed)
-
 	switch strings.ToLower(name) {
 	case "complete":
 		n, err := argInt(0)
@@ -117,7 +124,7 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return graph.RandomRegular(n, d, r)
+		return graph.RandomRegularSeeded(n, d, seed, opts)
 	case "gnp":
 		n, err := argInt(0)
 		if err != nil {
@@ -127,7 +134,7 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return graph.ConnectedGnp(n, p, r, 200)
+		return graph.ConnectedGnpSeeded(n, p, seed, 200, opts)
 	case "ws":
 		n, err := argInt(0)
 		if err != nil {
@@ -141,7 +148,7 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return graph.WattsStrogatz(n, d, beta, r)
+		return graph.WattsStrogatzSeeded(n, d, beta, seed, opts)
 	case "ba":
 		n, err := argInt(0)
 		if err != nil {
@@ -151,7 +158,7 @@ func ParseGraph(spec string, seed uint64) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		return graph.BarabasiAlbert(n, m, r)
+		return graph.BarabasiAlbertSeeded(n, m, seed, opts)
 	case "circulant":
 		n, err := argInt(0)
 		if err != nil {

@@ -128,7 +128,10 @@ type BenchReport struct {
 	// BigN is the million-vertex section (bign.go), present when the
 	// run requested it (`divbench -bench-bign` / `make bench-bign`).
 	BigN *BenchBigN `json:"bign,omitempty"`
-	Rows []BenchRow `json:"rows"`
+	// Build is the graph-construction section (build.go), present when
+	// the run requested it (`divbench -bench-build` / `make bench-build`).
+	Build *BenchBuild `json:"build,omitempty"`
+	Rows  []BenchRow  `json:"rows"`
 }
 
 // benchFamily is one graph under test.

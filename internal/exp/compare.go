@@ -174,6 +174,13 @@ func CompareReports(old, new *BenchReport, opts CompareOptions) *CompareResult {
 		}
 	}
 
+	// The build section guards graph-construction throughput and the
+	// transient-memory bound. Points are matched by family × n × param;
+	// points present in only one report are flagged like rows. The
+	// serial/baseline speedup ratio is compared rather than raw wall
+	// seconds (shared-hardware noise partially cancels in the ratio).
+	compareBuild(c, buildOf(old), buildOf(new))
+
 	sort.Slice(c.res.Metrics, func(i, j int) bool { return c.res.Metrics[i].Name < c.res.Metrics[j].Name })
 	sort.Strings(c.res.Skipped)
 	return c.res
@@ -186,6 +193,55 @@ func dissenterOf(r *BenchReport) *BenchBigNDissenter {
 		return nil
 	}
 	return r.BigN.Dissenter
+}
+
+// buildOf extracts the build section, nil-safe.
+func buildOf(r *BenchReport) *BenchBuild {
+	if r == nil {
+		return nil
+	}
+	return r.Build
+}
+
+// compareBuild pairs the build-section points of two reports.
+func compareBuild(c *compareCtx, old, new *BenchBuild) {
+	if old == nil && new == nil {
+		return
+	}
+	if old == nil || new == nil {
+		c.res.Skipped = append(c.res.Skipped, "build: section present in only one report")
+		return
+	}
+	oldPts := make(map[string]BenchBuildPoint, len(old.Points))
+	for _, pt := range old.Points {
+		oldPts[buildPointKey(pt)] = pt
+	}
+	seen := make(map[string]bool, len(new.Points))
+	for _, np := range new.Points {
+		key := buildPointKey(np)
+		seen[key] = true
+		op, ok := oldPts[key]
+		if !ok {
+			c.res.Skipped = append(c.res.Skipped, "build.points["+key+"]: only in new report")
+			continue
+		}
+		pfx := "build.points[" + key + "]."
+		c.higherBetter(pfx+"serial_edges_per_sec", op.SerialEdgesPerSec, np.SerialEdgesPerSec)
+		c.higherBetter(pfx+"parallel_edges_per_sec", op.ParallelEdgesPerSec, np.ParallelEdgesPerSec)
+		if op.SpeedupVsBaseline > 0 && np.SpeedupVsBaseline > 0 {
+			c.higherBetter(pfx+"speedup_vs_baseline", op.SpeedupVsBaseline, np.SpeedupVsBaseline)
+		}
+		c.lowerBetter(pfx+"rss_over_csr", op.RSSOverCSR, np.RSSOverCSR)
+	}
+	for key := range oldPts {
+		if !seen[key] {
+			c.res.Skipped = append(c.res.Skipped, "build.points["+key+"]: only in old report")
+		}
+	}
+}
+
+func buildPointKey(pt BenchBuildPoint) string {
+	return fmt.Sprintf("%s|n=%d|param=%g", pt.Family, pt.N, pt.Param)
 }
 
 // WriteText renders the comparison as a human-readable table:

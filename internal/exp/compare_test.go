@@ -155,6 +155,47 @@ func TestCompareDissenterGuard(t *testing.T) {
 	}
 }
 
+func TestCompareBuildGuard(t *testing.T) {
+	withBuild := func(serialEps, parEps, speedup, rssRatio float64) *BenchReport {
+		rep := compareFixture()
+		rep.Build = &BenchBuild{GOMAXPROCS: 1, Points: []BenchBuildPoint{
+			{Family: "gnp", N: 1_000_000, Param: 1.6e-5,
+				SerialEdgesPerSec: serialEps, ParallelEdgesPerSec: parEps,
+				SpeedupVsBaseline: speedup, RSSOverCSR: rssRatio, Identical: true},
+			{Family: "randomRegular", N: 1_000_000, Param: 8,
+				SerialEdgesPerSec: 2e6, ParallelEdgesPerSec: 2e6,
+				RSSOverCSR: 2.8, Identical: true},
+		}}
+		return rep
+	}
+	old := withBuild(9e6, 9e6, 1.8, 1.5)
+	if res := CompareReports(old, withBuild(9e6, 9e6, 1.8, 1.5), CompareOptions{}); res.Regressions != 0 || len(res.Skipped) != 0 {
+		t.Fatalf("self-compare of build section not clean: %+v %v", res.Metrics, res.Skipped)
+	}
+	// Serial throughput halved, speedup collapsed, RSS ratio inflated:
+	// three regressions on the gnp point (parallel throughput held).
+	if res := CompareReports(old, withBuild(4e6, 9e6, 1.1, 2.2), CompareOptions{}); res.Regressions != 3 {
+		t.Fatalf("found %d regressions, want 3: %+v", res.Regressions, res.Metrics)
+	}
+	// The rr point recorded no baseline (SpeedupVsBaseline 0 on both
+	// sides): the speedup metric must not be compared for it.
+	for _, m := range CompareReports(old, withBuild(9e6, 9e6, 1.8, 1.5), CompareOptions{}).Metrics {
+		if strings.Contains(m.Name, "randomRegular") && strings.Contains(m.Name, "speedup_vs_baseline") {
+			t.Fatalf("baseline-less point compared a speedup: %s", m.Name)
+		}
+	}
+	// A report without the section skips, never silently passes; so do
+	// points present on only one side.
+	if res := CompareReports(old, compareFixture(), CompareOptions{}); res.Regressions != 0 || len(res.Skipped) != 1 {
+		t.Fatalf("one-sided build section: regressions=%d skipped=%v", res.Regressions, res.Skipped)
+	}
+	shrunk := withBuild(9e6, 9e6, 1.8, 1.5)
+	shrunk.Build.Points = shrunk.Build.Points[:1]
+	if res := CompareReports(old, shrunk, CompareOptions{}); len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0], "only in old report") {
+		t.Fatalf("vanished build point not flagged: %v", res.Skipped)
+	}
+}
+
 func TestCompareWriteTextRegressionsFirst(t *testing.T) {
 	old, cur := compareFixture(), compareFixture()
 	cur.Rows[1].TrialsPerSecReused *= 0.4

@@ -3,10 +3,10 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"div/internal/graph"
-	"div/internal/rng"
 	"div/internal/spectral"
 )
 
@@ -89,11 +89,20 @@ func (gs *Graphs) Cycle(n int) *graph.Graph {
 	return gs.mustGet(graph.Key{Family: "cycle", N: n}, func() *graph.Graph { return graph.Cycle(n) })
 }
 
+// buildOpts is the assembler configuration for cache builds: stripes
+// run on the GOMAXPROCS-wide shared pool (the ready-channel dedup pins
+// a cold build to one caller, but the build itself saturates the
+// machine). Worker count never affects the built graph, so the cache
+// key needs no build-parallelism component.
+func buildOpts() graph.BuildOpts {
+	return graph.BuildOpts{Workers: runtime.GOMAXPROCS(0)}
+}
+
 // RandomRegular returns the cached uniform random d-regular graph
 // built from seed.
 func (gs *Graphs) RandomRegular(n, d int, seed uint64) (*graph.Graph, error) {
 	return gs.get(graph.Key{Family: "rr", N: n, A: d, Seed: seed}, func() (*graph.Graph, error) {
-		return graph.RandomRegular(n, d, rng.New(seed))
+		return graph.RandomRegularSeeded(n, d, seed, buildOpts())
 	})
 }
 
@@ -101,7 +110,7 @@ func (gs *Graphs) RandomRegular(n, d int, seed uint64) (*graph.Graph, error) {
 // from seed.
 func (gs *Graphs) ConnectedGnp(n int, p float64, seed uint64) (*graph.Graph, error) {
 	return gs.get(graph.Key{Family: "gnp", N: n, F: math.Float64bits(p), Seed: seed}, func() (*graph.Graph, error) {
-		return graph.ConnectedGnp(n, p, rng.New(seed), 200)
+		return graph.ConnectedGnpSeeded(n, p, seed, 200, buildOpts())
 	})
 }
 
@@ -109,7 +118,7 @@ func (gs *Graphs) ConnectedGnp(n int, p float64, seed uint64) (*graph.Graph, err
 // (m edges per arrival) built from seed.
 func (gs *Graphs) BarabasiAlbert(n, m int, seed uint64) (*graph.Graph, error) {
 	return gs.get(graph.Key{Family: "ba", N: n, A: m, Seed: seed}, func() (*graph.Graph, error) {
-		return graph.BarabasiAlbert(n, m, rng.New(seed))
+		return graph.BarabasiAlbertSeeded(n, m, seed, buildOpts())
 	})
 }
 
@@ -117,7 +126,7 @@ func (gs *Graphs) BarabasiAlbert(n, m int, seed uint64) (*graph.Graph, error) {
 // rewiring probability beta) built from seed.
 func (gs *Graphs) WattsStrogatz(n, d int, beta float64, seed uint64) (*graph.Graph, error) {
 	return gs.get(graph.Key{Family: "ws", N: n, A: d, F: math.Float64bits(beta), Seed: seed}, func() (*graph.Graph, error) {
-		return graph.WattsStrogatz(n, d, beta, rng.New(seed))
+		return graph.WattsStrogatzSeeded(n, d, beta, seed, buildOpts())
 	})
 }
 

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BFS performs a breadth-first search from src and returns the distance
 // (in edges) to every vertex, with -1 for unreachable vertices.
@@ -25,19 +28,54 @@ func BFS(g *Graph, src int) []int {
 	return dist
 }
 
+// connScratch is the reusable state behind IsConnected: a visited
+// bitset (1 bit/vertex instead of BFS's 8-byte distance) and a queue
+// slab, pooled so ConnectedGnp's retry loop at n = 10⁶–10⁷ probes each
+// candidate without churning ~80 MB of heap per attempt.
+type connScratch struct {
+	visited []uint64
+	queue   []int32
+}
+
+var connPool = sync.Pool{New: func() any { return &connScratch{} }}
+
 // IsConnected reports whether g is connected. The empty graph and the
-// single vertex are connected by convention.
+// single vertex are connected by convention. Scratch state is pooled
+// and reused across calls, so steady-state invocations do not
+// allocate.
 func IsConnected(g *Graph) bool {
-	if g.N() <= 1 {
+	n := g.N()
+	if n <= 1 {
 		return true
 	}
-	dist := BFS(g, 0)
-	for _, d := range dist {
-		if d == -1 {
-			return false
+	sc := connPool.Get().(*connScratch)
+	defer connPool.Put(sc)
+	words := (n + 63) / 64
+	if cap(sc.visited) < words {
+		sc.visited = make([]uint64, words)
+	}
+	visited := sc.visited[:words]
+	clear(visited)
+	if cap(sc.queue) < n {
+		sc.queue = make([]int32, n)
+	}
+	queue := sc.queue[:n]
+
+	visited[0] |= 1
+	queue[0] = 0
+	head, tail := 0, 1
+	for head < tail {
+		v := queue[head]
+		head++
+		for _, w := range g.Neighbors(int(v)) {
+			if visited[w>>6]&(1<<(uint(w)&63)) == 0 {
+				visited[w>>6] |= 1 << (uint(w) & 63)
+				queue[tail] = w
+				tail++
+			}
 		}
 	}
-	return true
+	return tail == n
 }
 
 // Components returns the connected components of g as vertex lists,

@@ -174,3 +174,38 @@ func TestQuickRandomGraphsValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIsConnectedAllocs: the satellite gate for the pooled-bitset BFS.
+// After a warm-up populates the scratch pool, connectivity probes must
+// not allocate — ConnectedGnp retries at n = 10⁶⁺ lean on this.
+func TestIsConnectedAllocs(t *testing.T) {
+	g, err := GnpSeeded(20000, 0.0008, 11, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	IsConnected(g) // warm the scratch pool
+	if allocs := testing.AllocsPerRun(20, func() { IsConnected(g) }); allocs != 0 {
+		t.Errorf("IsConnected allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestIsConnectedCases pins the bitset BFS against the definitional
+// corner cases the old distance-slice implementation covered.
+func TestIsConnectedCases(t *testing.T) {
+	if !IsConnected(MustFromEdges(0, nil)) || !IsConnected(MustFromEdges(1, nil)) {
+		t.Error("empty and single-vertex graphs are connected by convention")
+	}
+	if IsConnected(MustFromEdges(2, nil)) {
+		t.Error("two isolated vertices reported connected")
+	}
+	if !IsConnected(Path(100)) || !IsConnected(Star(65)) || !IsConnected(Cycle(64)) {
+		t.Error("connected family reported disconnected")
+	}
+	if IsConnected(MustFromEdges(5, []Edge{{0, 1}, {2, 3}, {3, 4}})) {
+		t.Error("two components reported connected")
+	}
+	// A vertex count straddling the 64-bit word boundary of the bitset.
+	if !IsConnected(Path(64)) || !IsConnected(Path(65)) || IsConnected(MustFromEdges(65, []Edge{{0, 1}})) {
+		t.Error("word-boundary sizes misreported")
+	}
+}

@@ -2,10 +2,13 @@ package graph
 
 import (
 	"math/bits"
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"div/internal/obs"
+	"div/internal/sched"
 )
 
 // vertexUnitsOverflowTotal counts graphs whose distinct-degree LCM
@@ -59,11 +62,18 @@ func (g *Graph) ArcIndex() *ArcIndex {
 	return cell.Load()
 }
 
-// buildArcIndex computes tails and rev in O(n + m). rev exploits CSR
-// sortedness: scanning arcs in order, the canonical arcs (v,w) with
-// v < w arrive, for each fixed w, in ascending v — which is exactly
-// the order of w's sorted neighbour prefix of heads below w — so one
-// cursor per vertex pairs every arc with its reverse in a single pass.
+// arcIndexParallelMinArcs gates the parallel rev build: below it the
+// serial cursor pass wins on setup cost alone.
+const arcIndexParallelMinArcs = 1 << 21
+
+// buildArcIndex computes tails and rev in O(n + m). The serial path
+// exploits CSR sortedness: scanning arcs in order, the canonical arcs
+// (v,w) with v < w arrive, for each fixed w, in ascending v — which is
+// exactly the order of w's sorted neighbour prefix of heads below w —
+// so one cursor per vertex pairs every arc with its reverse in a
+// single pass. Large graphs on multicore hosts use the row-striped
+// path instead (buildArcIndexRows), which computes the same pairing
+// without the serial cursor chain.
 func buildArcIndex(g *Graph) *ArcIndex {
 	n := g.N()
 	arcs := len(g.adj)
@@ -71,6 +81,15 @@ func buildArcIndex(g *Graph) *ArcIndex {
 		g:     g,
 		tails: make([]int32, arcs),
 		rev:   make([]int32, arcs),
+	}
+	if arcs >= arcIndexParallelMinArcs && runtime.GOMAXPROCS(0) > 1 {
+		grain := n / 256
+		if grain < 2048 {
+			grain = 2048
+		}
+		sched.Distribute(sched.Shared(0), n, grain, sched.Tag{Exp: "graph_build"},
+			func(lo, hi int) { buildArcIndexRows(g, ix, lo, hi) })
+		return ix
 	}
 	for v := 0; v < n; v++ {
 		for a := g.offsets[v]; a < g.offsets[v+1]; a++ {
@@ -91,6 +110,33 @@ func buildArcIndex(g *Graph) *ArcIndex {
 		}
 	}
 	return ix
+}
+
+// buildArcIndexRows fills tails and rev for rows [lo, hi) without
+// cross-row state: for a canonical arc a = (v,w), v < w, the reverse
+// arc's slot is v's position in w's sorted neighbour list, found by
+// binary search. The owner (the v < w side) writes both rev cells, so
+// every cell is written exactly once with a schedule-independent value
+// — the striped build is race-free and bit-identical to the serial
+// cursor pass (the cursor hands w's prefix slots to ascending v, which
+// is precisely sorted order).
+func buildArcIndexRows(g *Graph, ix *ArcIndex, lo, hi int) {
+	adj, offsets := g.adj, g.offsets
+	for v := lo; v < hi; v++ {
+		rowLo, rowHi := offsets[v], offsets[v+1]
+		for a := rowLo; a < rowHi; a++ {
+			ix.tails[a] = int32(v)
+			w := adj[a]
+			if int32(v) >= w {
+				continue
+			}
+			nb := adj[offsets[w]:offsets[w+1]]
+			j, _ := slices.BinarySearch(nb, int32(v))
+			b := offsets[w] + int64(j)
+			ix.rev[a] = int32(b)
+			ix.rev[b] = int32(a)
+		}
+	}
 }
 
 // Tails returns the tail vertex of each directed arc (read-only).

@@ -1,0 +1,236 @@
+// Law-equivalence battery for the seeded builders: the seed→graph
+// mapping changed (PCG streams → keyed Philox counter streams), which
+// is allowed — the sampling law is not. These tests draw matched
+// ensembles from the legacy *rand.Rand builders and the seeded
+// builders and require the degree distributions (two-sample χ²) and
+// spectral-gap estimates (two-sample KS) to be statistically
+// indistinguishable at α = 0.001.
+//
+// External test package: the λ checks need internal/spectral, which
+// imports graph — an internal test would cycle.
+package graph_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"div/internal/graph"
+	"div/internal/rng"
+	"div/internal/spectral"
+	"div/internal/stats"
+)
+
+// chi2Crit001 returns the α = 0.001 critical value of χ²(df), exact
+// for the small dfs and Wilson–Hilferty for the rest (accurate to well
+// under the margins these tests run at).
+func chi2Crit001(df int) float64 {
+	switch df {
+	case 1:
+		return 10.83
+	case 2:
+		return 13.82
+	}
+	const z = 3.0902 // z_{0.001}
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// chi2TwoSampleDegrees pools two degree samples into cells (merging
+// sparse neighbours, the house pattern from the engine equivalence
+// suites) and returns the two-sample χ² statistic and df.
+func chi2TwoSampleDegrees(a, b []int) (stat float64, df int) {
+	count := map[int][2]float64{}
+	for _, d := range a {
+		c := count[d]
+		c[0]++
+		count[d] = c
+	}
+	for _, d := range b {
+		c := count[d]
+		c[1]++
+		count[d] = c
+	}
+	cats := make([]int, 0, len(count))
+	for d := range count {
+		cats = append(cats, d)
+	}
+	sort.Ints(cats)
+	cells := make([][2]float64, 0, len(cats))
+	for _, d := range cats {
+		cells = append(cells, count[d])
+	}
+	for len(cells) > 1 {
+		idx := -1
+		for i, c := range cells {
+			if c[0]+c[1] < 10 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		j := idx - 1
+		if j < 0 {
+			j = idx + 1
+		}
+		cells[j][0] += cells[idx][0]
+		cells[j][1] += cells[idx][1]
+		cells = append(cells[:idx], cells[idx+1:]...)
+	}
+	if len(cells) < 2 {
+		return 0, 0
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	grand := na + nb
+	for _, c := range cells {
+		rowTotal := c[0] + c[1]
+		ea := rowTotal * na / grand
+		eb := rowTotal * nb / grand
+		stat += (c[0]-ea)*(c[0]-ea)/ea + (c[1]-eb)*(c[1]-eb)/eb
+	}
+	return stat, len(cells) - 1
+}
+
+func degreesOf(g *graph.Graph) []int {
+	ds := make([]int, g.N())
+	for v := range ds {
+		ds[v] = g.Degree(v)
+	}
+	return ds
+}
+
+// ksCrit001 is the asymptotic two-sample KS critical value at
+// α = 0.001 (conservative under discreteness/ties).
+func ksCrit001(m, n int) float64 {
+	return 1.95 * math.Sqrt(float64(m+n)/float64(m)/float64(n))
+}
+
+// TestSeededLawEquivalenceDegrees draws R graphs per generation per
+// family and compares pooled degree distributions.
+func TestSeededLawEquivalenceDegrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical battery")
+	}
+	const R = 24
+	families := []struct {
+		name   string
+		legacy func(seed uint64) (*graph.Graph, error)
+		seeded func(seed uint64) (*graph.Graph, error)
+	}{
+		{
+			"gnp(600,0.02)",
+			func(seed uint64) (*graph.Graph, error) { return graph.Gnp(600, 0.02, rng.New(seed)) },
+			func(seed uint64) (*graph.Graph, error) { return graph.GnpSeeded(600, 0.02, seed, graph.BuildOpts{}) },
+		},
+		{
+			"ba(600,3)",
+			func(seed uint64) (*graph.Graph, error) { return graph.BarabasiAlbert(600, 3, rng.New(seed)) },
+			func(seed uint64) (*graph.Graph, error) {
+				return graph.BarabasiAlbertSeeded(600, 3, seed, graph.BuildOpts{})
+			},
+		},
+		{
+			"ws(600,6,0.3)",
+			func(seed uint64) (*graph.Graph, error) { return graph.WattsStrogatz(600, 6, 0.3, rng.New(seed)) },
+			func(seed uint64) (*graph.Graph, error) {
+				return graph.WattsStrogatzSeeded(600, 6, 0.3, seed, graph.BuildOpts{})
+			},
+		},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			var legacyDs, seededDs []int
+			for r := 0; r < R; r++ {
+				lg, err := fam.legacy(uint64(1000 + r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sg, err := fam.seeded(uint64(1000 + r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacyDs = append(legacyDs, degreesOf(lg)...)
+				seededDs = append(seededDs, degreesOf(sg)...)
+			}
+			stat, df := chi2TwoSampleDegrees(legacyDs, seededDs)
+			if df > 0 && stat > chi2Crit001(df) {
+				t.Errorf("degree χ²(%d) = %.2f > %.2f (α=0.001): seeded law differs from legacy", df, stat, chi2Crit001(df))
+			}
+		})
+	}
+	// RandomRegular degrees are deterministic (all d); the law check
+	// that matters is λ, below. Still pin regularity here.
+	g, err := graph.RandomRegularSeeded(600, 6, 7, graph.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular() || g.MaxDegree() != 6 {
+		t.Fatalf("RandomRegularSeeded not 6-regular")
+	}
+}
+
+// TestSeededLawEquivalenceLambda compares the spectral-gap estimate
+// distributions of the two generations (two-sample KS): for G(n,p)
+// and random-regular ensembles λ concentrates, so a law change shows
+// up as a location shift KS catches quickly.
+func TestSeededLawEquivalenceLambda(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical battery")
+	}
+	const R = 20
+	families := []struct {
+		name   string
+		legacy func(seed uint64) (*graph.Graph, error)
+		seeded func(seed uint64) (*graph.Graph, error)
+	}{
+		{
+			"gnp(400,0.04)",
+			func(seed uint64) (*graph.Graph, error) { return graph.ConnectedGnp(400, 0.04, rng.New(seed), 200) },
+			func(seed uint64) (*graph.Graph, error) {
+				return graph.ConnectedGnpSeeded(400, 0.04, seed, 200, graph.BuildOpts{})
+			},
+		},
+		{
+			"rr(400,6)",
+			func(seed uint64) (*graph.Graph, error) { return graph.RandomRegular(400, 6, rng.New(seed)) },
+			func(seed uint64) (*graph.Graph, error) {
+				return graph.RandomRegularSeeded(400, 6, seed, graph.BuildOpts{})
+			},
+		},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			var legacyL, seededL []float64
+			for r := 0; r < R; r++ {
+				lg, err := fam.legacy(uint64(2000 + r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sg, err := fam.seeded(uint64(2000 + r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ll, err := spectral.Lambda(lg, spectral.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sl, err := spectral.Lambda(sg, spectral.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacyL = append(legacyL, ll)
+				seededL = append(seededL, sl)
+			}
+			d, err := stats.KS2Sample(legacyL, seededL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crit := ksCrit001(len(legacyL), len(seededL)); d > crit {
+				t.Errorf("λ KS = %.3f > %.3f (α=0.001): seeded λ law differs from legacy", d, crit)
+			}
+		})
+	}
+}

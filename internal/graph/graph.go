@@ -36,49 +36,10 @@ type Edge struct {
 
 // NewFromEdges builds a Graph with n vertices from an edge list.
 // Self-loops and duplicate edges are rejected: the voting processes are
-// defined on simple graphs.
+// defined on simple graphs. It is the serial configuration of the
+// direct-to-CSR assembler (BuildCSR over an EdgeList source).
 func NewFromEdges(n int, edges []Edge) (*Graph, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("graph: negative vertex count %d", n)
-	}
-	deg := make([]int64, n)
-	for i, e := range edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return nil, fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
-		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("graph: edge %d is a self-loop at %d", i, e.U)
-		}
-		deg[e.U]++
-		deg[e.V]++
-	}
-	g := &Graph{
-		offsets: make([]int64, n+1),
-		adj:     make([]int32, 2*len(edges)),
-		arc:     new(arcCell),
-	}
-	for v := 0; v < n; v++ {
-		g.offsets[v+1] = g.offsets[v] + deg[v]
-	}
-	fill := make([]int64, n)
-	copy(fill, g.offsets[:n])
-	for _, e := range edges {
-		g.adj[fill[e.U]] = int32(e.V)
-		fill[e.U]++
-		g.adj[fill[e.V]] = int32(e.U)
-		fill[e.V]++
-	}
-	// Sort each neighbour list and detect duplicates.
-	for v := 0; v < n; v++ {
-		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
-		for i := 1; i < len(nb); i++ {
-			if nb[i] == nb[i-1] {
-				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, nb[i])
-			}
-		}
-	}
-	return g, nil
+	return BuildCSR(n, EdgeList(n, edges), BuildOpts{})
 }
 
 // MustFromEdges is NewFromEdges that panics on error, for tests and

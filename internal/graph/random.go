@@ -53,6 +53,24 @@ func logOneMinus(p float64) float64 {
 	return math.Log1p(-p)
 }
 
+// maxGeometricSkip caps the skip count: large enough to jump past any
+// representable pair range in one step, small enough that a caller's
+// position + 1 + skip can never overflow int. Without the cap, tiny p
+// (lq → 0⁻) makes log(u)/lq exceed the int64 range and the float→int
+// conversion is undefined (on amd64 it wraps negative, which would
+// walk the Batagelj–Brandes cursor backwards forever).
+const maxGeometricSkip = 1 << 62
+
+// skipFromUniform converts a uniform u ∈ (0,1) into a Geometric
+// skip count given lq = log(1-p) < 0, clamped to maxGeometricSkip.
+func skipFromUniform(u, lq float64) int {
+	f := math.Log(u) / lq
+	if f >= maxGeometricSkip {
+		return maxGeometricSkip
+	}
+	return int(f)
+}
+
 // geometricSkip returns a Geometric(p)-distributed skip count given
 // lq = log(1-p), i.e. the number of failures before the next success.
 func geometricSkip(r *rand.Rand, lq float64) int {
@@ -60,7 +78,17 @@ func geometricSkip(r *rand.Rand, lq float64) int {
 	for u == 0 {
 		u = r.Float64()
 	}
-	return int(math.Log(u) / lq)
+	return skipFromUniform(u, lq)
+}
+
+// geometricSkipCounter is geometricSkip driven by a per-row Philox
+// counter stream.
+func geometricSkipCounter(c *rng.Counter, lq float64) int {
+	u := c.Float64()
+	for u == 0 {
+		u = c.Float64()
+	}
+	return skipFromUniform(u, lq)
 }
 
 // RandomRegular returns a uniform-ish random d-regular simple graph on

@@ -1,0 +1,68 @@
+package rng
+
+import "math/bits"
+
+// Counter is an unbuffered Philox2x64-10 generator. It produces the
+// exact word sequence a Stream with the same (base, stream) seed would
+// produce — buffer word 2i is the first output of Philox2x64(key,
+// stream, i), word 2i+1 the second — but holds only one spare word of
+// state instead of a 512-byte refill buffer.
+//
+// It exists for consumers whose per-stream draw count is tiny: the
+// parallel graph builders key one stream per vertex row, and a G(n,p)
+// row at mean degree d consumes ~d words. Refilling a 64-word Stream
+// buffer for that would do ~8× the Philox work and wash the buffer out
+// of cache between rows; the Counter evaluates one block (two words)
+// at a time, on demand. The zero value is not ready; call Seed.
+// A Counter is a value type — embed or stack-allocate it, no heap
+// state — and is not safe for concurrent use.
+type Counter struct {
+	key   uint64 // Philox key: DeriveSeed(base, stream)
+	ctrHi uint64 // counter high word: the stream index
+	ctrLo uint64 // counter low word of the NEXT block to evaluate
+	spare uint64 // second word of the last block, if unconsumed
+	odd   bool   // spare holds a pending word
+}
+
+// Seed (re)initializes the counter in place so that its output matches
+// Stream.Seed(base, stream) word for word: key DeriveSeed(base,
+// stream), 128-bit counter starting at (stream, 0).
+func (c *Counter) Seed(base, stream uint64) {
+	c.key = DeriveSeed(base, stream)
+	c.ctrHi = stream
+	c.ctrLo = 0
+	c.odd = false
+}
+
+// Uint64 returns the next 64-bit output.
+func (c *Counter) Uint64() uint64 {
+	if c.odd {
+		c.odd = false
+		return c.spare
+	}
+	x0, x1 := Philox2x64(c.key, c.ctrHi, c.ctrLo)
+	c.ctrLo++
+	c.spare = x1
+	c.odd = true
+	return x0
+}
+
+// Uint64n returns a uniform value in [0, n) by the same Lemire
+// multiply-shift debiasing Stream.Uint64n uses, consuming the same
+// words. n must be nonzero.
+func (c *Counter) Uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(c.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(c.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits, the
+// same construction Stream.Float64 and rand/v2 use.
+func (c *Counter) Float64() float64 {
+	return float64(c.Uint64()<<11>>11) / (1 << 53)
+}

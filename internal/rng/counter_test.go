@@ -1,0 +1,84 @@
+package rng
+
+import "testing"
+
+// TestCounterMatchesStream pins the Counter to the buffered Stream: for
+// the same (base, stream) seed they must produce identical word
+// sequences, across refill boundaries and regardless of how the draws
+// interleave with reseeds.
+func TestCounterMatchesStream(t *testing.T) {
+	for _, seed := range []struct{ base, stream uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {12345, 678}, {^uint64(0), ^uint64(0)},
+	} {
+		s := NewStream(seed.base, seed.stream)
+		var c Counter
+		c.Seed(seed.base, seed.stream)
+		for i := 0; i < 3*streamBufWords+5; i++ {
+			if got, want := c.Uint64(), s.Uint64(); got != want {
+				t.Fatalf("seed (%d,%d) word %d: Counter %#x, Stream %#x", seed.base, seed.stream, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCounterMatchesPhiloxReference pins the word layout directly to
+// the exported reference function: word 2i is the first output of
+// Philox2x64(key, stream, i), word 2i+1 the second.
+func TestCounterMatchesPhiloxReference(t *testing.T) {
+	const base, stream = 99, 7
+	var c Counter
+	c.Seed(base, stream)
+	key := DeriveSeed(base, stream)
+	for blk := uint64(0); blk < 8; blk++ {
+		x0, x1 := Philox2x64(key, stream, blk)
+		if got := c.Uint64(); got != x0 {
+			t.Fatalf("block %d word 0: got %#x want %#x", blk, got, x0)
+		}
+		if got := c.Uint64(); got != x1 {
+			t.Fatalf("block %d word 1: got %#x want %#x", blk, got, x1)
+		}
+	}
+}
+
+// TestCounterUint64nMatchesStream checks that the bounded draw consumes
+// the same words and produces the same values as Stream.Uint64n,
+// including when the Lemire rejection path triggers.
+func TestCounterUint64nMatchesStream(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 32, (1 << 63) + 12345, ^uint64(0)} {
+		s := NewStream(42, 9)
+		var c Counter
+		c.Seed(42, 9)
+		for i := 0; i < 200; i++ {
+			if got, want := c.Uint64n(n), s.Uint64n(n); got != want {
+				t.Fatalf("n=%d draw %d: Counter %d, Stream %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCounterReseed verifies Seed fully resets state, including a
+// pending spare word.
+func TestCounterReseed(t *testing.T) {
+	var a, b Counter
+	a.Seed(5, 5)
+	_ = a.Uint64() // leave a spare word pending
+	a.Seed(5, 5)
+	b.Seed(5, 5)
+	for i := 0; i < 10; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d after reseed: %#x != %#x", i, x, y)
+		}
+	}
+}
+
+// TestCounterFloat64Range sanity-checks the unit-interval construction.
+func TestCounterFloat64Range(t *testing.T) {
+	var c Counter
+	c.Seed(17, 3)
+	for i := 0; i < 1000; i++ {
+		f := c.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("draw %d: Float64 = %v out of [0,1)", i, f)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import "sync"
+import "sync/atomic"
+
+// Distribute is a caller-participating parallel-for over [0, n): it
+// splits the range into chunks of at most grain elements, claims them
+// off a shared atomic cursor, and returns once every fn(lo, hi) call
+// has completed. The calling goroutine is always one of the executors,
+// and helper tasks are submitted to the pool only as accelerators, so
+// Distribute is deadlock-free at any pool width and from any calling
+// context — including from inside a task already running on the same
+// pool (a cold graph-cache build triggered by a trial task does exactly
+// that). Helpers that reach the cursor after the range is drained
+// return without side effects, so completion never waits on pool
+// scheduling — only on the chunks actually being processed.
+//
+// fn must be safe for concurrent invocation on disjoint ranges. Chunk
+// boundaries are a pure function of (n, grain), so any per-chunk
+// state a caller derives from lo is identical at every width.
+//
+// A nil pool, a single-chunk range, or a width-1 pool with nothing to
+// overlap runs entirely inline on the caller.
+func Distribute(p *Pool, n, grain int, tag Tag, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if p == nil || chunks == 1 {
+		fn(0, n)
+		return
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	body := func() {
+		for {
+			i := int(cursor.Add(1) - 1)
+			if i >= chunks {
+				return
+			}
+			lo := i * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			func() {
+				// The Done is deferred so a panicking fn (recovered by
+				// the worker loop) cannot strand the caller in Wait.
+				defer wg.Done()
+				fn(lo, hi)
+			}()
+		}
+	}
+
+	helpers := p.Width()
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	if helpers > 0 {
+		ts := make([]Task, helpers)
+		for i := range ts {
+			ts[i] = Task{Tag: tag, Run: func(*Worker) { body() }}
+		}
+		p.Submit(ts...)
+	}
+	body()
+	wg.Wait()
+}
